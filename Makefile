@@ -1,0 +1,41 @@
+# Reproduction of "Can we elect if we cannot compare?" (SPAA 2003).
+# Stdlib only; everything runs offline.
+
+GO ?= go
+
+.PHONY: all build test race bench experiments examples vet fmt cover
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l .
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate every table and figure of the paper (E1-E12).
+experiments:
+	$(GO) run ./cmd/experiments
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/petersen
+	$(GO) run ./examples/hypercube
+	$(GO) run ./examples/babel
+	$(GO) run ./examples/preferences
+	$(GO) run ./examples/rendezvous

@@ -1,0 +1,277 @@
+package repro
+
+// Benchmarks regenerating the paper's table and figures (DESIGN.md §4):
+//
+//	E1 Table 1     — BenchmarkTable1*
+//	E2 Figure 2ab  — BenchmarkFig2Views
+//	E3 Figure 2c   — BenchmarkFig2cViews
+//	E4 Theorem 3.1 — BenchmarkElect* (per family; reports moves/(r·|E|))
+//	E5 Theorem 4.1 — BenchmarkCayley*
+//	E6 Figure 5    — BenchmarkPetersen*
+//	E7 Section 1.3 — BenchmarkAnonymousLockstep
+//	E8 cost bound  — BenchmarkMovesScaling* (reports moves/(r·|E|))
+//
+// plus the DESIGN.md §5 ablations: hair vs direct ordering, canonical vs
+// brute-force labeling, refinement views vs explicit trees, map drawing.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/iso"
+	"repro/internal/labeling"
+	"repro/internal/order"
+	"repro/internal/sim"
+	"repro/internal/view"
+)
+
+func benchRun(b *testing.B, g *graph.Graph, homes []int, quant bool, p sim.Protocol) {
+	b.Helper()
+	b.ReportAllocs()
+	var lastMoves int64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(sim.Config{
+			Graph: g, Homes: homes, Seed: int64(i + 1), WakeAll: false,
+			QuantitativeIDs: quant,
+		}, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lastMoves = res.TotalMoves()
+	}
+	b.ReportMetric(float64(lastMoves)/float64(len(homes)*g.M()), "moves/(r|E|)")
+}
+
+// --- E1: Table 1 ---
+
+func BenchmarkTable1QualitativeK2(b *testing.B) {
+	benchRun(b, graph.Path(2), []int{0, 1}, false, elect.Elect(elect.Options{}))
+}
+
+func BenchmarkTable1QuantitativeK2(b *testing.B) {
+	benchRun(b, graph.Path(2), []int{0, 1}, true, elect.QuantitativeElect())
+}
+
+func BenchmarkTable1QuantitativePetersen(b *testing.B) {
+	benchRun(b, graph.Petersen(), []int{0, 1}, true, elect.QuantitativeElect())
+}
+
+// --- E2 / E3: Figure 2 ---
+
+func BenchmarkFig2Views(b *testing.B) {
+	g := graph.Path(3)
+	l := labeling.Fig2aLabeling()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := view.ComputeClasses(g, l, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2cViews(b *testing.B) {
+	g := graph.Fig2c()
+	l := labeling.Fig2cLabeling()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := view.ComputeClasses(g, l, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E4: Protocol ELECT per family (Theorem 3.1) ---
+
+func BenchmarkElectCycleSolvable(b *testing.B) {
+	benchRun(b, graph.Cycle(6), []int{0, 2}, false, elect.Elect(elect.Options{}))
+}
+
+func BenchmarkElectCycleUnsolvable(b *testing.B) {
+	benchRun(b, graph.Cycle(6), []int{0, 3}, false, elect.Elect(elect.Options{}))
+}
+
+func BenchmarkElectStarNodeReduce(b *testing.B) {
+	benchRun(b, graph.Star(4), []int{1, 2, 3}, false, elect.Elect(elect.Options{}))
+}
+
+func BenchmarkElectHypercube(b *testing.B) {
+	benchRun(b, graph.Hypercube(3), []int{0, 1, 3}, false, elect.Elect(elect.Options{}))
+}
+
+func BenchmarkElectRandom10(b *testing.B) {
+	benchRun(b, graph.RandomConnected(10, 6, 13), []int{0, 2, 5, 8}, false, elect.Elect(elect.Options{}))
+}
+
+// --- E5: the Cayley decision (Theorem 4.1) ---
+
+func BenchmarkCayleyElectQ3(b *testing.B) {
+	benchRun(b, graph.Hypercube(3), []int{0, 1, 3}, false,
+		elect.CayleyElect(elect.CayleyOptions{}))
+}
+
+func BenchmarkCayleyDecisionTorus(b *testing.B) {
+	g := graph.Torus(3, 3)
+	black := make([]int, g.N())
+	black[0], black[4] = 1, 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := elect.CayleyTranslationCount(g, black, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCayleyRecognizePetersenNegative(b *testing.B) {
+	g := graph.Petersen()
+	black := make([]int, 10)
+	black[0], black[1] = 1, 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		isCayley, _, err := elect.CayleyTranslationCount(g, black, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if isCayley {
+			b.Fatal("Petersen recognized as Cayley")
+		}
+	}
+}
+
+// --- E6: Figure 5 ---
+
+func BenchmarkPetersenElectFails(b *testing.B) {
+	benchRun(b, graph.Petersen(), []int{0, 1}, false, elect.Elect(elect.Options{}))
+}
+
+func BenchmarkPetersenAdHoc(b *testing.B) {
+	benchRun(b, graph.Petersen(), []int{0, 1}, false, elect.PetersenElect())
+}
+
+// --- E7: Section 1.3 lockstep ---
+
+func BenchmarkAnonymousLockstep(b *testing.B) {
+	proto := func(obs elect.AnonObs) (string, elect.AnonAction) {
+		if obs.State == "" {
+			return "walk", elect.AnonAction{Write: "pebble", MoveLabel: 1}
+		}
+		if len(obs.Board) > 0 {
+			return "done", elect.AnonAction{Declare: "leader"}
+		}
+		return "walk", elect.AnonAction{MoveLabel: 1}
+	}
+	cfg := elect.AnonConfig{
+		G: graph.Cycle(6), Labels: elect.OrientedCycleLabeling(6),
+		Homes: []int{0, 3}, Rounds: 8,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := elect.RunAnonymous(cfg, proto); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E8: move scaling O(r·|E|) ---
+
+func BenchmarkMovesScaling(b *testing.B) {
+	for _, n := range []int{6, 12, 24} {
+		homes := []int{0, n / 3, 2 * n / 3}
+		b.Run(fmt.Sprintf("cycle-n%d-r3", n), func(b *testing.B) {
+			benchRun(b, graph.Cycle(n), homes, false, elect.Elect(elect.Options{}))
+		})
+	}
+	for _, r := range []int{2, 4, 8} {
+		homes := make([]int, r)
+		for i := range homes {
+			homes[i] = 2 * i
+		}
+		b.Run(fmt.Sprintf("cycle-n16-r%d", r), func(b *testing.B) {
+			benchRun(b, graph.Cycle(16), homes, false, elect.Elect(elect.Options{}))
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §5) ---
+
+func BenchmarkOrderingDirect(b *testing.B) {
+	g := graph.Petersen()
+	colors := elect.BlackColors(10, []int{0, 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		order.ComputeAndOrder(g, colors, order.Direct)
+	}
+}
+
+func BenchmarkOrderingHairs(b *testing.B) {
+	g := graph.Petersen()
+	colors := elect.BlackColors(10, []int{0, 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		order.ComputeAndOrder(g, colors, order.Hairs)
+	}
+}
+
+func BenchmarkCanonicalSearch(b *testing.B) {
+	c := iso.FromGraph(graph.Complete(7), nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		iso.CanonicalWord(c)
+	}
+}
+
+func BenchmarkCanonicalBrute(b *testing.B) {
+	c := iso.FromGraph(graph.Complete(7), nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		iso.BruteCanonicalWord(c)
+	}
+}
+
+func BenchmarkViewsRefinement(b *testing.B) {
+	g := graph.Hypercube(4)
+	l := graph.PortLabeling(g)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := view.ComputeClasses(g, l, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkViewsExplicitTree(b *testing.B) {
+	g := graph.Hypercube(3)
+	l := graph.PortLabeling(g)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		view.BuildTree(g, l, nil, 0, 5)
+	}
+}
+
+func BenchmarkMapDraw(b *testing.B) {
+	g := graph.Hypercube(4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{Graph: g, Homes: []int{0}, Seed: int64(i), WakeAll: true},
+			func(a *sim.Agent) (sim.Outcome, error) {
+				_, err := elect.MapDraw(a)
+				return sim.Outcome{}, err
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkThm21Oracle measures the exact symmetric-labeling decision.
+func BenchmarkThm21Oracle(b *testing.B) {
+	g := graph.Cycle(8)
+	colors := elect.BlackColors(8, []int{0, 4})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := labeling.ExistsSymmetricLabeling(g, colors, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Command elect runs one simulated election and prints the per-agent
+// outcomes and cost counters.
+//
+// Usage:
+//
+//	elect -graph cycle -n 6 -homes 0,3 [-protocol elect|cayley|quantitative|petersen]
+//	      [-seed N] [-hairs] [-wake-all]
+//
+// Graph families: path, cycle, complete, star, hypercube (n = dimension),
+// torus (n×n), petersen, wheel, prism, ccc (n = dimension), random.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	family := flag.String("graph", "cycle", "graph family: path, cycle, complete, star, hypercube, torus, petersen, wheel, prism, ccc, random")
+	n := flag.Int("n", 6, "size parameter (nodes, or dimension for hypercube/ccc, or side for torus)")
+	homesArg := flag.String("homes", "0", "comma-separated home-base nodes")
+	protocol := flag.String("protocol", "elect", "protocol: elect, cayley, quantitative, petersen")
+	seed := flag.Int64("seed", 1, "adversary seed")
+	hairs := flag.Bool("hairs", false, "use the paper's hair ordering for ≺ (Lemma 3.1)")
+	wakeAll := flag.Bool("wake-all", false, "wake all agents at start (default: random nonempty subset)")
+	analyze := flag.Bool("analyze", true, "print the centralized solvability analysis")
+	trace := flag.Bool("trace", false, "print every runtime event (moves, sign writes, outcomes)")
+	flag.Parse()
+
+	g, err := buildGraph(*family, *n)
+	if err != nil {
+		fail(err)
+	}
+	homes, err := parseHomes(*homesArg)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("graph: %s (n=%d, |E|=%d), homes: %v, protocol: %s, seed: %d\n",
+		*family, g.N(), g.M(), homes, *protocol, *seed)
+
+	if *analyze {
+		an, err := repro.Analyze(g, homes)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("analysis: class sizes %v, gcd %d; Cayley %v", an.Sizes, an.GCD, an.Cayley)
+		if an.Cayley {
+			fmt.Printf(" (translation d = %d)", an.TranslationD)
+		}
+		if an.Thm21Checked {
+			verdict := "election possible"
+			if an.Impossible21 {
+				verdict = "election impossible (Theorem 2.1)"
+			}
+			fmt.Printf("; %s", verdict)
+		}
+		fmt.Println()
+	}
+
+	cfg := repro.RunConfig{Seed: *seed, WakeAll: *wakeAll, UseHairOrdering: *hairs}
+	if *trace {
+		cfg.Trace = func(e repro.TraceEvent) {
+			switch e.Kind.String() {
+			case "move":
+				fmt.Printf("%12v agent %d -> node %d\n", e.At.Round(time.Microsecond), e.Agent, e.Node)
+			case "write", "erase":
+				fmt.Printf("%12v agent %d %s %q at node %d\n", e.At.Round(time.Microsecond), e.Agent, e.Kind, e.Tag, e.Node)
+			default:
+				fmt.Printf("%12v agent %d %s %s\n", e.At.Round(time.Microsecond), e.Agent, e.Kind, e.Tag)
+			}
+		}
+	}
+	var res *repro.Result
+	switch *protocol {
+	case "elect":
+		res, err = repro.RunElect(g, homes, cfg)
+	case "cayley":
+		res, err = repro.RunCayleyElect(g, homes, cfg)
+	case "quantitative":
+		res, err = repro.RunQuantitative(g, homes, cfg)
+	case "petersen":
+		res, err = repro.RunPetersenAdHoc(g, homes, cfg)
+	default:
+		fail(fmt.Errorf("unknown protocol %q", *protocol))
+	}
+	if err != nil {
+		fail(err)
+	}
+	for i, o := range res.Outcomes {
+		line := fmt.Sprintf("agent %d (home %d, %v): %s", i, homes[i], res.Colors[i], o.Role)
+		if o.Role == repro.RoleDefeated {
+			line += fmt.Sprintf(", accepts leader %v", o.Leader)
+		}
+		fmt.Printf("%s  [moves %d, accesses %d]\n", line, res.Moves[i], res.Accesses[i])
+	}
+	fmt.Printf("total: %d moves, %d whiteboard accesses, %v wall clock\n",
+		res.TotalMoves(), res.TotalAccesses(), res.Elapsed)
+	switch {
+	case res.AgreedLeader():
+		fmt.Println("result: a unique leader was elected and acknowledged")
+	case res.AllUnsolvable():
+		fmt.Println("result: all agents report the election unsolvable")
+	default:
+		fmt.Println("result: MIXED outcomes (protocol contract violated)")
+		os.Exit(1)
+	}
+}
+
+func buildGraph(family string, n int) (*repro.Graph, error) {
+	switch family {
+	case "path":
+		return repro.Path(n), nil
+	case "cycle":
+		return repro.Cycle(n), nil
+	case "complete":
+		return repro.Complete(n), nil
+	case "star":
+		return repro.Star(n), nil
+	case "hypercube":
+		return repro.Hypercube(n), nil
+	case "torus":
+		return repro.Torus(n, n), nil
+	case "petersen":
+		return repro.Petersen(), nil
+	case "wheel":
+		return repro.Wheel(n), nil
+	case "prism":
+		return repro.Prism(n), nil
+	case "ccc":
+		return repro.CCC(n), nil
+	case "random":
+		return repro.RandomConnected(n, n/2, 42), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", family)
+	}
+}
+
+func parseHomes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad home %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "elect:", err)
+	os.Exit(1)
+}

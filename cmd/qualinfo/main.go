@@ -1,0 +1,164 @@
+// Command qualinfo prints the structural analysis of a bicolored anonymous
+// network: equivalence classes with the ≺ order and surroundings keys,
+// Cayley recognition with translation data, view classes and symmetricity
+// under a chosen labeling, and the Theorem 2.1 symmetric-labeling check.
+//
+// Usage:
+//
+//	qualinfo -graph petersen -homes 0,1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/group"
+	"repro/internal/labeling"
+	"repro/internal/order"
+	"repro/internal/view"
+)
+
+func main() {
+	family := flag.String("graph", "cycle", "graph family (see cmd/elect)")
+	n := flag.Int("n", 6, "size parameter")
+	homesArg := flag.String("homes", "0", "comma-separated home-base nodes")
+	hairs := flag.Bool("hairs", false, "use the hair ordering for ≺")
+	dot := flag.Bool("dot", false, "emit the instance in Graphviz DOT format and exit")
+	flag.Parse()
+
+	g, err := buildGraph(*family, *n)
+	if err != nil {
+		fail(err)
+	}
+	homes, err := parseHomes(*homesArg)
+	if err != nil {
+		fail(err)
+	}
+	colors := elect.BlackColors(g.N(), homes)
+	if *dot {
+		fmt.Print(g.ToDOT(*family, colors))
+		return
+	}
+	fmt.Printf("graph: %s, n=%d, |E|=%d, homes %v\n", *family, g.N(), g.M(), homes)
+	reg, deg := g.IsRegular()
+	fmt.Printf("regular: %v (degree %d), diameter %d, simple %v\n", reg, deg, g.Diameter(), g.IsSimple())
+
+	ord := order.Direct
+	if *hairs {
+		ord = order.Hairs
+	}
+	o := order.ComputeAndOrder(g, colors, ord)
+	fmt.Printf("\nequivalence classes (COMPUTE & ORDER, %d black of %d):\n", o.NumBlack, len(o.Classes))
+	for i, c := range o.Classes {
+		kind := "white"
+		if i < o.NumBlack {
+			kind = "black"
+		}
+		fmt.Printf("  C%-2d %-5s size %-3d nodes %v\n", i+1, kind, len(c), c)
+	}
+	fmt.Printf("gcd of class sizes: %d  =>  Protocol ELECT %s\n", o.GCD(),
+		map[bool]string{true: "elects a leader", false: "reports failure"}[o.GCD() == 1])
+
+	rec, err := group.Recognize(g, 0)
+	switch {
+	case err != nil:
+		fmt.Printf("\nCayley recognition: undecided (%v)\n", err)
+	case rec.IsCayley:
+		fmt.Printf("\nCayley graph: yes — regular subgroup of order %d found", rec.Group.Order())
+		if rec.Group.IsAbelian() {
+			fmt.Printf(" (abelian)")
+		}
+		fmt.Println()
+		cay, err := rec.RecognizedCayley(g)
+		if err != nil {
+			fail(err)
+		}
+		black := make([]bool, g.N())
+		for _, h := range homes {
+			black[h] = true
+		}
+		classes, d := cay.TranslationClasses(black)
+		fmt.Printf("translation classes: %d of size %d (d = %d)  =>  Section 4 verdict: %s\n",
+			len(classes), d, d,
+			map[bool]string{true: "possibly solvable (reduce)", false: "impossible (Theorem 2.1)"}[d == 1])
+	default:
+		fmt.Printf("\nCayley graph: no\n")
+	}
+
+	l := graph.PortLabeling(g)
+	cl, err := view.ComputeClasses(g, l, colors)
+	if err != nil {
+		fail(err)
+	}
+	sym, ok := cl.Symmetricity()
+	fmt.Printf("\nviews under the port labeling: %d classes", cl.Count())
+	if ok {
+		fmt.Printf(", symmetricity σ_ℓ = %d", sym)
+	}
+	fmt.Println()
+
+	if g.IsSimple() {
+		w, err := labeling.ExistsSymmetricLabeling(g, colors, 0)
+		if err != nil {
+			fail(err)
+		}
+		if w != nil {
+			fmt.Printf("\nTheorem 2.1: a symmetric labeling EXISTS (witness automorphism %v)\n", w.Phi)
+			fmt.Println("             => election is impossible in the qualitative model")
+		} else {
+			fmt.Println("\nTheorem 2.1: no edge-labeling admits label-equivalence classes of size > 1")
+			fmt.Println("             => the necessary condition for impossibility fails")
+		}
+	}
+}
+
+func buildGraph(family string, n int) (*graph.Graph, error) {
+	switch family {
+	case "path":
+		return graph.Path(n), nil
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "complete":
+		return graph.Complete(n), nil
+	case "star":
+		return graph.Star(n), nil
+	case "hypercube":
+		return graph.Hypercube(n), nil
+	case "torus":
+		return graph.Torus(n, n), nil
+	case "petersen":
+		return graph.Petersen(), nil
+	case "wheel":
+		return graph.Wheel(n), nil
+	case "prism":
+		return graph.Prism(n), nil
+	case "fig2c":
+		return graph.Fig2c(), nil
+	case "random":
+		return graph.RandomConnected(n, n/2, 42), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", family)
+	}
+}
+
+func parseHomes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad home %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "qualinfo:", err)
+	os.Exit(1)
+}

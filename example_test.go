@@ -1,0 +1,71 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// The smallest possible election: one agent on a cycle elects itself.
+func ExampleRunElect() {
+	g := repro.Cycle(5)
+	res, err := repro.RunElect(g, []int{0}, repro.RunConfig{Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Outcomes[0].Role)
+	// Output: leader
+}
+
+// K2 is the paper's canonical impossible instance: two agents with
+// incomparable colors on two symmetric nodes cannot break the tie, and
+// ELECT — being effectual — proves it.
+func ExampleRunElect_impossible() {
+	g := repro.Path(2)
+	res, err := repro.RunElect(g, []int{0, 1}, repro.RunConfig{Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.Outcomes[0].Role, res.Outcomes[1].Role)
+	// Output: unsolvable unsolvable
+}
+
+// The same K2 instance is trivial in the quantitative model: with an
+// agreed encoding, the larger identity wins.
+func ExampleRunQuantitative() {
+	g := repro.Path(2)
+	res, err := repro.RunQuantitative(g, []int{0, 1}, repro.RunConfig{Seed: 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.AgreedLeader())
+	// Output: true
+}
+
+// Analyze gives the full structural verdict without running agents.
+func ExampleAnalyze() {
+	an, err := repro.Analyze(repro.Petersen(), []int{0, 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("sizes %v gcd %d cayley %v impossible %v\n",
+		an.Sizes, an.GCD, an.Cayley, an.Impossible21)
+	// Output: sizes [2 4 4] gcd 2 cayley false impossible false
+}
+
+// Gathering rides on election: after ELECT succeeds, everyone meets at the
+// leader's home-base.
+func ExampleRunGather() {
+	g := repro.Star(4)
+	res, err := repro.RunGather(g, []int{1, 2, 3}, repro.RunConfig{Seed: 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(res.AgreedLeader())
+	// Output: true
+}

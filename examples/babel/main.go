@@ -1,0 +1,72 @@
+// Babel: the paper's opening story, simulated.
+//
+// Delegates of an international organization must elect a chair. Their
+// name tags use different writing systems: every tag is distinct, and any
+// delegate can tell two tags apart, but nobody can order them — there is no
+// agreed alphabet. This is exactly the qualitative model: colors support
+// equality only.
+//
+// The example places the delegates on two floor plans:
+//
+//   - a building with an odd corridor ring and an office wing (asymmetric):
+//     the qualitative Protocol ELECT elects a chair without ever comparing
+//     name tags, using only the asymmetry of the floor plan;
+//   - two identical meeting rooms joined by a single corridor (K2, one
+//     delegate in each): provably impossible without comparable tags — and
+//     ELECT says so. The moment the delegates agree on a common encoding
+//     (the quantitative model), the max-label rule elects instantly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// Floor plan 1: a wheel — the hub is the lobby, rim nodes are offices.
+	// Delegates start in three offices. The hub's uniqueness gives ELECT a
+	// singleton class to reduce against, so name tags never need ordering.
+	building := repro.Wheel(6)
+	delegates := []int{1, 3, 5}
+	an, err := repro.Analyze(building, delegates)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Floor plan 1: wheel building, delegates in offices", delegates)
+	fmt.Printf("  structure: class sizes %v, gcd %d\n", an.Sizes, an.GCD)
+	res, err := repro.RunElect(building, delegates, repro.RunConfig{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.AgreedLeader() {
+		fmt.Println("  chair elected — no alphabet was ever agreed upon")
+	} else {
+		fmt.Println("  election failed:", res.Outcomes)
+	}
+	fmt.Printf("  cost: %d corridor walks, %d whiteboard consultations\n\n",
+		res.TotalMoves(), res.TotalAccesses())
+
+	// Floor plan 2: two rooms, one corridor, one delegate per room.
+	rooms := repro.Path(2)
+	both := []int{0, 1}
+	fmt.Println("Floor plan 2: two identical rooms (K2), one delegate each")
+	res, err = repro.RunElect(rooms, both, repro.RunConfig{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.AllUnsolvable() {
+		fmt.Println("  qualitative world: both delegates prove election impossible")
+	}
+
+	// Same rooms, but the delegates adopt a shared encoding of their names
+	// (binary strings): the quantitative max-label protocol elects.
+	res, err = repro.RunQuantitative(rooms, both, repro.RunConfig{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.AgreedLeader() {
+		fmt.Println("  quantitative world: with an agreed encoding, the larger name wins")
+	}
+}

@@ -1,0 +1,62 @@
+// Hypercube: the Section 4 effectual protocol on a Cayley network.
+//
+// The 3-cube is Cay(Z2³, {e1,e2,e3}). Agents recognize the Cayley structure
+// from their drawn maps and decide election via translations: a placement
+// preserved by a nontrivial translation (xor) is impossible; otherwise the
+// ELECT reduction elects. The example sweeps all 2-agent placements up to
+// the choice of the first node and reports the verdict for each distance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	g := repro.Hypercube(3)
+	fmt.Println("Q3 = Cay(Z2^3, {001, 010, 100}): two-agent placements")
+	fmt.Println("other   d  gcd  verdict      distributed outcome")
+	for other := 1; other < 8; other++ {
+		homes := []int{0, other}
+		an, err := repro.Analyze(g, homes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := repro.RunCayleyElect(g, homes, repro.RunConfig{Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "elects"
+		if !an.CayleyElectSucceeds() {
+			verdict = "impossible"
+		}
+		outcome := "unsolvable"
+		if res.AgreedLeader() {
+			outcome = "leader"
+		}
+		fmt.Printf("%03b     %d  %d    %-11s  %s\n",
+			other, an.TranslationD, an.GCD, verdict, outcome)
+	}
+	fmt.Println()
+	fmt.Println("Every 2-agent placement on Q3 is preserved by the translation")
+	fmt.Println("xor(u,v), so d = 2 everywhere: two agents can never elect on a")
+	fmt.Println("hypercube in the qualitative model. With three agents the xor")
+	fmt.Println("argument breaks and election usually becomes possible:")
+	for _, homes := range [][]int{{0, 1, 2}, {0, 1, 3}, {0, 3, 5}, {0, 1, 7}} {
+		an, err := repro.Analyze(g, homes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := repro.RunCayleyElect(g, homes, repro.RunConfig{Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		outcome := "unsolvable"
+		if res.AgreedLeader() {
+			outcome = "leader elected"
+		}
+		fmt.Printf("homes %v: d=%d gcd=%d -> %s\n", homes, an.TranslationD, an.GCD, outcome)
+	}
+}

@@ -1,0 +1,46 @@
+// Petersen: the paper's Figure 5 counterexample, end to end.
+//
+// Two agents sit on adjacent nodes of the Petersen graph. The equivalence
+// classes have sizes 2, 4, 4 — gcd 2 — so Protocol ELECT reports failure.
+// Yet election IS possible: no edge-labeling of this bicolored graph admits
+// label-equivalence classes of size > 1 (Theorem 2.1's necessary condition
+// fails), and the paper's bespoke five-step protocol elects a leader by
+// marking neighbors and racing for the unique common neighbor of the marks.
+// This demonstrates that ELECT is not effectual on arbitrary graphs — the
+// open problem the paper closes only for Cayley graphs.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	g := repro.Petersen()
+	homes := []int{0, 1}
+
+	an, err := repro.Analyze(g, homes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Petersen graph, two adjacent agents")
+	fmt.Printf("  class sizes: %v (gcd %d)\n", an.Sizes, an.GCD)
+	fmt.Printf("  Cayley: %v (vertex-transitive but not Cayley)\n", an.Cayley)
+	fmt.Printf("  symmetric labeling exists: %v => election is possible\n\n", an.Impossible21)
+
+	res, err := repro.RunElect(g, homes, repro.RunConfig{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Protocol ELECT:   agent roles %v, %v (declares failure — not effectual here)\n",
+		res.Outcomes[0].Role, res.Outcomes[1].Role)
+
+	res, err = repro.RunPetersenAdHoc(g, homes, repro.RunConfig{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Ad-hoc protocol:  agent roles %v, %v (elects in %d moves)\n",
+		res.Outcomes[0].Role, res.Outcomes[1].Role, res.TotalMoves())
+}

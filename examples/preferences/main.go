@@ -1,0 +1,113 @@
+// Preferences: why agreeing that labels are comparable is not enough —
+// agents must agree on HOW to compare them.
+//
+// The paper's Section 1.1 motivates the qualitative model with exactly this
+// scenario: "input values are both distinct and comparable but there is no
+// a priori agreement among the agents on the comparability criteria; e.g.,
+// some agents might prefer the decreasing ordering while others the
+// increasing one."
+//
+// This example runs three protocols on the same network:
+//
+//  1. the max-label protocol where every agent happens to use the same
+//     ordering — elects correctly (the quantitative model);
+//  2. the same protocol where agents apply their own private orderings
+//     (odd-identity agents prefer the smallest label) — the agents finish,
+//     each convinced of a different "leader": the election silently fails;
+//  3. Protocol ELECT, which never compares labels at all and elects using
+//     only the asymmetry of the network — immune to the disagreement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+func main() {
+	g := graph.Wheel(5) // asymmetric enough for ELECT: hub + rim
+	homes := []int{1, 3, 4}
+
+	fmt.Println("1) quantitative max-label protocol (shared ordering):")
+	report(runIt(g, homes, true, elect.QuantitativeElect()))
+
+	fmt.Println("\n2) same protocol, but agents disagree on the ordering")
+	fmt.Println("   (odd ids prefer the smallest label):")
+	report(runIt(g, homes, true, disagreeingElect()))
+
+	fmt.Println("\n3) Protocol ELECT (qualitative: labels never compared):")
+	report(runIt(g, homes, false, elect.Elect(elect.Options{})))
+}
+
+func runIt(g *graph.Graph, homes []int, quant bool, p sim.Protocol) *sim.Result {
+	res, err := sim.Run(sim.Config{
+		Graph: g, Homes: homes, Seed: 9, WakeAll: true, QuantitativeIDs: quant,
+	}, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res
+}
+
+func report(res *sim.Result) {
+	for i, o := range res.Outcomes {
+		line := fmt.Sprintf("   agent %d: %v", i, o.Role)
+		if o.Role == sim.RoleDefeated || o.Role == sim.RoleLeader {
+			line += fmt.Sprintf(" (accepts %v)", o.Leader)
+		}
+		fmt.Println(line)
+	}
+	if res.AgreedLeader() {
+		fmt.Println("   => consistent: one leader, unanimously acknowledged")
+	} else {
+		fmt.Println("   => INCONSISTENT: the agents do not agree on a leader")
+	}
+}
+
+// disagreeingElect is the max-label protocol with private orderings: agents
+// with even identity pick the largest label, odd ones the smallest — the
+// paper's "no a priori agreement on the comparability criteria".
+func disagreeingElect() sim.Protocol {
+	return func(a *sim.Agent) (sim.Outcome, error) {
+		m, err := elect.MapDraw(a)
+		if err != nil {
+			return sim.Outcome{}, err
+		}
+		k := elect.NewNavigator(a, m)
+		myID := a.ID()
+		if err := k.WriteEverywhere("id:" + strconv.Itoa(myID)); err != nil {
+			return sim.Outcome{}, err
+		}
+		r := m.R()
+		ss, err := k.WaitHome(func(ss sim.Signs) bool {
+			return len(ss.WithPrefix("id:")) >= r
+		})
+		if err != nil {
+			return sim.Outcome{}, err
+		}
+		best := -1
+		var bestColor sim.Color
+		for _, s := range ss.WithPrefix("id:") {
+			n, err := strconv.Atoi(strings.TrimPrefix(s.Tag, "id:"))
+			if err != nil {
+				return sim.Outcome{}, err
+			}
+			better := n > best
+			if myID%2 == 1 { // the private, disagreeing preference
+				better = best == -1 || n < best
+			}
+			if better {
+				best, bestColor = n, s.Color
+			}
+		}
+		if best == myID {
+			return sim.Outcome{Role: sim.RoleLeader, Leader: a.Color()}, nil
+		}
+		return sim.Outcome{Role: sim.RoleDefeated, Leader: bestColor}, nil
+	}
+}

@@ -1,0 +1,50 @@
+// Quickstart: run Protocol ELECT on a ring with two agents, first on a
+// solvable placement, then on the impossible antipodal placement. This is
+// the smallest end-to-end tour of the public API: build a graph, analyze
+// solvability, run the distributed protocol, inspect outcomes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	g := repro.Cycle(6)
+
+	// Distance-2 placement: the reflection axis pins a node, the class gcd
+	// is 1, and ELECT elects a leader.
+	runAndReport(g, []int{0, 2}, "C6 with agents at distance 2")
+
+	// Antipodal placement: rotating by 3 preserves the home-bases, every
+	// class has even size, and election is provably impossible — ELECT
+	// detects it and every agent reports failure (the protocol is
+	// effectual, not universal).
+	runAndReport(g, []int{0, 3}, "C6 with antipodal agents")
+}
+
+func runAndReport(g *repro.Graph, homes []int, title string) {
+	fmt.Printf("== %s ==\n", title)
+
+	an, err := repro.Analyze(g, homes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("class sizes %v, gcd %d", an.Sizes, an.GCD)
+	if an.Thm21Checked && an.Impossible21 {
+		fmt.Printf(" — impossible by Theorem 2.1")
+	}
+	fmt.Println()
+
+	res, err := repro.RunElect(g, homes, repro.RunConfig{Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, o := range res.Outcomes {
+		fmt.Printf("  agent %d at node %d: %v\n", i, homes[i], o.Role)
+	}
+	fmt.Printf("  cost: %d moves, %d whiteboard accesses\n\n",
+		res.TotalMoves(), res.TotalAccesses())
+}

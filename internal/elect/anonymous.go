@@ -1,0 +1,183 @@
+package elect
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// This file implements the synchronous lockstep world used by the paper's
+// Section 1.3 impossibility argument for fully anonymous agents: a
+// deterministic round-based interpreter in which identical agents at
+// symmetric positions provably produce identical traces, so no protocol can
+// elect on C6 with two antipodal agents while electing on C3 with one agent.
+
+// AnonObs is what an anonymous agent observes at the start of a round.
+type AnonObs struct {
+	Degree int
+	// Entry is the label (at this node) of the port it entered through in
+	// the previous round, or -1 initially / after staying.
+	Entry int
+	// Board is the sorted multiset of marks on the node's whiteboard.
+	Board []string
+	// State is the agent's own state.
+	State string
+}
+
+// AnonAction is what an anonymous agent does at the end of a round.
+type AnonAction struct {
+	// Write, if non-empty, adds this mark to the current whiteboard.
+	Write string
+	// MoveLabel, if >= 0, moves through the port with this label.
+	MoveLabel int
+	// Declare, if non-empty, ends the agent with this declaration
+	// ("leader" or "defeated").
+	Declare string
+}
+
+// AnonProtocol is a deterministic transition function: identical agents run
+// identical functions — there are no identities of any kind.
+type AnonProtocol func(obs AnonObs) (newState string, act AnonAction)
+
+// AnonConfig is a synchronous anonymous run: a graph with an edge-labeling
+// (the adversary's choice) and initial agent positions.
+type AnonConfig struct {
+	G      *graph.Graph
+	Labels graph.EdgeLabeling
+	Homes  []int
+	Rounds int
+}
+
+// AnonResult records the outcome of a lockstep run.
+type AnonResult struct {
+	// Traces[i] is agent i's per-round observation/state trace, rendered
+	// canonically (positions and identities do not appear — only what the
+	// agent itself could see).
+	Traces [][]string
+	// Declared[i] is the agent's declaration ("" if none within Rounds).
+	Declared []string
+}
+
+// RunAnonymous executes the protocol in lockstep: each round, all agents
+// observe simultaneously, then all write, then all move. Whiteboard marks
+// are anonymous strings (no colors — the agents have none).
+func RunAnonymous(cfg AnonConfig, p AnonProtocol) (*AnonResult, error) {
+	if err := cfg.Labels.Validate(cfg.G); err != nil {
+		return nil, err
+	}
+	n := cfg.G.N()
+	boards := make([]map[string]int, n)
+	for i := range boards {
+		boards[i] = map[string]int{}
+	}
+	type agent struct {
+		pos      int
+		entry    int
+		state    string
+		declared string
+	}
+	agents := make([]*agent, len(cfg.Homes))
+	for i, h := range cfg.Homes {
+		agents[i] = &agent{pos: h, entry: -1}
+	}
+	res := &AnonResult{
+		Traces:   make([][]string, len(agents)),
+		Declared: make([]string, len(agents)),
+	}
+	renderBoard := func(v int) []string {
+		var out []string
+		for m, c := range boards[v] {
+			for i := 0; i < c; i++ {
+				out = append(out, m)
+			}
+		}
+		sort.Strings(out)
+		return out
+	}
+	for round := 0; round < cfg.Rounds; round++ {
+		// Observe phase (simultaneous).
+		obs := make([]AnonObs, len(agents))
+		for i, ag := range agents {
+			if ag.declared != "" {
+				continue
+			}
+			obs[i] = AnonObs{
+				Degree: cfg.G.Deg(ag.pos),
+				Entry:  ag.entry,
+				Board:  renderBoard(ag.pos),
+				State:  ag.state,
+			}
+		}
+		// Transition phase.
+		acts := make([]AnonAction, len(agents))
+		for i, ag := range agents {
+			if ag.declared != "" {
+				continue
+			}
+			ns, act := p(obs[i])
+			res.Traces[i] = append(res.Traces[i],
+				fmt.Sprintf("s=%s d=%d e=%d b=%v -> s=%s w=%q mv=%d dec=%q",
+					obs[i].State, obs[i].Degree, obs[i].Entry, obs[i].Board,
+					ns, act.Write, act.MoveLabel, act.Declare))
+			ag.state = ns
+			acts[i] = act
+		}
+		// Write phase (simultaneous).
+		for i, ag := range agents {
+			if ag.declared != "" {
+				continue
+			}
+			if acts[i].Write != "" {
+				boards[ag.pos][acts[i].Write]++
+			}
+		}
+		// Move/declare phase (simultaneous).
+		for i, ag := range agents {
+			if ag.declared != "" {
+				continue
+			}
+			if acts[i].Declare != "" {
+				ag.declared = acts[i].Declare
+				res.Declared[i] = acts[i].Declare
+				continue
+			}
+			if acts[i].MoveLabel >= 0 {
+				moved := false
+				for pp, h := range cfg.G.Ports(ag.pos) {
+					if cfg.Labels[ag.pos][pp] == acts[i].MoveLabel {
+						ag.entry = cfg.Labels[h.To][h.Twin]
+						ag.pos = h.To
+						moved = true
+						break
+					}
+				}
+				if !moved {
+					return nil, fmt.Errorf("elect: agent %d: no port labeled %d at its node", i, acts[i].MoveLabel)
+				}
+			} else {
+				ag.entry = -1
+			}
+		}
+	}
+	return res, nil
+}
+
+// OrientedCycleLabeling labels every node of C_n with 1 on its clockwise
+// port and 2 on its counterclockwise port — the symmetric adversarial
+// labeling used by the Section 1.3 argument.
+func OrientedCycleLabeling(n int) graph.EdgeLabeling {
+	g := graph.Cycle(n)
+	l := make(graph.EdgeLabeling, n)
+	for v := 0; v < n; v++ {
+		l[v] = make([]int, g.Deg(v))
+		for p, h := range g.Ports(v) {
+			if h.To == (v+1)%n {
+				l[v][p] = 1
+			} else {
+				l[v][p] = 2
+			}
+		}
+	}
+	return l
+}

@@ -1,0 +1,62 @@
+package elect
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestGatherOnSolvableInstances(t *testing.T) {
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		homes []int
+	}{
+		{"C6-dist2", graph.Cycle(6), []int{0, 2}},
+		{"star-3leaves", graph.Star(4), []int{1, 2, 3}},
+		{"Q3-three", graph.Hypercube(3), []int{0, 1, 3}},
+		{"wheel-rim", graph.Wheel(5), []int{1, 3}},
+		{"path5-single", graph.Path(5), []int{2}},
+		{"random", graph.RandomConnected(9, 5, 21), []int{0, 4, 7}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				res := run(t, c.g, c.homes, seed, false, Gather(Options{}))
+				// Success of the run means every agent reached the
+				// rendezvous node and saw all r gathered stamps (the
+				// protocol blocks until then); the roles must still form
+				// a valid election outcome.
+				if !res.AgreedLeader() {
+					t.Fatalf("seed %d: gathering without agreed leader: %+v", seed, res.Outcomes)
+				}
+			}
+		})
+	}
+}
+
+func TestGatherReportsUnsolvable(t *testing.T) {
+	res := run(t, graph.Cycle(6), []int{0, 3}, 5, false, Gather(Options{}))
+	if !res.AllUnsolvable() {
+		t.Fatalf("expected unsolvable, got %+v", res.Outcomes)
+	}
+	res = run(t, graph.Path(2), []int{0, 1}, 5, false, Gather(Options{}))
+	if !res.AllUnsolvable() {
+		t.Fatalf("K2: expected unsolvable, got %+v", res.Outcomes)
+	}
+}
+
+func TestGatherMovesBounded(t *testing.T) {
+	// Gathering adds at most one diameter walk per agent on top of ELECT.
+	g := graph.Cycle(12)
+	homes := []int{0, 3}
+	resElect := run(t, g, homes, 2, false, Elect(Options{}))
+	resGather := run(t, g, homes, 2, false, Gather(Options{}))
+	extra := resGather.TotalMoves() - resElect.TotalMoves()
+	bound := int64(len(homes) * 2 * g.N())
+	if extra < 0 || extra > bound {
+		t.Errorf("gathering overhead %d moves, want 0..%d", extra, bound)
+	}
+}

@@ -1,0 +1,147 @@
+package elect
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// traceChecker validates runtime protocol invariants from the observer-side
+// event stream:
+//
+//   - exactly one agent ever writes the leader sign (when any does);
+//   - leader and failed signs never both appear in one run;
+//   - per (phase, round), each searcher writes at most one matched stamp;
+//   - per home node and round, matched stamps never exceed the number of
+//     round waiters that posted there;
+//   - an agent writes nothing after posting passive, except signs already
+//     in flight at its own home (passive is its last act).
+type traceChecker struct {
+	mu         sync.Mutex
+	leaderBy   map[int]bool
+	failedSeen bool
+	// matchedBy[phase.round][agent] counts matched stamps per searcher.
+	matchedBy map[string]map[int]int
+	// roleWAt[phase.round][node] counts waiter role posts per home.
+	roleWAt map[string]map[int]int
+	// matchedAt[phase.round][node] counts matched stamps per home.
+	matchedAt map[string]map[int]int
+	passive   map[int]bool
+	violation string
+}
+
+func newTraceChecker() *traceChecker {
+	return &traceChecker{
+		leaderBy:  map[int]bool{},
+		matchedBy: map[string]map[int]int{},
+		roleWAt:   map[string]map[int]int{},
+		matchedAt: map[string]map[int]int{},
+		passive:   map[int]bool{},
+	}
+}
+
+func bump(m map[string]map[int]int, key string, k int) int {
+	inner := m[key]
+	if inner == nil {
+		inner = map[int]int{}
+		m[key] = inner
+	}
+	inner[k]++
+	return inner[k]
+}
+
+func (tc *traceChecker) handle(e sim.Event) {
+	if e.Kind != sim.EvWrite {
+		return
+	}
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tag := e.Tag
+	switch {
+	case tag == tagLeader:
+		tc.leaderBy[e.Agent] = true
+		if len(tc.leaderBy) > 1 {
+			tc.violation = "two agents wrote leader signs"
+		}
+		if tc.failedSeen {
+			tc.violation = "leader after failed"
+		}
+	case tag == tagFailed:
+		tc.failedSeen = true
+		if len(tc.leaderBy) > 0 {
+			tc.violation = "failed after leader"
+		}
+	case strings.HasSuffix(tag, ".matched"):
+		key := strings.TrimSuffix(tag, ".matched")
+		if bump(tc.matchedBy, key, e.Agent) > 1 {
+			tc.violation = "searcher " + tag + " matched twice in one round"
+		}
+		if tc.matchedAt[key] == nil {
+			tc.matchedAt[key] = map[int]int{}
+		}
+		tc.matchedAt[key][e.Node]++
+		if tc.matchedAt[key][e.Node] > tc.countRoleW(key, e.Node) {
+			tc.violation = "more matched stamps than waiters at a home (" + tag + ")"
+		}
+	case strings.HasSuffix(tag, ".W"):
+		key := strings.TrimSuffix(tag, ".W")
+		bump(tc.roleWAt, key, e.Node)
+	case tag == tagPassive:
+		tc.passive[e.Agent] = true
+	}
+}
+
+func (tc *traceChecker) countRoleW(key string, node int) int {
+	if tc.roleWAt[key] == nil {
+		return 0
+	}
+	return tc.roleWAt[key][node]
+}
+
+func (tc *traceChecker) check(t *testing.T) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.violation != "" {
+		t.Fatal(tc.violation)
+	}
+}
+
+// TestRuntimeInvariants replays the whole ELECT suite (plus shared-home
+// instances) under the trace checker.
+func TestRuntimeInvariants(t *testing.T) {
+	type inst struct {
+		g      *graph.Graph
+		homes  []int
+		shared bool
+	}
+	cases := []inst{
+		{graph.Cycle(6), []int{0, 2}, false},
+		{graph.Cycle(6), []int{0, 3}, false},
+		{graph.Star(4), []int{1, 2, 3}, false},
+		{graph.Petersen(), []int{0, 1}, false},
+		{graph.Hypercube(3), []int{0, 1, 3}, false},
+		{graph.Wheel(5), []int{1, 3}, false},
+		{graph.Cycle(6), []int{0, 0, 3}, true},
+		{graph.Cycle(4), []int{0, 0, 2, 2}, true},
+	}
+	for _, c := range cases {
+		for seed := int64(1); seed <= 2; seed++ {
+			tc := newTraceChecker()
+			_, err := sim.Run(sim.Config{
+				Graph: c.g, Homes: c.homes, Seed: seed, WakeAll: false,
+				AllowSharedHomes: c.shared,
+				MaxDelay:         50 * time.Microsecond,
+				Timeout:          60 * time.Second,
+				Tracer:           tc.handle,
+			}, Elect(Options{}))
+			if err != nil {
+				t.Fatalf("%v %v seed %d: %v", c.g, c.homes, seed, err)
+			}
+			tc.check(t)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package elect
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/sim"
+)
+
+// TestElectOnInterconnectionNetworks runs the full distributed protocol on
+// the 16–24-node structured networks the paper lists as Cayley graphs
+// (CCC, wrapped butterfly, star graph, torus) and checks the outcome
+// against the gcd oracle.
+func TestElectOnInterconnectionNetworks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cases := []struct {
+		name  string
+		g     *graph.Graph
+		homes []int
+	}{
+		{"CCC3", graph.CCC(3), []int{0, 7}},
+		{"CCC3-three", graph.CCC(3), []int{0, 7, 13}},
+		{"ST4", graph.StarGraph(4), []int{0, 5}},
+		{"WB3", graph.WrappedButterfly(3), []int{0, 10}},
+		{"pancake4", graph.Pancake(4), []int{0, 9}},
+		{"torus44", graph.Torus(4, 4), []int{0, 5}},
+		{"torus34", graph.Torus(3, 4), []int{0, 5, 9}},
+		{"Q4", graph.Hypercube(4), []int{0, 3}},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			t.Parallel()
+			o := order.ComputeAndOrder(c.g, BlackColors(c.g.N(), c.homes), order.Direct)
+			res, err := sim.Run(sim.Config{
+				Graph: c.g, Homes: c.homes, Seed: 3, WakeAll: false,
+				Timeout: 120 * time.Second,
+			}, Elect(Options{}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if o.GCD() == 1 {
+				if !res.AgreedLeader() {
+					t.Fatalf("gcd=1 but no agreed leader: %+v", res.Outcomes)
+				}
+			} else if !res.AllUnsolvable() {
+				t.Fatalf("gcd=%d but outcomes %+v", o.GCD(), res.Outcomes)
+			}
+			ratio := float64(res.TotalMoves()) / float64(len(c.homes)*c.g.M())
+			if ratio > 40 {
+				t.Errorf("move ratio %.1f exceeds bound", ratio)
+			}
+			t.Logf("n=%d gcd=%d moves=%d ratio=%.1f", c.g.N(), o.GCD(), res.TotalMoves(), ratio)
+		})
+	}
+}
+
+// TestElectChaos hammers two instances under heavy adversarial delays and
+// partial wake-ups across many seeds — failure injection for the sign-based
+// synchronization (deadlocks would surface as timeouts, mixed outcomes as
+// contract violations).
+func TestElectChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	solvable := struct {
+		g     *graph.Graph
+		homes []int
+	}{graph.Wheel(5), []int{1, 3}}
+	unsolvable := struct {
+		g     *graph.Graph
+		homes []int
+	}{graph.Cycle(8), []int{0, 4}}
+	for seed := int64(100); seed < 112; seed++ {
+		res, err := sim.Run(sim.Config{
+			Graph: solvable.g, Homes: solvable.homes, Seed: seed, WakeAll: seed%2 == 0,
+			MaxDelay: 2 * time.Millisecond,
+			Timeout:  120 * time.Second,
+		}, Elect(Options{}))
+		if err != nil {
+			t.Fatalf("solvable seed %d: %v", seed, err)
+		}
+		if !res.AgreedLeader() {
+			t.Fatalf("solvable seed %d: %+v", seed, res.Outcomes)
+		}
+		res, err = sim.Run(sim.Config{
+			Graph: unsolvable.g, Homes: unsolvable.homes, Seed: seed, WakeAll: seed%2 == 1,
+			MaxDelay: 2 * time.Millisecond,
+			Timeout:  120 * time.Second,
+		}, Elect(Options{}))
+		if err != nil {
+			t.Fatalf("unsolvable seed %d: %v", seed, err)
+		}
+		if !res.AllUnsolvable() {
+			t.Fatalf("unsolvable seed %d: %+v", seed, res.Outcomes)
+		}
+	}
+}
+
+// TestElectDeepEuclidChains drives instances whose reductions perform many
+// rounds — the regime where the matching/acquisition machinery, role swaps
+// and synchronization interact hardest.
+func TestElectDeepEuclidChains(t *testing.T) {
+	// K(5,8) fully occupied: black classes of sizes 5 and 8 (the two sides
+	// have different degrees). AGENT-REDUCE(5,8) runs the subtractive chain
+	// (5,8)→(3,5)→(2,3)→(1,2)→(1,1): four rounds, three role swaps.
+	g := graph.CompleteBipartite(5, 8)
+	homes := make([]int, 13)
+	for i := range homes {
+		homes[i] = i
+	}
+	sc := computeSchedule([]int{5, 8}, 2)
+	if len(sc.phases) != 1 || len(sc.phases[0].rounds) != 4 {
+		t.Fatalf("expected 4 agent-reduce rounds, got %+v", sc.phases)
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := sim.Run(sim.Config{
+			Graph: g, Homes: homes, Seed: seed, WakeAll: false,
+			Timeout: 120 * time.Second,
+		}, Elect(Options{}))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !res.AgreedLeader() {
+			t.Fatalf("seed %d: expected leader (gcd(5,8)=1), got %+v", seed, res.Outcomes)
+		}
+	}
+
+	// Star(13) with 5 leaves occupied: NODE-REDUCE(5 agents, 8 white
+	// leaves) runs (5,8)→(5,3)→(2,3)→(2,1)→(1,1): four rounds alternating
+	// the two acquisition cases.
+	star := graph.Star(13)
+	sHomes := []int{1, 2, 3, 4, 5}
+	o := order.ComputeAndOrder(star, BlackColors(star.N(), sHomes), order.Direct)
+	if o.GCD() != 1 {
+		t.Fatalf("star instance gcd %d, want 1 (sizes %v)", o.GCD(), o.Sizes())
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		res, err := sim.Run(sim.Config{
+			Graph: star, Homes: sHomes, Seed: seed, WakeAll: false,
+			Timeout: 120 * time.Second,
+		}, Elect(Options{}))
+		if err != nil {
+			t.Fatalf("star seed %d: %v", seed, err)
+		}
+		if !res.AgreedLeader() {
+			t.Fatalf("star seed %d: expected leader, got %+v", seed, res.Outcomes)
+		}
+	}
+}

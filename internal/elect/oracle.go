@@ -1,0 +1,87 @@
+package elect
+
+import (
+	"errors"
+
+	"repro/internal/graph"
+	"repro/internal/group"
+	"repro/internal/labeling"
+	"repro/internal/order"
+)
+
+// Analysis is the centralized solvability analysis of an election input
+// (G, p) — the oracle the distributed protocols are validated against.
+type Analysis struct {
+	// Sizes are the ordered automorphism-equivalence class sizes and GCD
+	// their gcd: Protocol ELECT elects iff GCD == 1 (Theorem 3.1).
+	Sizes []int
+	GCD   int
+
+	// Cayley reports whether G is a Cayley graph; when it is, TranslationD
+	// is d, the number of home-base-preserving translations of the
+	// canonical recognized representation. Since translation classes refine
+	// automorphism classes, d divides GCD; the Section 4 protocol reports
+	// impossible when d > 1 and otherwise reduces over the automorphism
+	// classes, so it elects iff Cayley && GCD == 1.
+	Cayley       bool
+	TranslationD int
+
+	// Thm21Checked reports whether the Theorem 2.1 condition could be
+	// decided (simple graphs within the automorphism cap); when true,
+	// Impossible21 reports that some edge-labeling admits label-equivalence
+	// classes of size > 1, in which case election is impossible.
+	Thm21Checked bool
+	Impossible21 bool
+}
+
+// BlackColors converts a home-base list to a node weighting: the number of
+// agents based at each node (0/1 in the paper's main setting; larger under
+// the shared-home extension, where homes may repeat).
+func BlackColors(n int, homes []int) []int {
+	out := make([]int, n)
+	for _, h := range homes {
+		out[h]++
+	}
+	return out
+}
+
+// Analyze computes the full solvability analysis of (g, homes).
+func Analyze(g *graph.Graph, homes []int, ord order.Ordering) (*Analysis, error) {
+	colors := BlackColors(g.N(), homes)
+	o := order.ComputeAndOrder(g, colors, ord)
+	// Class sizes are node counts of the WEIGHTED classes (weights are the
+	// node colors). Under the shared-home extension, co-located agents are
+	// first reduced by a local whiteboard race, so the reduction arithmetic
+	// operates on node counts regardless of weights.
+	a := &Analysis{Sizes: o.Sizes(), GCD: o.GCD()}
+
+	isCayley, d, err := CayleyTranslationCount(g, colors, 0)
+	switch {
+	case err == nil:
+		a.Cayley = isCayley
+		a.TranslationD = d
+	case errors.Is(err, group.ErrUndecided):
+		// Leave the Cayley fields unset; the gcd analysis still stands.
+	default:
+		return nil, err
+	}
+
+	if g.IsSimple() {
+		w, err := labeling.ExistsSymmetricLabeling(g, colors, 0)
+		if err == nil {
+			a.Thm21Checked = true
+			a.Impossible21 = w != nil
+		}
+	}
+	return a, nil
+}
+
+// ElectSucceeds predicts the outcome of Protocol ELECT (Theorem 3.1).
+func (a *Analysis) ElectSucceeds() bool { return a.GCD == 1 }
+
+// CayleyElectSucceeds predicts the outcome of the Section 4 protocol
+// (see CayleyElect: d > 1 short-circuits to impossible, and d divides GCD,
+// so the decision reduces to the gcd criterion).
+func (a *Analysis) CayleyElectSucceeds() bool {
+	return a.Cayley && a.GCD == 1
+}

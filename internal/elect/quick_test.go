@@ -1,0 +1,138 @@
+package elect
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestScheduleProperties checks the deterministic reduction plan against
+// the arithmetic it implements, over random class-size vectors:
+//
+//   - the final |D| equals gcd of all sizes whenever the gcd is reached
+//     before classes run out (it always is, since every class is offered),
+//     or 1 if the chain hits 1 early;
+//   - every executed phase strictly reduces d;
+//   - agent-phase rounds follow subtractive Euclid (s <= w throughout,
+//     ending equal); node-phase rounds keep quotas consistent with the
+//     positive-remainder decomposition.
+func TestScheduleProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(7)
+		sizes := make([]int, k)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(12)
+		}
+		numBlack := 1 + rng.Intn(k)
+		sc := computeSchedule(sizes, numBlack)
+
+		want := sizes[0]
+		for _, s := range sizes[1:] {
+			want = gcdInt(want, s)
+		}
+		if sc.finalD != want {
+			// The chain visits every class, so the final d is the full gcd.
+			return false
+		}
+		d := sizes[0]
+		for _, p := range sc.phases {
+			if p.dOut >= p.dIn {
+				return false // executed phases must strictly reduce d
+			}
+			if p.dIn != d {
+				return false
+			}
+			if p.kind == phaseAgent {
+				s, w := p.dIn, sizes[p.classIdx]
+				if !p.dSearches {
+					s, w = w, s
+				}
+				for _, r := range p.rounds {
+					if r.s != s || r.w != w || s >= w {
+						return false
+					}
+					if r.swap != (w-s < s) {
+						return false
+					}
+					if r.swap {
+						s, w = w-s, s
+					} else {
+						w -= s
+					}
+				}
+				if s != w || s != p.dOut {
+					return false
+				}
+			} else {
+				alpha, beta := p.dIn, sizes[p.classIdx]
+				for _, r := range p.rounds {
+					if r.alpha != alpha || r.beta != beta {
+						return false
+					}
+					if r.case1 != (alpha > beta) {
+						return false
+					}
+					if r.case1 {
+						rho := alpha - r.q*beta
+						if rho <= 0 || rho > beta {
+							return false
+						}
+						alpha = rho
+					} else {
+						rho := beta - r.q*alpha
+						if rho <= 0 || rho > alpha {
+							return false
+						}
+						beta = rho
+					}
+				}
+				if alpha != beta || alpha != p.dOut {
+					return false
+				}
+			}
+			d = p.dOut
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScheduleSkipsOnlyNoOps: every class the plan skips would indeed have
+// left |D| unchanged, and every class it runs changes it.
+func TestScheduleSkipsOnlyNoOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 2 + rng.Intn(6)
+		sizes := make([]int, k)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(10)
+		}
+		numBlack := 1 + rng.Intn(k)
+		sc := computeSchedule(sizes, numBlack)
+		ran := map[int]bool{}
+		for _, p := range sc.phases {
+			ran[p.classIdx] = true
+			if gcdInt(p.dIn, sizes[p.classIdx]) == p.dIn {
+				return false // ran a no-op phase
+			}
+		}
+		// Walk the chain and confirm skipped classes are no-ops.
+		d := sizes[0]
+		for i := 1; i < k && d > 1; i++ {
+			if ran[i] {
+				d = gcdInt(d, sizes[i])
+				continue
+			}
+			if gcdInt(d, sizes[i]) != d {
+				return false // skipped a class that would have reduced d
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

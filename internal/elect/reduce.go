@@ -1,0 +1,314 @@
+package elect
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Whiteboard tags of the reduction machinery. All tags are colored by their
+// writer, so they never collide across agents; round-scoped tags carry the
+// phase and round indices.
+const (
+	tagPassive = "passive" // posted at an agent's own home when it leaves the game
+	// tagChampion marks the winner of the local race at a shared home-base
+	// (the shared-home extension's first step).
+	tagChampion = "champion"
+	tagLeader   = "leader" // posted everywhere by the elected leader
+	tagFailed   = "failed" // posted everywhere when the reduction ends with |D| > 1
+)
+
+func tagRole(phase, round int, searcher bool) string {
+	if searcher {
+		return fmt.Sprintf("p%d.r%d.S", phase, round)
+	}
+	return fmt.Sprintf("p%d.r%d.W", phase, round)
+}
+func tagSync(phase, round int) string    { return fmt.Sprintf("p%d.r%d.sync", phase, round) }
+func tagSVisit(phase, round int) string  { return fmt.Sprintf("p%d.r%d.svisit", phase, round) }
+func tagMatched(phase, round int) string { return fmt.Sprintf("p%d.r%d.matched", phase, round) }
+func tagAcq(phase, round int) string     { return fmt.Sprintf("p%d.r%d.acq", phase, round) }
+func tagTaken(phase int) string          { return fmt.Sprintf("p%d.taken", phase) }
+func tagClaim(phase, round int) string   { return fmt.Sprintf("p%d.r%d.claim", phase, round) }
+
+// statusColors counts the distinct colors that have posted a round status —
+// this round's W or S role, or the permanent passive sign — on a board. A
+// searcher may act at a home only once every one of its weight residents
+// has resolved.
+func statusColors(ss sim.Signs, roleW, roleS string) int {
+	var seen []sim.Color
+	for _, s := range ss {
+		if s.Tag != roleW && s.Tag != roleS && s.Tag != tagPassive {
+			continue
+		}
+		dup := false
+		for _, c := range seen {
+			if c.Equal(s.Color) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			seen = append(seen, s.Color)
+		}
+	}
+	return len(seen)
+}
+
+// agentState tracks one agent's runtime fate through the reduction.
+type agentState struct {
+	k *knowledge
+	// inD reports whether the agent currently belongs to the active set D.
+	inD bool
+	// passive is set once the agent is eliminated (matched or acquired).
+	passive bool
+}
+
+// goPassive marks the agent eliminated and posts the fact at its home.
+func (st *agentState) goPassive() error {
+	st.passive = true
+	st.inD = false
+	return st.k.accessHome(func(b *sim.Board) { b.Write(tagPassive) })
+}
+
+// candidateHomes returns the local nodes that are home-bases of possible
+// phase participants — the homes a searcher must resolve the status of:
+// the classes that may host members of D plus the phase's own class
+// (phasePlan.candidates). Homes of skipped classes are never scanned; their
+// residents never post phase signs.
+func candidateHomes(k *knowledge, classes []int) map[int]bool {
+	out := make(map[int]bool)
+	for _, c := range classes {
+		for _, v := range k.ord.Classes[c] {
+			if k.isHomeBase(v) {
+				out[v] = true
+			}
+		}
+	}
+	return out
+}
+
+// runAgentReducePhase executes one AGENT-REDUCE phase (Figure 4) for this
+// agent. The agent participates iff it is in D or its home class is the
+// phase's class; otherwise the call is a no-op. phaseIdx is the global phase
+// number (used to scope tags).
+func runAgentReducePhase(st *agentState, phaseIdx int, plan *phasePlan) error {
+	k := st.k
+	inClass := k.myClass() == plan.classIdx
+	if st.passive || (!st.inD && !inClass) {
+		return nil
+	}
+	// Round-0 role: D searches iff plan.dSearches.
+	searcher := (st.inD && plan.dSearches) || (inClass && !plan.dSearches)
+	if len(plan.rounds) == 0 {
+		// |D| == |C| on entry: AGENT-REDUCE returns S immediately; with the
+		// tie convention S = D, the class agents retire unmatched.
+		if !searcher {
+			return st.goPassive()
+		}
+		st.inD = true
+		return nil
+	}
+	for r, round := range plan.rounds {
+		var err error
+		var matchedMe bool
+		if searcher {
+			matchedMe, err = searchRound(st, phaseIdx, r, round, plan.candidates)
+			if err != nil {
+				return err
+			}
+			if !matchedMe {
+				return errors.New("elect: searcher failed to match (protocol invariant broken)")
+			}
+			if round.swap {
+				searcher = false // S becomes W
+			}
+		} else {
+			wasMatched, werr := waitRound(st, phaseIdx, r, round)
+			if werr != nil {
+				return werr
+			}
+			if wasMatched {
+				return st.goPassive()
+			}
+			if round.swap {
+				searcher = true // unmatched waiters become searchers
+			}
+		}
+	}
+	// Rounds exhausted: |S| == |W|; S is the new D, W retires.
+	if searcher {
+		st.inD = true
+		return nil
+	}
+	return st.goPassive()
+}
+
+// searchRound performs one searcher round: post role, synchronize with the
+// other searchers, then tour the network matching the first unmatched
+// waiter and stamping every board with the visit sign. Returns whether this
+// searcher matched a waiter (it always must, by the counting argument of
+// Section 3.3.1).
+func searchRound(st *agentState, phaseIdx, r int, round roundPlan, candidates []int) (bool, error) {
+	k := st.k
+	if err := k.accessHome(func(b *sim.Board) { b.Write(tagRole(phaseIdx, r, true)) }); err != nil {
+		return false, err
+	}
+	if err := k.writeEverywhere(tagSync(phaseIdx, r)); err != nil {
+		return false, err
+	}
+	sync := tagSync(phaseIdx, r)
+	if _, err := k.waitHome(func(ss sim.Signs) bool {
+		return ss.CountColors(sync) >= round.s
+	}); err != nil {
+		return false, err
+	}
+
+	homes := candidateHomes(k, candidates)
+	roleW := tagRole(phaseIdx, r, false)
+	roleS := tagRole(phaseIdx, r, true)
+	matchTag := tagMatched(phaseIdx, r)
+	visitTag := tagSVisit(phaseIdx, r)
+	matched := false
+	for _, v := range k.tour {
+		if err := k.moveTo(v); err != nil {
+			return false, err
+		}
+		if homes[v] && v != k.m.Home {
+			// Resolve every resident's status for this round before acting:
+			// each will eventually post passive, this round's W, or this
+			// round's S at its home. (A home hosts weight-many residents
+			// under the shared-home extension.)
+			weight := k.m.Weight[v]
+			if _, err := k.a.Wait(func(ss sim.Signs) bool {
+				return statusColors(ss, roleW, roleS) >= weight
+			}); err != nil {
+				return false, err
+			}
+		}
+		if err := k.a.Access(func(b *sim.Board) {
+			ss := b.Signs()
+			// Match if the home still has an unmatched round-r waiter: the
+			// number of matched stamps is below the number of waiters here.
+			if !matched && v != k.m.Home && ss.CountColors(matchTag) < ss.CountColors(roleW) {
+				b.Write(matchTag)
+				matched = true
+			}
+			b.Write(visitTag)
+		}); err != nil {
+			return false, err
+		}
+	}
+	if err := k.moveTo(k.m.Home); err != nil {
+		return false, err
+	}
+	return matched, nil
+}
+
+// waitRound performs one waiter round: post the waiting sign at home, wait
+// until every searcher of the round has visited, and report whether some
+// searcher matched this agent.
+func waitRound(st *agentState, phaseIdx, r int, round roundPlan) (bool, error) {
+	k := st.k
+	if err := k.accessHome(func(b *sim.Board) { b.Write(tagRole(phaseIdx, r, false)) }); err != nil {
+		return false, err
+	}
+	visitTag := tagSVisit(phaseIdx, r)
+	matchTag := tagMatched(phaseIdx, r)
+	if _, err := k.waitHome(func(ss sim.Signs) bool {
+		return ss.CountColors(visitTag) >= round.s
+	}); err != nil {
+		return false, err
+	}
+	// All searchers have visited, so the matched stamps on this board are
+	// final. Co-located waiters race (under the board mutex) to claim them:
+	// exactly as many waiters retire as stamps were left.
+	claimTag := tagClaim(phaseIdx, r)
+	matched := false
+	err := k.a.Access(func(b *sim.Board) {
+		ss := b.Signs()
+		if ss.CountColors(claimTag) < ss.CountColors(matchTag) {
+			b.Write(claimTag)
+			matched = true
+		}
+	})
+	if err != nil {
+		return false, err
+	}
+	return matched, nil
+}
+
+// runNodeReducePhase executes one NODE-REDUCE phase for this agent (a
+// member of D; others are unaffected — the consumed class is a node class).
+func runNodeReducePhase(st *agentState, phaseIdx int, plan *phasePlan) error {
+	k := st.k
+	if st.passive || !st.inD {
+		return nil
+	}
+	selected := make(map[int]bool)
+	for _, v := range k.classNodes(plan.classIdx) {
+		selected[v] = true
+	}
+	takenTag := tagTaken(phaseIdx)
+	for r, round := range plan.rounds {
+		// Synchronize the α participants of this round.
+		if err := k.accessHome(func(b *sim.Board) { b.Write(tagRole(phaseIdx, r, true)) }); err != nil {
+			return err
+		}
+		if err := k.writeEverywhere(tagSync(phaseIdx, r)); err != nil {
+			return err
+		}
+		sync := tagSync(phaseIdx, r)
+		if _, err := k.waitHome(func(ss sim.Signs) bool {
+			return ss.CountColors(sync) >= round.alpha
+		}); err != nil {
+			return err
+		}
+		// Acquisition tour.
+		acqTag := tagAcq(phaseIdx, r)
+		acquired := false
+		myTaken := 0
+		for _, v := range k.tour {
+			if err := k.moveTo(v); err != nil {
+				return err
+			}
+			if !selected[v] {
+				continue
+			}
+			if err := k.a.Access(func(b *sim.Board) {
+				ss := b.Signs()
+				if ss.Has(takenTag) {
+					// Permanently deselected in an earlier case-2 round.
+					selected[v] = false
+					return
+				}
+				if round.case1 {
+					if !acquired && ss.CountColors(acqTag) < round.q {
+						b.Write(acqTag)
+						acquired = true
+					}
+				} else {
+					if myTaken < round.q {
+						b.Write(takenTag)
+						selected[v] = false
+						myTaken++
+					}
+				}
+			}); err != nil {
+				return err
+			}
+		}
+		if err := k.moveTo(k.m.Home); err != nil {
+			return err
+		}
+		if round.case1 {
+			if acquired {
+				return st.goPassive()
+			}
+		} else if myTaken != round.q {
+			return fmt.Errorf("elect: node-reduce acquired %d of %d nodes", myTaken, round.q)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+package elect
+
+// This file computes, from the ordered class sizes alone, the deterministic
+// structure of Protocol ELECT's reduction phases: which classes are consumed
+// in which order, how many rounds each AGENT-REDUCE / NODE-REDUCE performs,
+// and the searcher/waiter (or agent/node) counts of every round. Every agent
+// derives the identical schedule from its own map, which is what lets the
+// distributed protocol synchronize by counting colored signs.
+
+type phaseKind int
+
+const (
+	phaseAgent phaseKind = iota // AGENT-REDUCE (stage agent-agent)
+	phaseNode                   // NODE-REDUCE (stage agent-node)
+)
+
+// roundPlan fixes the deterministic counts of one reduction round.
+type roundPlan struct {
+	// AGENT-REDUCE: s searchers, w waiters at round start; swap reports
+	// whether roles swap after this round (w-s < s).
+	s, w int
+	swap bool
+	// NODE-REDUCE: alpha agents, beta selected nodes at round start; case1
+	// is the α > β branch; q is the per-node (case 1) or per-agent (case 2)
+	// acquisition quota.
+	alpha, beta int
+	case1       bool
+	q           int
+}
+
+// phasePlan fixes one reduction phase.
+type phasePlan struct {
+	kind     phaseKind
+	classIdx int // index (protocol order) of the class consumed
+	dIn      int // |D| entering the phase
+	dOut     int // |D| leaving the phase = gcd(dIn, |C_classIdx|)
+	// dSearches (agent phases) reports whether the incumbent set D takes
+	// the searcher role in round 0 (|D| < |C|).
+	dSearches bool
+	rounds    []roundPlan
+	// candidates lists the class indices whose home-bases can host
+	// participants of this phase: class 0, the classes consumed by earlier
+	// (non-skipped) agent phases, and this phase's own class. Searchers
+	// only resolve resident statuses at these homes.
+	candidates []int
+}
+
+// schedule is the full deterministic plan of an ELECT run.
+type schedule struct {
+	sizes    []int // ordered class sizes
+	numBlack int
+	phases   []phasePlan
+	finalD   int // gcd(|C_1|, …, |C_k|) reached by the reduction
+}
+
+// computeSchedule derives the plan from the ordered class sizes (black
+// classes first) as the Figure 3 loops would execute it, with one cost
+// refinement the paper's Theorem 3.1 accounting implicitly relies on
+// ("active agents perform a traversal to synchronize only if the number of
+// active agents has been modified"): a phase whose class size is a multiple
+// of the current d cannot change |D| — gcd(d, |C_i|) = d — so it is skipped
+// outright. Every phase that does run strictly reduces d, so at most
+// log2(r) phases run and the total move count stays O(r·|E|).
+func computeSchedule(sizes []int, numBlack int) *schedule {
+	return computeScheduleOpt(sizes, numBlack, false)
+}
+
+// computeScheduleOpt exposes the no-skip ablation: with noSkip, phases that
+// cannot reduce |D| are still executed (the literal Figure 3 loops). The
+// ablation experiment measures the resulting Θ(k·d·|E|) blowup on cycles;
+// protocol correctness is unaffected.
+func computeScheduleOpt(sizes []int, numBlack int, noSkip bool) *schedule {
+	sc := &schedule{sizes: sizes, numBlack: numBlack}
+	d := sizes[0]
+	consumed := []int{0} // classes whose agents may belong to D
+	// Stage agent-agent.
+	i := 1
+	for ; i < numBlack && d > 1; i++ {
+		c := sizes[i]
+		if c%d == 0 && !noSkip {
+			continue // gcd(d, c) == d: the phase cannot reduce |D|
+		}
+		p := phasePlan{kind: phaseAgent, classIdx: i, dIn: d}
+		p.candidates = append(append([]int{}, consumed...), i)
+		s, w := d, c
+		p.dSearches = d <= c
+		if !p.dSearches {
+			s, w = c, d
+		}
+		for s < w {
+			r := roundPlan{s: s, w: w, swap: w-s < s}
+			p.rounds = append(p.rounds, r)
+			if r.swap {
+				s, w = w-s, s
+			} else {
+				w = w - s
+			}
+		}
+		p.dOut = s
+		d = s
+		consumed = append(consumed, i)
+		sc.phases = append(sc.phases, p)
+	}
+	// Stage agent-node.
+	for i = max(i, numBlack); i < len(sizes) && d > 1; i++ {
+		if sizes[i]%d == 0 && !noSkip {
+			continue
+		}
+		p := phasePlan{kind: phaseNode, classIdx: i, dIn: d}
+		p.candidates = append([]int{}, consumed...)
+		alpha, beta := d, sizes[i]
+		for alpha != beta {
+			r := roundPlan{alpha: alpha, beta: beta, case1: alpha > beta}
+			if r.case1 {
+				r.q = (alpha - 1) / beta
+				alpha = alpha - r.q*beta
+			} else {
+				r.q = (beta - 1) / alpha
+				beta = beta - r.q*alpha
+			}
+			p.rounds = append(p.rounds, r)
+		}
+		p.dOut = alpha
+		d = alpha
+		sc.phases = append(sc.phases, p)
+	}
+	sc.finalD = d
+	return sc
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func gcdInt(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

@@ -1,0 +1,164 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	out := Table([]string{"a", "bbb"}, [][]string{{"xx", "y"}, {"z", "wwww"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table lines: %d\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "--") {
+		t.Fatalf("missing separator: %q", lines[1])
+	}
+}
+
+func TestFirstSeenCoding(t *testing.T) {
+	got := FirstSeenCoding([]string{"*", "o", ".", "*"})
+	want := []int{1, 2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("coding %v, want %v", got, want)
+		}
+	}
+	if len(FirstSeenCoding(nil)) != 0 {
+		t.Fatal("empty coding should be empty")
+	}
+}
+
+func TestFig2Experiments(t *testing.T) {
+	if out, err := Fig2AB(); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if out, err := Fig2C(); err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+}
+
+func TestAnonymousExperiment(t *testing.T) {
+	out, err := RunAnonymousExperiment()
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "contradiction") {
+		t.Error("missing contradiction line")
+	}
+}
+
+func TestElectExperiment(t *testing.T) {
+	out, rows, err := RunElectExperiment(1)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if len(rows) != len(ElectSuite()) {
+		t.Fatalf("rows %d, want %d", len(rows), len(ElectSuite()))
+	}
+	for _, r := range rows {
+		if r.Ratio > 40 {
+			t.Errorf("%s: ratio %.1f exceeds constant bound", r.Name, r.Ratio)
+		}
+	}
+}
+
+func TestPetersenExperiment(t *testing.T) {
+	out, err := RunPetersenExperiment(1)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+}
+
+func TestCostExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, rows, err := RunCostExperiment(1)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no cost rows")
+	}
+}
+
+func TestCayleyExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, rows, err := RunCayleyExperiment(1)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, rows, err := Table1(1)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[0].Universal != "No" || rows[2].Universal != "Yes" {
+		t.Errorf("Table 1 corners wrong: %+v", rows)
+	}
+	if !strings.Contains(rows[1].EffectualCayley, "Yes") {
+		t.Errorf("qualitative Cayley cell: %q", rows[1].EffectualCayley)
+	}
+}
+
+func TestSkipAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := RunSkipAblation(1)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "moves(literal)") {
+		t.Error("missing ablation column")
+	}
+}
+
+func TestSharedHomesExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out, err := RunSharedHomesExperiment(1)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "weighted placements") {
+		t.Error("missing sweep summary")
+	}
+}
+
+func TestDegradationExperiment(t *testing.T) {
+	out, rows, err := RunDegradationExperiment(1)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	for _, r := range rows {
+		if r.Factor <= 0 || r.Factor > 20 {
+			t.Errorf("%s: degradation factor %.2f out of plausible range", r.Name, r.Factor)
+		}
+	}
+}
+
+func TestFig1Experiment(t *testing.T) {
+	out, err := RunFig1Experiment(1)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "identical") {
+		t.Error("missing equivalence column")
+	}
+}

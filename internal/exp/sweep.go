@@ -1,0 +1,453 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// E4 — Theorem 3.1: ELECT correctness, phase invariant and move counts.
+// ---------------------------------------------------------------------------
+
+// ElectSuite is the instance set driving the Theorem 3.1 experiments.
+func ElectSuite() []Instance {
+	return []Instance{
+		{"C5-single", graph.Cycle(5), []int{0}},
+		{"C6-dist2", graph.Cycle(6), []int{0, 2}},
+		{"C6-antipodal", graph.Cycle(6), []int{0, 3}},
+		{"C7-two", graph.Cycle(7), []int{0, 2}},
+		{"C9-three", graph.Cycle(9), []int{0, 3, 6}},
+		{"path5-end", graph.Path(5), []int{0}},
+		{"star-3leaves", graph.Star(4), []int{1, 2, 3}},
+		{"K2", graph.Path(2), []int{0, 1}},
+		{"petersen-fig5", graph.Petersen(), []int{0, 1}},
+		{"Q3-antipodal", graph.Hypercube(3), []int{0, 7}},
+		{"Q3-three", graph.Hypercube(3), []int{0, 1, 3}},
+		{"wheel-rim", graph.Wheel(5), []int{1, 3}},
+		{"grid23", graph.Grid(2, 3), []int{0, 4}},
+		{"random10", graph.RandomConnected(10, 6, 13), []int{0, 2, 5, 8}},
+	}
+}
+
+// ElectRow is one measured row of the Theorem 3.1 table.
+type ElectRow struct {
+	Name     string
+	N, M, R  int
+	Sizes    []int
+	GCD      int
+	Outcome  string
+	Moves    int64
+	Accesses int64
+	// Ratio is Moves / (r·|E|) — Theorem 3.1 bounds this by a constant.
+	Ratio float64
+}
+
+// RunElectExperiment runs ELECT on the suite and checks every outcome
+// against the gcd criterion (Theorem 3.1).
+func RunElectExperiment(seed int64) (string, []ElectRow, error) {
+	var rows []ElectRow
+	var cells [][]string
+	for _, inst := range ElectSuite() {
+		o := order.ComputeAndOrder(inst.G, elect.BlackColors(inst.G.N(), inst.Homes), order.Direct)
+		res, err := sim.Run(runCfg(inst.G, inst.Homes, seed, false), elect.Elect(elect.Options{}))
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		row := ElectRow{
+			Name: inst.Name, N: inst.G.N(), M: inst.G.M(), R: len(inst.Homes),
+			Sizes: o.Sizes(), GCD: o.GCD(), Outcome: outcomeString(res),
+			Moves: res.TotalMoves(), Accesses: res.TotalAccesses(),
+			Ratio: float64(res.TotalMoves()) / float64(len(inst.Homes)*inst.G.M()),
+		}
+		want := "unsolvable"
+		if o.GCD() == 1 {
+			want = "leader"
+		}
+		if row.Outcome != want {
+			return "", nil, fmt.Errorf("%s: outcome %s, oracle wants %s", inst.Name, row.Outcome, want)
+		}
+		rows = append(rows, row)
+		cells = append(cells, []string{
+			inst.Name, fmt.Sprint(row.N), fmt.Sprint(row.M), fmt.Sprint(row.R),
+			trimSizes(row.Sizes), fmt.Sprint(row.GCD), row.Outcome,
+			fmt.Sprint(row.Moves), fmt.Sprintf("%.1f", row.Ratio),
+		})
+	}
+	return Table(
+		[]string{"instance", "n", "|E|", "r", "class sizes", "gcd", "outcome", "moves", "moves/(r|E|)"},
+		cells), rows, nil
+}
+
+func trimSizes(sizes []int) string {
+	s := strings.Trim(strings.ReplaceAll(fmt.Sprint(sizes), " ", ","), "[]")
+	if len(s) > 18 {
+		s = s[:15] + "..."
+	}
+	return s
+}
+
+// ---------------------------------------------------------------------------
+// E5 — Theorem 4.1: the Cayley decision vs the exact Theorem 2.1 oracle.
+// ---------------------------------------------------------------------------
+
+// CayleyGraphs returns the Cayley sweep family.
+func CayleyGraphs() []Instance {
+	return []Instance{
+		{"C4", graph.Cycle(4), nil},
+		{"C5", graph.Cycle(5), nil},
+		{"C6", graph.Cycle(6), nil},
+		{"C7", graph.Cycle(7), nil},
+		{"C8", graph.Cycle(8), nil},
+		{"K4", graph.Complete(4), nil},
+		{"K33", graph.CompleteBipartite(3, 3), nil},
+		{"Q3", graph.Hypercube(3), nil},
+		{"prism3", graph.Prism(3), nil},
+		{"circ8-12", graph.Circulant(8, []int{1, 2}), nil},
+		{"torus33", graph.Torus(3, 3), nil},
+	}
+}
+
+// CayleySweepAgreement enumerates placements of 1..3 agents on every graph
+// of the Cayley sweep (all 1- and 2-subsets, plus 3-subsets containing
+// vertex 0 to bound the count) and compares the Section 4 decision — elect
+// iff the automorphism-class gcd is 1, with d > 1 short-circuiting — against
+// the exact Theorem 2.1 symmetric-labeling oracle. Returns (agreements,
+// total). The sweep is deterministic and pure, so the result is memoized
+// (Table 1 and the E5 experiment both need it).
+func CayleySweepAgreement() (int, int, error) {
+	sweepOnce.Do(func() { sweepAgree, sweepTotal, sweepErr = cayleySweepAgreement() })
+	return sweepAgree, sweepTotal, sweepErr
+}
+
+var (
+	sweepOnce              sync.Once
+	sweepAgree, sweepTotal int
+	sweepErr               error
+)
+
+func cayleySweepAgreement() (int, int, error) {
+	agree, total := 0, 0
+	for _, inst := range CayleyGraphs() {
+		placements := enumeratePlacements(inst.G.N())
+		for _, homes := range placements {
+			an, err := elect.Analyze(inst.G, homes, order.Direct)
+			if err != nil {
+				return 0, 0, fmt.Errorf("%s %v: %w", inst.Name, homes, err)
+			}
+			if !an.Cayley {
+				return 0, 0, fmt.Errorf("%s not recognized as Cayley", inst.Name)
+			}
+			if !an.Thm21Checked {
+				return 0, 0, fmt.Errorf("%s %v: oracle undecided", inst.Name, homes)
+			}
+			total++
+			if an.CayleyElectSucceeds() == !an.Impossible21 {
+				agree++
+			}
+			// Internal consistency: d > 1 must imply gcd > 1 (translation
+			// classes refine automorphism classes).
+			if an.TranslationD > 1 && an.GCD == 1 {
+				return 0, 0, fmt.Errorf("%s %v: d=%d but gcd=1", inst.Name, homes, an.TranslationD)
+			}
+		}
+	}
+	return agree, total, nil
+}
+
+// enumeratePlacements yields all 1-subsets and 2-subsets, and the 3-subsets
+// containing node 0.
+func enumeratePlacements(n int) [][]int {
+	var out [][]int
+	for a := 0; a < n; a++ {
+		out = append(out, []int{a})
+		for b := a + 1; b < n; b++ {
+			out = append(out, []int{a, b})
+		}
+	}
+	for b := 1; b < n; b++ {
+		for c := b + 1; c < n; c++ {
+			out = append(out, []int{0, b, c})
+		}
+	}
+	return out
+}
+
+// CayleyRow is one representative row of the Theorem 4.1 table.
+type CayleyRow struct {
+	Name        string
+	Homes       []int
+	D           int
+	GCD         int
+	Decision    string
+	Oracle      string
+	Distributed string
+}
+
+// RunCayleyExperiment reports a representative slice of the sweep with full
+// distributed runs, plus the aggregate oracle agreement.
+func RunCayleyExperiment(seed int64) (string, []CayleyRow, error) {
+	reps := []Instance{
+		{"C6", graph.Cycle(6), []int{0, 2}},
+		{"C6", graph.Cycle(6), []int{0, 3}},
+		{"C4", graph.Cycle(4), []int{0, 1}},
+		{"C7", graph.Cycle(7), []int{0, 2}},
+		{"Q3", graph.Hypercube(3), []int{0, 7}},
+		{"Q3", graph.Hypercube(3), []int{0, 1, 3}},
+		{"K4", graph.Complete(4), []int{0, 1}},
+		{"K4", graph.Complete(4), []int{0, 1, 2, 3}},
+		{"torus33", graph.Torus(3, 3), []int{0, 4}},
+	}
+	var rows []CayleyRow
+	var cells [][]string
+	for _, inst := range reps {
+		an, err := elect.Analyze(inst.G, inst.Homes, order.Direct)
+		if err != nil {
+			return "", nil, err
+		}
+		res, err := sim.Run(runCfg(inst.G, inst.Homes, seed, false),
+			elect.CayleyElect(elect.CayleyOptions{}))
+		if err != nil {
+			return "", nil, fmt.Errorf("%s %v: %w", inst.Name, inst.Homes, err)
+		}
+		decision := "elect"
+		if !an.CayleyElectSucceeds() {
+			decision = "impossible"
+		}
+		oracle := "solvable"
+		if an.Impossible21 {
+			oracle = "impossible"
+		}
+		row := CayleyRow{
+			Name: inst.Name, Homes: inst.Homes, D: an.TranslationD, GCD: an.GCD,
+			Decision: decision, Oracle: oracle, Distributed: outcomeString(res),
+		}
+		okDist := (row.Decision == "elect" && row.Distributed == "leader") ||
+			(row.Decision == "impossible" && row.Distributed == "unsolvable")
+		if !okDist {
+			return "", nil, fmt.Errorf("%s %v: decision %s but run gave %s",
+				inst.Name, inst.Homes, row.Decision, row.Distributed)
+		}
+		rows = append(rows, row)
+		cells = append(cells, []string{
+			inst.Name, fmt.Sprint(inst.Homes), fmt.Sprint(row.D), fmt.Sprint(row.GCD),
+			row.Decision, row.Oracle, row.Distributed,
+		})
+	}
+	agree, totalN, err := CayleySweepAgreement()
+	if err != nil {
+		return "", nil, err
+	}
+	out := Table(
+		[]string{"graph", "homes", "d", "gcd", "decision", "Thm2.1 oracle", "distributed run"},
+		cells)
+	out += fmt.Sprintf("\nFull sweep: decision matches the Theorem 2.1 oracle on %d/%d placements\n",
+		agree, totalN)
+	if agree != totalN {
+		return out, rows, fmt.Errorf("exp: %d oracle mismatches", totalN-agree)
+	}
+	return out, rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// E6 — Figure 5: the Petersen counterexample.
+// ---------------------------------------------------------------------------
+
+// RunPetersenExperiment regenerates Figure 5: classes of sizes 2/4/4 with
+// gcd 2, ELECT reporting failure, the ad-hoc protocol electing, and the
+// Theorem 2.1 oracle finding no symmetric labeling (d = 1 in the paper's
+// wording).
+func RunPetersenExperiment(seed int64) (string, error) {
+	g := graph.Petersen()
+	homes := []int{0, 1}
+	an, err := elect.Analyze(g, homes, order.Direct)
+	if err != nil {
+		return "", err
+	}
+	resElect, err := sim.Run(runCfg(g, homes, seed, false), elect.Elect(elect.Options{}))
+	if err != nil {
+		return "", err
+	}
+	resAdhoc, err := sim.Run(runCfg(g, homes, seed, false), elect.PetersenElect())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — Petersen graph, two adjacent agents\n")
+	fmt.Fprintf(&b, "  equivalence class sizes: %v, gcd = %d (paper: |Cb|,|Cg|,|Cw| = 2,4,4)\n",
+		an.Sizes, an.GCD)
+	fmt.Fprintf(&b, "  Cayley graph: %v (vertex-transitive but not Cayley)\n", an.Cayley)
+	fmt.Fprintf(&b, "  symmetric labeling exists (Thm 2.1): %v  => election possible\n", an.Impossible21)
+	fmt.Fprintf(&b, "  Protocol ELECT outcome: %s (not effectual here)\n", outcomeString(resElect))
+	fmt.Fprintf(&b, "  Ad-hoc 5-step protocol: %s (moves: %d)\n",
+		outcomeString(resAdhoc), resAdhoc.TotalMoves())
+	ok := an.GCD == 2 && !an.Cayley && !an.Impossible21 &&
+		resElect.AllUnsolvable() && resAdhoc.AgreedLeader()
+	if !ok {
+		return b.String(), fmt.Errorf("exp: Figure 5 expectations violated")
+	}
+	return b.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// E8 — cost scaling: moves vs r·|E| (Theorem 3.1's O(r|E|) bound).
+// ---------------------------------------------------------------------------
+
+// CostRow is one scaling measurement.
+type CostRow struct {
+	Name  string
+	N, M  int
+	R     int
+	Moves int64
+	Ratio float64
+}
+
+// RunCostExperiment measures total moves across growing cycles and
+// hypercubes and reports moves/(r·|E|) — Theorem 3.1 predicts a bounded
+// ratio as n and r grow.
+func RunCostExperiment(seed int64) (string, []CostRow, error) {
+	var insts []Instance
+	for _, n := range []int{6, 9, 12, 18, 24, 32} {
+		insts = append(insts, Instance{fmt.Sprintf("C%d-r3", n), graph.Cycle(n), []int{0, n / 3, 2 * n / 3}})
+	}
+	for _, d := range []int{2, 3, 4} {
+		g := graph.Hypercube(d)
+		insts = append(insts, Instance{fmt.Sprintf("Q%d-r2", d), g, []int{0, 1}})
+	}
+	for _, r := range []int{2, 4, 6, 8} {
+		homes := make([]int, r)
+		for i := range homes {
+			homes[i] = i * 2
+		}
+		insts = append(insts, Instance{fmt.Sprintf("C16-r%d", r), graph.Cycle(16), homes})
+	}
+	var rows []CostRow
+	var cells [][]string
+	for _, inst := range insts {
+		res, err := sim.Run(runCfg(inst.G, inst.Homes, seed, false), elect.Elect(elect.Options{}))
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		r := len(inst.Homes)
+		row := CostRow{
+			Name: inst.Name, N: inst.G.N(), M: inst.G.M(), R: r,
+			Moves: res.TotalMoves(),
+			Ratio: float64(res.TotalMoves()) / float64(r*inst.G.M()),
+		}
+		rows = append(rows, row)
+		cells = append(cells, []string{
+			inst.Name, fmt.Sprint(row.N), fmt.Sprint(row.M), fmt.Sprint(row.R),
+			fmt.Sprint(row.Moves), fmt.Sprintf("%.1f", row.Ratio),
+		})
+	}
+	// The bound: ratios stay below a fixed constant across the sweep.
+	worst := 0.0
+	for _, r := range rows {
+		if r.Ratio > worst {
+			worst = r.Ratio
+		}
+	}
+	out := Table([]string{"instance", "n", "|E|", "r", "total moves", "moves/(r|E|)"}, cells)
+	out += fmt.Sprintf("\nworst ratio: %.1f (Theorem 3.1: O(1) as n, r grow)\n", worst)
+	if worst > 40 {
+		return out, rows, fmt.Errorf("exp: move ratio %f exceeds the expected constant", worst)
+	}
+	return out, rows, nil
+}
+
+// RunSkipAblation contrasts the implemented schedule (no-op phases skipped,
+// as Theorem 3.1's accounting assumes) with the literal Figure 3 loops
+// (every class consumed): correctness is identical, but the literal loops
+// pay a synchronization + acquisition round per no-op class and their cost
+// grows superlinearly on cycles (DESIGN.md §6, finding 3).
+func RunSkipAblation(seed int64) (string, error) {
+	var cells [][]string
+	for _, n := range []int{6, 12, 24, 36} {
+		g := graph.Cycle(n)
+		homes := []int{0, n / 3, 2 * n / 3}
+		withSkip, err := sim.Run(runCfg(g, homes, seed, false), elect.Elect(elect.Options{}))
+		if err != nil {
+			return "", err
+		}
+		noSkip, err := sim.Run(runCfg(g, homes, seed, false), elect.Elect(elect.Options{NoSkip: true}))
+		if err != nil {
+			return "", err
+		}
+		if outcomeString(withSkip) != outcomeString(noSkip) {
+			return "", fmt.Errorf("exp: skip ablation changed the outcome on C%d", n)
+		}
+		rE := float64(3 * n)
+		cells = append(cells, []string{
+			fmt.Sprintf("C%d-r3", n),
+			outcomeString(withSkip),
+			fmt.Sprint(withSkip.TotalMoves()), fmt.Sprintf("%.1f", float64(withSkip.TotalMoves())/rE),
+			fmt.Sprint(noSkip.TotalMoves()), fmt.Sprintf("%.1f", float64(noSkip.TotalMoves())/rE),
+		})
+	}
+	out := Table([]string{"instance", "outcome", "moves(skip)", "ratio", "moves(literal)", "ratio"}, cells)
+	out += "\nThe literal Figure 3 loops pay one round per no-op class; the skip keeps the\nratio flat, matching Theorem 3.1's O(r·|E|) accounting.\n"
+	return out, nil
+}
+
+// DegradationRow compares the qualitative and quantitative protocols on one
+// solvable instance.
+type DegradationRow struct {
+	Name                  string
+	N, M, R               int
+	QualMoves, QuantMoves int64
+	Factor                float64
+}
+
+// RunDegradationExperiment (E11) answers the question the paper's Section 5
+// poses explicitly: "what is the degradation of the performances in
+// comparison with those observed in the quantitative graph world?" —
+// measured as the move-count ratio between Protocol ELECT (which must
+// compute classes and run the gcd reduction because it cannot compare
+// labels) and the quantitative max-label baseline, on instances both can
+// solve.
+func RunDegradationExperiment(seed int64) (string, []DegradationRow, error) {
+	insts := []Instance{
+		{"C6-dist2", graph.Cycle(6), []int{0, 2}},
+		{"C7-two", graph.Cycle(7), []int{0, 2}},
+		{"C12-three", graph.Cycle(12), []int{0, 2, 7}},
+		{"star-3leaves", graph.Star(4), []int{1, 2, 3}},
+		{"Q3-three", graph.Hypercube(3), []int{0, 1, 3}},
+		{"wheel-rim", graph.Wheel(5), []int{1, 3}},
+		{"grid23", graph.Grid(2, 3), []int{0, 4}},
+		{"random10", graph.RandomConnected(10, 6, 13), []int{0, 2, 5, 8}},
+	}
+	var rows []DegradationRow
+	var cells [][]string
+	for _, inst := range insts {
+		qual, err := sim.Run(runCfg(inst.G, inst.Homes, seed, false), elect.Elect(elect.Options{}))
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		quant, err := sim.Run(runCfg(inst.G, inst.Homes, seed, true), elect.QuantitativeElect())
+		if err != nil {
+			return "", nil, fmt.Errorf("%s: %w", inst.Name, err)
+		}
+		if !qual.AgreedLeader() || !quant.AgreedLeader() {
+			return "", nil, fmt.Errorf("%s: a protocol failed to elect", inst.Name)
+		}
+		row := DegradationRow{
+			Name: inst.Name, N: inst.G.N(), M: inst.G.M(), R: len(inst.Homes),
+			QualMoves: qual.TotalMoves(), QuantMoves: quant.TotalMoves(),
+			Factor: float64(qual.TotalMoves()) / float64(quant.TotalMoves()),
+		}
+		rows = append(rows, row)
+		cells = append(cells, []string{
+			inst.Name, fmt.Sprint(row.N), fmt.Sprint(row.R),
+			fmt.Sprint(row.QualMoves), fmt.Sprint(row.QuantMoves),
+			fmt.Sprintf("%.2fx", row.Factor),
+		})
+	}
+	out := Table([]string{"instance", "n", "r", "ELECT moves", "baseline moves", "degradation"}, cells)
+	out += "\nBoth are O(r·|E|); the qualitative protocol pays a small constant factor in\nmoves (its real extra cost is local computation: classes, canonical orders).\n"
+	return out, rows, nil
+}

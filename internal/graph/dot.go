@@ -1,0 +1,30 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToDOT renders the graph in Graphviz DOT format. colors, when non-nil,
+// shade home-bases (weight >= 1) and annotate multi-occupied nodes with
+// their weight — handy for inspecting election instances and agent maps.
+func (g *Graph) ToDOT(name string, colors []int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n  node [shape=circle];\n", name)
+	for v := 0; v < g.N(); v++ {
+		attrs := ""
+		if colors != nil && colors[v] > 0 {
+			label := fmt.Sprintf("%d", v)
+			if colors[v] > 1 {
+				label = fmt.Sprintf("%d (x%d)", v, colors[v])
+			}
+			attrs = fmt.Sprintf(" [style=filled fillcolor=gray label=%q]", label)
+		}
+		fmt.Fprintf(&b, "  n%d%s;\n", v, attrs)
+	}
+	for _, e := range g.EdgeEndpoints() {
+		fmt.Fprintf(&b, "  n%d -- n%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzFromTwins drives random port wirings through FromTwins: every accepted
+// wiring must produce a graph with consistent twins and the handshake
+// property; rejected wirings must not panic.
+func FuzzFromTwins(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(5))
+	f.Add(int64(2), uint8(2), uint8(1))
+	f.Add(int64(99), uint8(7), uint8(12))
+	f.Fuzz(func(t *testing.T, seed int64, n8, m8 uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%8) + 1
+		m := int(m8 % 16)
+		// Build a valid random wiring by pairing 2m half-edges.
+		type half struct{ v, p int }
+		var halves []half
+		deg := make([]int, n)
+		for e := 0; e < m; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			halves = append(halves, half{u, deg[u]})
+			deg[u]++
+			halves = append(halves, half{v, deg[v]})
+			deg[v]++
+		}
+		twins := make([][][2]int, n)
+		for v := 0; v < n; v++ {
+			twins[v] = make([][2]int, deg[v])
+		}
+		for i := 0; i+1 < len(halves); i += 2 {
+			a, b := halves[i], halves[i+1]
+			twins[a.v][a.p] = [2]int{b.v, b.p}
+			twins[b.v][b.p] = [2]int{a.v, a.p}
+		}
+		g, err := FromTwins(twins)
+		if err != nil {
+			// Only the self-twin case may be rejected for wirings built
+			// this way (a loop pairing a half-edge with itself cannot occur
+			// here, so any error is a bug) — unless m == 0 made it trivial.
+			t.Fatalf("valid wiring rejected: %v", err)
+		}
+		if g.N() != n || g.M() != m {
+			t.Fatalf("size mismatch: got (%d,%d), want (%d,%d)", g.N(), g.M(), n, m)
+		}
+		total := 0
+		for v := 0; v < n; v++ {
+			total += g.Deg(v)
+			for p, h := range g.Ports(v) {
+				back := g.Port(h.To, h.Twin)
+				if back.To != v || back.Twin != p || back.Edge != h.Edge {
+					t.Fatal("twin inconsistency")
+				}
+			}
+		}
+		if total != 2*m {
+			t.Fatal("handshake violated")
+		}
+	})
+}
+
+// FuzzRelabel checks that relabeling by random permutations preserves the
+// degree multiset and twin consistency on random graphs.
+func FuzzRelabel(f *testing.F) {
+	f.Add(int64(7), int64(8))
+	f.Fuzz(func(t *testing.T, gseed, pseed int64) {
+		rng := rand.New(rand.NewSource(gseed))
+		n := 2 + rng.Intn(9)
+		g := RandomConnected(n, rng.Intn(6), gseed)
+		perm := rand.New(rand.NewSource(pseed)).Perm(n)
+		h, err := g.Relabel(perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < n; v++ {
+			if g.Deg(v) != h.Deg(perm[v]) {
+				t.Fatal("degree changed")
+			}
+		}
+		for v := 0; v < n; v++ {
+			for p, hf := range h.Ports(v) {
+				back := h.Port(hf.To, hf.Twin)
+				if back.To != v || back.Twin != p {
+					t.Fatal("twin broken")
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package graph
+
+import "fmt"
+
+// This file adds the structured interconnection networks the paper cites as
+// Cayley graphs (Section 1.3: "complete graphs, cycles, hypercubes,
+// multi-dimensional toroidal meshes, Cube-Connected-Cycles, wrapped
+// Butterflies, Star-graphs, circulant graphs"). Each generator here has a
+// matching algebraic construction in internal/group, and the tests check
+// the two agree up to isomorphism.
+
+// permutations enumerates the permutations of {0..k-1} in lexicographic
+// order; index in this ordering is the vertex number used by StarGraph and
+// Pancake (identity first), matching group.Symmetric's element order.
+func permutations(k int) [][]int {
+	var out [][]int
+	used := make([]bool, k)
+	cur := make([]int, 0, k)
+	var rec func()
+	rec = func() {
+		if len(cur) == k {
+			out = append(out, append([]int(nil), cur...))
+			return
+		}
+		for v := 0; v < k; v++ {
+			if !used[v] {
+				used[v] = true
+				cur = append(cur, v)
+				rec()
+				cur = cur[:len(cur)-1]
+				used[v] = false
+			}
+		}
+	}
+	rec()
+	return out
+}
+
+func permIndex(perms [][]int) map[string]int {
+	idx := make(map[string]int, len(perms))
+	for i, p := range perms {
+		idx[permKeyOf(p)] = i
+	}
+	return idx
+}
+
+func permKeyOf(p []int) string {
+	b := make([]byte, len(p))
+	for i, v := range p {
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+// StarGraph returns the k-dimensional star graph ST(k) on k! vertices:
+// vertices are permutations of {0..k-1}, adjacent iff they differ by a
+// transposition of positions 0 and i (i = 1..k-1). ST(3) ≅ C6. It is the
+// Cayley graph Cay(S_k, {(0 i)}).
+func StarGraph(k int) *Graph {
+	if k < 2 || k > 6 {
+		panic("graph: StarGraph supports 2 <= k <= 6")
+	}
+	perms := permutations(k)
+	idx := permIndex(perms)
+	b := NewBuilder(len(perms))
+	for v, p := range perms {
+		for i := 1; i < k; i++ {
+			q := append([]int(nil), p...)
+			q[0], q[i] = q[i], q[0]
+			w := idx[permKeyOf(q)]
+			if v < w {
+				b.AddEdge(v, w)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// Pancake returns the k-dimensional pancake graph on k! vertices: vertices
+// are permutations, adjacent iff one is obtained from the other by
+// reversing a prefix of length 2..k. Cay(S_k, prefix reversals).
+func Pancake(k int) *Graph {
+	if k < 2 || k > 6 {
+		panic("graph: Pancake supports 2 <= k <= 6")
+	}
+	perms := permutations(k)
+	idx := permIndex(perms)
+	b := NewBuilder(len(perms))
+	for v, p := range perms {
+		for l := 2; l <= k; l++ {
+			q := append([]int(nil), p...)
+			for i, j := 0, l-1; i < j; i, j = i+1, j-1 {
+				q[i], q[j] = q[j], q[i]
+			}
+			w := idx[permKeyOf(q)]
+			if v < w {
+				b.AddEdge(v, w)
+			}
+		}
+	}
+	return b.Graph()
+}
+
+// WrappedButterfly returns WB(d) on d·2^d vertices (d >= 3): vertex (w, i)
+// with w a d-bit word and i a level, encoded w*d + i; edges go from level i
+// to level i+1 mod d, straight ((w,i)-(w,i+1)) and cross
+// ((w,i)-(w ⊕ 2^i, i+1)). Degree 4, Cayley graph of Z_2^d ⋊ Z_d.
+func WrappedButterfly(d int) *Graph {
+	if d < 3 {
+		panic("graph: WrappedButterfly needs d >= 3 (smaller ones have parallel edges)")
+	}
+	n := d * (1 << uint(d))
+	b := NewBuilder(n)
+	id := func(w, i int) int { return w*d + i }
+	for w := 0; w < 1<<uint(d); w++ {
+		for i := 0; i < d; i++ {
+			b.AddEdge(id(w, i), id(w, (i+1)%d))
+			b.AddEdge(id(w, i), id(w^(1<<uint(i)), (i+1)%d))
+		}
+	}
+	g := b.Graph()
+	if reg, deg := g.IsRegular(); !reg || deg != 4 {
+		panic(fmt.Sprintf("graph: WrappedButterfly(%d) degree invariant broken", d))
+	}
+	return g
+}

@@ -1,0 +1,51 @@
+package graph
+
+import "fmt"
+
+// FromTwins constructs a multigraph from explicit port wiring: twins[v][p]
+// gives the (node, port) of the twin half-edge of port p at node v. The
+// wiring must be an involution without fixed points ((v,p) may not be its
+// own twin; a loop uses two distinct ports of one node). This is how an
+// agent's MAP-DRAWING output — adjacency discovered port by port — is turned
+// into a Graph whose port indices match the agent's own symbol encoding.
+func FromTwins(twins [][][2]int) (*Graph, error) {
+	n := len(twins)
+	g := &Graph{halves: make([][]Half, n)}
+	edgeID := 0
+	for v := 0; v < n; v++ {
+		g.halves[v] = make([]Half, len(twins[v]))
+	}
+	for v := 0; v < n; v++ {
+		for p := range twins[v] {
+			w, q := twins[v][p][0], twins[v][p][1]
+			if w < 0 || w >= n || q < 0 || q >= len(twins[w]) {
+				return nil, fmt.Errorf("graph: twin of (%d,%d) out of range", v, p)
+			}
+			if w == v && q == p {
+				return nil, fmt.Errorf("graph: port (%d,%d) is its own twin", v, p)
+			}
+			back := twins[w][q]
+			if back[0] != v || back[1] != p {
+				return nil, fmt.Errorf("graph: wiring not an involution at (%d,%d)", v, p)
+			}
+			if g.halves[v][p].Edge == 0 && (v < w || (v == w && p < q)) {
+				// Assign the edge id when visiting the lexicographically
+				// first endpoint of the pair.
+				edgeID++
+				g.halves[v][p] = Half{Edge: edgeID, To: w, Twin: q}
+				g.halves[w][q] = Half{Edge: edgeID, To: v, Twin: p}
+			}
+		}
+	}
+	// Normalize edge ids to 0-based and count.
+	for v := range g.halves {
+		for p := range g.halves[v] {
+			if g.halves[v][p].Edge == 0 {
+				return nil, fmt.Errorf("graph: port (%d,%d) left unwired", v, p)
+			}
+			g.halves[v][p].Edge--
+		}
+	}
+	g.m = edgeID
+	return g, nil
+}

@@ -1,0 +1,32 @@
+package group_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/group"
+)
+
+// Recognize decides Sabidussi's criterion: C6 is a Cayley graph, the
+// Petersen graph is not.
+func ExampleRecognize() {
+	rec, _ := group.Recognize(graph.Cycle(6), 0)
+	fmt.Println(rec.IsCayley, rec.Group.Order())
+	rec, _ = group.Recognize(graph.Petersen(), 0)
+	fmt.Println(rec.IsCayley)
+	// Output:
+	// true 6
+	// false
+}
+
+// TranslationClasses implements the Section 4 criterion: antipodal agents
+// on an even ring are preserved by a nontrivial translation (d = 2), so
+// election is impossible.
+func ExampleCayley_TranslationClasses() {
+	c := group.CycleCayley(6)
+	black := make([]bool, 6)
+	black[0], black[3] = true, true
+	classes, d := c.TranslationClasses(black)
+	fmt.Println(len(classes), d)
+	// Output: 3 2
+}

@@ -1,0 +1,144 @@
+package group
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file provides the algebraic counterparts of the interconnection
+// networks in internal/graph: the wreath-like group Z_2^d ⋊ Z_d behind
+// cube-connected-cycles and wrapped butterflies, and the symmetric-group
+// Cayley constructions of star and pancake graphs.
+
+// SemidirectZ2Zd returns Z_2^d ⋊ Z_d where Z_d acts on Z_2^d by cyclic
+// left-rotation of coordinates: (x, i)·(y, j) = (x ⊕ rotₗ(y, i), i + j).
+// Element (x, i) is encoded x*d + i (identity (0,0) encodes to 0).
+func SemidirectZ2Zd(d int) *Group {
+	if d < 1 || d > 10 {
+		panic("group: SemidirectZ2Zd supports 1 <= d <= 10")
+	}
+	size := d * (1 << uint(d))
+	rot := func(y, i int) int { // rotate the d-bit word y left by i
+		i %= d
+		mask := 1<<uint(d) - 1
+		return ((y << uint(i)) | (y >> uint(d-i))) & mask
+	}
+	enc := func(x, i int) int { return x*d + i }
+	mul := make([][]int, size)
+	names := make([]string, size)
+	for x := 0; x < 1<<uint(d); x++ {
+		for i := 0; i < d; i++ {
+			a := enc(x, i)
+			mul[a] = make([]int, size)
+			names[a] = fmt.Sprintf("(%0*b,%d)", d, x, i)
+			for y := 0; y < 1<<uint(d); y++ {
+				for j := 0; j < d; j++ {
+					mul[a][enc(y, j)] = enc(x^rot(y, i), (i+j)%d)
+				}
+			}
+		}
+	}
+	return mustFromTable(fmt.Sprintf("Z2^%d:Z%d", d, d), mul, names)
+}
+
+// CCCCayley returns the cube-connected-cycles network CCC(d) as the Cayley
+// graph Cay(Z_2^d ⋊ Z_d, {(0,±1), (e_0,0)}): right multiplication by
+// (0,±1) walks the local cycle and by (e_0,0) crosses the cube edge at the
+// current level.
+func CCCCayley(d int) (*Cayley, error) {
+	if d < 3 {
+		return nil, errors.New("group: CCCCayley needs d >= 3")
+	}
+	g := SemidirectZ2Zd(d)
+	enc := func(x, i int) int { return x*d + i }
+	gens := []int{enc(0, 1), enc(0, d-1), enc(1, 0)} // e_0 = word 1
+	return NewCayley(g, gens)
+}
+
+// WrappedButterflyCayley returns WB(d) as the Cayley graph
+// Cay(Z_2^d ⋊ Z_d, {(0,1), (e_0,1)} ∪ inverses).
+func WrappedButterflyCayley(d int) (*Cayley, error) {
+	if d < 3 {
+		return nil, errors.New("group: WrappedButterflyCayley needs d >= 3")
+	}
+	g := SemidirectZ2Zd(d)
+	enc := func(x, i int) int { return x*d + i }
+	s1 := enc(0, 1)
+	s2 := enc(1, 1)
+	return NewCayley(g, []int{s1, g.Inv(s1), s2, g.Inv(s2)})
+}
+
+// StarCayley returns the star graph ST(k) as Cay(S_k, {(0 i) : 1 <= i < k}).
+func StarCayley(k int) (*Cayley, error) {
+	if k < 2 || k > 5 {
+		return nil, errors.New("group: StarCayley supports 2 <= k <= 5")
+	}
+	g := Symmetric(k)
+	gens, err := transpositionGens(g, k)
+	if err != nil {
+		return nil, err
+	}
+	return NewCayley(g, gens)
+}
+
+// transpositionGens finds the elements of S_k (in the Symmetric encoding)
+// that are the transpositions (0 i), i = 1..k-1, by their action: the
+// element whose permutation swaps 0 and i. Symmetric names elements by
+// their permutation, so we search by order and fixed points.
+func transpositionGens(g *Group, k int) ([]int, error) {
+	// Reconstruct each element's permutation from the group's action on
+	// the cosets is overkill; instead use the element names produced by
+	// Symmetric, which are the permutation literals.
+	var gens []int
+	for i := 1; i < k; i++ {
+		want := make([]int, k)
+		for j := range want {
+			want[j] = j
+		}
+		want[0], want[i] = want[i], want[0]
+		name := fmt.Sprintf("%v", want)
+		found := -1
+		for e := 0; e < g.Order(); e++ {
+			if g.ElemName(e) == name {
+				found = e
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("group: transposition %v not found", want)
+		}
+		gens = append(gens, found)
+	}
+	return gens, nil
+}
+
+// PancakeCayley returns the pancake graph as Cay(S_k, prefix reversals).
+func PancakeCayley(k int) (*Cayley, error) {
+	if k < 2 || k > 5 {
+		return nil, errors.New("group: PancakeCayley supports 2 <= k <= 5")
+	}
+	g := Symmetric(k)
+	var gens []int
+	for l := 2; l <= k; l++ {
+		want := make([]int, k)
+		for j := range want {
+			want[j] = j
+		}
+		for i, j := 0, l-1; i < j; i, j = i+1, j-1 {
+			want[i], want[j] = want[j], want[i]
+		}
+		name := fmt.Sprintf("%v", want)
+		found := -1
+		for e := 0; e < g.Order(); e++ {
+			if g.ElemName(e) == name {
+				found = e
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("group: prefix reversal of length %d not found", l)
+		}
+		gens = append(gens, found)
+	}
+	return NewCayley(g, gens)
+}

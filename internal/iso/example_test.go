@@ -1,0 +1,26 @@
+package iso_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/iso"
+)
+
+// Canonical forms decide isomorphism: the Petersen graph drawn two ways.
+func ExampleIsomorphic() {
+	a := graph.Petersen()
+	b, _ := a.Relabel([]int{3, 1, 4, 0, 5, 9, 2, 6, 8, 7})
+	fmt.Println(iso.Isomorphic(iso.FromGraph(a, nil), iso.FromGraph(b, nil)))
+	fmt.Println(iso.Isomorphic(iso.FromGraph(a, nil), iso.FromGraph(graph.Cycle(10), nil)))
+	// Output:
+	// true
+	// false
+}
+
+// Orbits of the automorphism group are the equivalence classes of
+// Definition 2.1: a star's center is alone, its leaves are interchangeable.
+func ExampleOrbits() {
+	fmt.Println(iso.Orbits(iso.FromGraph(graph.Star(3), nil)))
+	// Output: [[0] [1 2 3]]
+}

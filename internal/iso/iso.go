@@ -1,0 +1,523 @@
+// Package iso implements isomorphism machinery for vertex-colored directed
+// multigraphs: equitable partition refinement, canonical labeling by
+// refinement-guided backtracking (a miniature nauty), isomorphism testing,
+// and automorphism-group generators and orbits.
+//
+// This is the engine behind the paper's Lemma 3.1 (a deterministic total
+// order on bi-colored digraphs via a canonical word) and Definition 2.1
+// (node equivalence via color-preserving automorphisms). The paper defines
+// its canonical word as the minimum of w(π(M)) over all n! permutations π;
+// computing that exact minimum is factorial in the worst case, so Canonical
+// instead minimizes over the refinement-consistent orderings explored by a
+// nauty-style backtracking search. The result is still a canonical form —
+// equal words exactly characterize color-isomorphism — and hence still
+// induces the deterministic total order on isomorphism classes that
+// Lemma 3.1 requires (the protocol only needs all agents to agree on one
+// such order, as DESIGN.md §5 and §6 record). BruteCanonicalWord retains
+// the paper's exact min-word definition as a small-instance oracle.
+package iso
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+)
+
+// Colored is a vertex-colored directed multigraph given by an adjacency
+// multiplicity matrix. Undirected graphs are represented symmetrically
+// (a loop contributes 2 to its diagonal entry, matching
+// graph.AdjacencyMatrix). Colors are small non-negative integers whose
+// values are meaningful across graphs (e.g. 0 = white, 1 = black/home-base):
+// two Colored values are isomorphic only under color-preserving bijections.
+type Colored struct {
+	N     int
+	Color []int
+	Adj   [][]int // Adj[u][v] = number of arcs u -> v
+}
+
+// FromGraph builds the symmetric Colored form of an undirected multigraph.
+// colors may be nil (all vertices colored 0) or have length g.N().
+func FromGraph(g *graph.Graph, colors []int) *Colored {
+	n := g.N()
+	c := &Colored{N: n, Color: make([]int, n), Adj: g.AdjacencyMatrix()}
+	if colors != nil {
+		if len(colors) != n {
+			panic("iso: color slice length mismatch")
+		}
+		copy(c.Color, colors)
+	}
+	return c
+}
+
+// NewDigraph builds a Colored digraph on n vertices from arc list (u, v)
+// pairs; parallel arcs accumulate multiplicity. colors may be nil.
+func NewDigraph(n int, arcs [][2]int, colors []int) *Colored {
+	c := &Colored{N: n, Color: make([]int, n), Adj: make([][]int, n)}
+	for i := range c.Adj {
+		c.Adj[i] = make([]int, n)
+	}
+	for _, a := range arcs {
+		c.Adj[a[0]][a[1]]++
+	}
+	if colors != nil {
+		if len(colors) != n {
+			panic("iso: color slice length mismatch")
+		}
+		copy(c.Color, colors)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (c *Colored) Clone() *Colored {
+	d := &Colored{N: c.N, Color: append([]int(nil), c.Color...), Adj: make([][]int, c.N)}
+	for i := range d.Adj {
+		d.Adj[i] = append([]int(nil), c.Adj[i]...)
+	}
+	return d
+}
+
+// Permuted returns the graph with vertex v renamed p[v].
+func (c *Colored) Permuted(p perm.Perm) *Colored {
+	d := &Colored{N: c.N, Color: make([]int, c.N), Adj: make([][]int, c.N)}
+	for i := range d.Adj {
+		d.Adj[i] = make([]int, c.N)
+	}
+	for v := 0; v < c.N; v++ {
+		d.Color[p[v]] = c.Color[v]
+		for w := 0; w < c.N; w++ {
+			d.Adj[p[v]][p[w]] = c.Adj[v][w]
+		}
+	}
+	return d
+}
+
+// word serializes the graph relabeled by p (vertex v goes to position p[v])
+// as the byte string: colors in position order, then adjacency rows in
+// position order. Two Colored values have equal words for some relabelings
+// iff they are isomorphic.
+func (c *Colored) word(p perm.Perm) []byte {
+	n := c.N
+	inv := p.Inverse() // inv[pos] = original vertex at pos
+	out := make([]byte, 0, n+n*n)
+	for pos := 0; pos < n; pos++ {
+		out = append(out, byte(c.Color[inv[pos]]))
+	}
+	for i := 0; i < n; i++ {
+		vi := inv[i]
+		for j := 0; j < n; j++ {
+			out = append(out, byte(c.Adj[vi][inv[j]]))
+		}
+	}
+	return out
+}
+
+// IsAutomorphism reports whether p is a color-preserving automorphism of c.
+func (c *Colored) IsAutomorphism(p perm.Perm) bool {
+	if len(p) != c.N {
+		return false
+	}
+	for v := 0; v < c.N; v++ {
+		if c.Color[p[v]] != c.Color[v] {
+			return false
+		}
+		for w := 0; w < c.N; w++ {
+			if c.Adj[p[v]][p[w]] != c.Adj[v][w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// partition is an ordered partition of the vertex set into cells.
+type partition struct {
+	cells [][]int
+}
+
+func (p *partition) clone() *partition {
+	q := &partition{cells: make([][]int, len(p.cells))}
+	for i, c := range p.cells {
+		q.cells[i] = append([]int(nil), c...)
+	}
+	return q
+}
+
+func (p *partition) discrete() bool {
+	for _, c := range p.cells {
+		if len(c) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// initialPartition groups vertices by color, cells ordered by color value.
+func initialPartition(c *Colored) *partition {
+	byColor := make(map[int][]int)
+	var colors []int
+	for v := 0; v < c.N; v++ {
+		if _, ok := byColor[c.Color[v]]; !ok {
+			colors = append(colors, c.Color[v])
+		}
+		byColor[c.Color[v]] = append(byColor[c.Color[v]], v)
+	}
+	sort.Ints(colors)
+	p := &partition{}
+	for _, col := range colors {
+		p.cells = append(p.cells, byColor[col])
+	}
+	return p
+}
+
+// refine performs equitable refinement: repeatedly split cells by the
+// vector, over all current cells, of (out-multiplicity into the cell,
+// in-multiplicity from the cell). Subcell order is determined by the
+// signature vectors, so the refined partition is isomorphism-invariant.
+func refine(c *Colored, p *partition) *partition {
+	cur := p.clone()
+	for {
+		// Compute, for each vertex, its signature relative to cur.
+		sig := make(map[int]string, c.N)
+		var buf bytes.Buffer
+		for _, cell := range cur.cells {
+			for _, v := range cell {
+				buf.Reset()
+				for _, other := range cur.cells {
+					out, in := 0, 0
+					for _, u := range other {
+						out += c.Adj[v][u]
+						in += c.Adj[u][v]
+					}
+					fmt.Fprintf(&buf, "%d,%d;", out, in)
+				}
+				sig[v] = buf.String()
+			}
+		}
+		next := &partition{}
+		split := false
+		for _, cell := range cur.cells {
+			groups := make(map[string][]int)
+			var keys []string
+			for _, v := range cell {
+				s := sig[v]
+				if _, ok := groups[s]; !ok {
+					keys = append(keys, s)
+				}
+				groups[s] = append(groups[s], v)
+			}
+			if len(keys) > 1 {
+				split = true
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				next.cells = append(next.cells, groups[k])
+			}
+		}
+		cur = next
+		if !split {
+			return cur
+		}
+	}
+}
+
+// individualize returns the partition with v pulled out of its cell as a
+// preceding singleton.
+func individualize(p *partition, v int) *partition {
+	q := &partition{}
+	for _, cell := range p.cells {
+		idx := -1
+		for i, u := range cell {
+			if u == v {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			q.cells = append(q.cells, append([]int(nil), cell...))
+			continue
+		}
+		q.cells = append(q.cells, []int{v})
+		rest := make([]int, 0, len(cell)-1)
+		rest = append(rest, cell[:idx]...)
+		rest = append(rest, cell[idx+1:]...)
+		if len(rest) > 0 {
+			q.cells = append(q.cells, rest)
+		}
+	}
+	return q
+}
+
+// permFromDiscrete converts a discrete partition to the permutation sending
+// each vertex to its cell position.
+func permFromDiscrete(p *partition, n int) perm.Perm {
+	out := make(perm.Perm, n)
+	for pos, cell := range p.cells {
+		out[cell[0]] = pos
+	}
+	return out
+}
+
+// Result is the outcome of a canonical labeling computation.
+type Result struct {
+	// Perm maps each original vertex to its canonical position.
+	Perm perm.Perm
+	// Word is the canonical byte string: two Colored values are
+	// color-isomorphic iff their Words are equal.
+	Word []byte
+	// AutoGens generates the color-preserving automorphism group
+	// (it may be empty for rigid graphs; the identity is never included).
+	AutoGens []perm.Perm
+}
+
+type canonState struct {
+	c     *Colored
+	best  []byte
+	bperm perm.Perm
+	autos []perm.Perm
+	// base is the stack of individualized vertices on the current path.
+	base []int
+	// leafCount guards against pathological blowup.
+	leaves int
+}
+
+// Canonical computes a canonical form of c: the minimum serialized word
+// over the refinement-consistent vertex orderings explored by the search.
+// Words are equal iff the graphs are color-isomorphic, which is the property
+// Lemma 3.1's total order needs (see the package comment).
+func Canonical(c *Colored) *Result {
+	if c.N == 0 {
+		return &Result{Perm: perm.Perm{}, Word: []byte{}}
+	}
+	st := &canonState{c: c}
+	st.search(refine(c, initialPartition(c)))
+	return &Result{Perm: st.bperm, Word: st.best, AutoGens: st.autos}
+}
+
+func (st *canonState) search(p *partition) {
+	if p.discrete() {
+		st.leaves++
+		cand := permFromDiscrete(p, st.c.N)
+		w := st.c.word(cand)
+		switch {
+		case st.best == nil || bytes.Compare(w, st.best) < 0:
+			st.best = w
+			st.bperm = cand
+		case bytes.Equal(w, st.best):
+			// cand and bperm induce the same canonical graph, so
+			// bperm⁻¹∘cand is an automorphism of c.
+			a := cand.Compose(st.bperm.Inverse())
+			if !a.IsIdentity() && st.c.IsAutomorphism(a) {
+				st.autos = append(st.autos, a)
+			}
+		}
+		return
+	}
+	// Branch on the first smallest non-singleton cell.
+	target := -1
+	for i, cell := range p.cells {
+		if len(cell) > 1 {
+			if target == -1 || len(cell) < len(p.cells[target]) {
+				target = i
+			}
+		}
+	}
+	cell := p.cells[target]
+
+	// Orbit pruning: among the automorphisms discovered so far, keep the
+	// ones fixing every vertex of the current base pointwise; two cell
+	// vertices in the same orbit of that stabilizer lead to identical
+	// subtrees, so explore one representative per orbit.
+	tried := make([]int, 0, len(cell))
+	for _, v := range cell {
+		if st.inStabOrbitOfTried(v, tried) {
+			continue
+		}
+		tried = append(tried, v)
+		st.base = append(st.base, v)
+		st.search(refine(st.c, individualize(p, v)))
+		st.base = st.base[:len(st.base)-1]
+	}
+}
+
+// inStabOrbitOfTried reports whether some already-tried vertex maps to v
+// under the subgroup of discovered automorphisms that fix the current base.
+func (st *canonState) inStabOrbitOfTried(v int, tried []int) bool {
+	if len(tried) == 0 || len(st.autos) == 0 {
+		return false
+	}
+	var stab []perm.Perm
+	for _, a := range st.autos {
+		ok := true
+		for _, b := range st.base {
+			if a[b] != b {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			stab = append(stab, a)
+		}
+	}
+	if len(stab) == 0 {
+		return false
+	}
+	// BFS the orbit of v under stab (and inverses).
+	seen := map[int]bool{v: true}
+	queue := []int{v}
+	for len(queue) > 0 {
+		x := queue[0]
+		queue = queue[1:]
+		for _, t := range tried {
+			if x == t {
+				return true
+			}
+		}
+		for _, a := range stab {
+			for _, y := range []int{a[x], a.Inverse()[x]} {
+				if !seen[y] {
+					seen[y] = true
+					queue = append(queue, y)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// CanonicalWord is a convenience wrapper returning only the canonical word.
+func CanonicalWord(c *Colored) []byte { return Canonical(c).Word }
+
+// Isomorphic reports whether a and b are color-isomorphic.
+func Isomorphic(a, b *Colored) bool {
+	if a.N != b.N {
+		return false
+	}
+	return bytes.Equal(CanonicalWord(a), CanonicalWord(b))
+}
+
+// IsomorphismBetween returns a color-preserving isomorphism a→b (as the
+// permutation sending vertex v of a to IsomorphismBetween(a,b)[v] of b),
+// or nil if none exists.
+func IsomorphismBetween(a, b *Colored) perm.Perm {
+	if a.N != b.N {
+		return nil
+	}
+	ra, rb := Canonical(a), Canonical(b)
+	if !bytes.Equal(ra.Word, rb.Word) {
+		return nil
+	}
+	// v --ra--> canonical pos --rb⁻¹--> vertex of b.
+	return ra.Perm.Compose(rb.Perm.Inverse())
+}
+
+// AutomorphismGens returns generators of the color-preserving automorphism
+// group of c, never including the identity. For rigid graphs the slice is
+// empty. The generators come from the canonical search plus, to make orbit
+// computations complete, one extra canonical run per vertex orbit candidate
+// is avoided by the theory: orbits of the generated group already equal the
+// true automorphism orbits because the search visits every minimal leaf.
+func AutomorphismGens(c *Colored) []perm.Perm {
+	return automorphismGensComplete(c)
+}
+
+// automorphismGensComplete computes generators whose generated group has the
+// true automorphism orbits. The canonical-search generators alone are not
+// guaranteed complete (orbit pruning can suppress leaves), so we verify and
+// repair by the transporter method: vertices u, v are in the same orbit iff
+// the graphs with u (resp. v) individualized are isomorphic, and the
+// transporter isomorphism is an automorphism mapping u to v.
+func automorphismGensComplete(c *Colored) []perm.Perm {
+	gens := Canonical(c).AutoGens
+	n := c.N
+	// Union-find over current generators.
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) { parent[find(a)] = find(b) }
+	for _, g := range gens {
+		for i, v := range g {
+			union(i, v)
+		}
+	}
+	// For every pair of distinct current roots with equal color, test
+	// whether an automorphism merges them.
+	for u := 0; u < n; u++ {
+		if find(u) != u {
+			continue
+		}
+		for v := u + 1; v < n; v++ {
+			if find(v) == find(u) || c.Color[v] != c.Color[u] {
+				continue
+			}
+			if a := transporter(c, u, v); a != nil {
+				gens = append(gens, a)
+				for i, w := range a {
+					union(i, w)
+				}
+			}
+		}
+	}
+	return gens
+}
+
+// transporter returns an automorphism of c mapping u to v, or nil.
+func transporter(c *Colored, u, v int) perm.Perm {
+	cu := c.Clone()
+	cv := c.Clone()
+	// Individualize by a fresh color not otherwise used.
+	fresh := 0
+	for _, col := range c.Color {
+		if col >= fresh {
+			fresh = col + 1
+		}
+	}
+	cu.Color[u] = fresh
+	cv.Color[v] = fresh
+	return IsomorphismBetween(cu, cv)
+}
+
+// Orbits returns the orbits of the color-preserving automorphism group of c,
+// each sorted ascending, ordered by smallest element.
+func Orbits(c *Colored) [][]int {
+	return perm.OrbitsOf(c.N, AutomorphismGens(c))
+}
+
+// BruteCanonicalWord computes the canonical word by trying all n!
+// permutations; a correctness oracle for tests (n must be at most 8).
+func BruteCanonicalWord(c *Colored) []byte {
+	if c.N > 8 {
+		panic("iso: BruteCanonicalWord limited to n <= 8")
+	}
+	var best []byte
+	p := perm.Identity(c.N)
+	var rec func(k int)
+	rec = func(k int) {
+		if k == c.N {
+			w := c.word(p)
+			if best == nil || bytes.Compare(w, best) < 0 {
+				best = append([]byte(nil), w...)
+			}
+			return
+		}
+		for i := k; i < c.N; i++ {
+			p[k], p[i] = p[i], p[k]
+			rec(k + 1)
+			p[k], p[i] = p[i], p[k]
+		}
+	}
+	rec(0)
+	return best
+}

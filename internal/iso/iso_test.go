@@ -1,0 +1,329 @@
+package iso
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+)
+
+func colored(g *graph.Graph) *Colored { return FromGraph(g, nil) }
+
+// TestCanonicalAgreesWithBruteForceOnIsomorphism checks the defining
+// property of a canonical form against the paper's exact min-word oracle:
+// two graphs have equal Canonical words iff they have equal brute-force
+// min words (i.e. iff they are color-isomorphic).
+func TestCanonicalAgreesWithBruteForceOnIsomorphism(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var cases []*Colored
+	for _, g := range []*graph.Graph{
+		graph.Path(4), graph.Cycle(5), graph.Complete(4), graph.Star(4), graph.Fig2c(),
+	} {
+		cases = append(cases, colored(g))
+	}
+	// Random colored graphs on <= 6 vertices, some with multi-edges and
+	// loops, plus a random relabeling of each (guaranteeing isomorphic
+	// pairs appear in the pool).
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(5)
+		b := graph.NewBuilder(n)
+		for e := 0; e < n+rng.Intn(n); e++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Graph()
+		cols := make([]int, n)
+		for i := range cols {
+			cols[i] = rng.Intn(2)
+		}
+		cases = append(cases, FromGraph(g, cols))
+		p := rng.Perm(n)
+		h, err := g.Relabel(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ncols := make([]int, n)
+		for v, c := range cols {
+			ncols[p[v]] = c
+		}
+		cases = append(cases, FromGraph(h, ncols))
+	}
+	words := make([][]byte, len(cases))
+	brute := make([][]byte, len(cases))
+	for i, c := range cases {
+		words[i] = CanonicalWord(c)
+		brute[i] = BruteCanonicalWord(c)
+	}
+	for i := range cases {
+		for j := i + 1; j < len(cases); j++ {
+			if cases[i].N != cases[j].N {
+				continue
+			}
+			canonEq := bytes.Equal(words[i], words[j])
+			bruteEq := bytes.Equal(brute[i], brute[j])
+			if canonEq != bruteEq {
+				t.Errorf("cases %d,%d: Canonical says iso=%v, brute force says %v",
+					i, j, canonEq, bruteEq)
+			}
+		}
+	}
+}
+
+func TestCanonicalInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	graphs := []*graph.Graph{
+		graph.Petersen(),
+		graph.Hypercube(3),
+		graph.Cycle(9),
+		graph.Torus(3, 3),
+		graph.CompleteBipartite(3, 4),
+		graph.RandomConnected(11, 6, 5),
+		graph.Fig2c(),
+	}
+	for gi, g := range graphs {
+		cols := make([]int, g.N())
+		cols[0] = 1
+		cols[g.N()/2] = 1
+		base := CanonicalWord(FromGraph(g, cols))
+		for trial := 0; trial < 4; trial++ {
+			p := rng.Perm(g.N())
+			h, err := g.Relabel(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ncols := make([]int, g.N())
+			for v, c := range cols {
+				ncols[p[v]] = c
+			}
+			if !bytes.Equal(base, CanonicalWord(FromGraph(h, ncols))) {
+				t.Errorf("graph %d: canonical word not invariant under relabeling", gi)
+			}
+		}
+	}
+}
+
+func TestIsomorphicDistinguishes(t *testing.T) {
+	// C6 vs two triangles: same degree sequence, not isomorphic.
+	b := graph.NewBuilder(6)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}} {
+		b.AddEdge(e[0], e[1])
+	}
+	twoTriangles := b.Graph()
+	if Isomorphic(colored(graph.Cycle(6)), colored(twoTriangles)) {
+		t.Error("C6 and 2K3 reported isomorphic")
+	}
+	// K3,3 vs prism: both cubic on 6 vertices, not isomorphic.
+	if Isomorphic(colored(graph.CompleteBipartite(3, 3)), colored(graph.Prism(3))) {
+		t.Error("K33 and prism reported isomorphic")
+	}
+	// Same graph, different colorings.
+	g := graph.Cycle(5)
+	c1 := FromGraph(g, []int{1, 0, 0, 0, 0})
+	c2 := FromGraph(g, []int{1, 1, 0, 0, 0})
+	if Isomorphic(c1, c2) {
+		t.Error("different black counts reported isomorphic")
+	}
+	// Colorings that differ by rotation are isomorphic.
+	c3 := FromGraph(g, []int{0, 0, 1, 0, 0})
+	if !Isomorphic(c1, c3) {
+		t.Error("rotated coloring should be isomorphic")
+	}
+}
+
+func TestIsomorphismBetweenIsWitness(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	g := graph.Petersen()
+	p := rng.Perm(g.N())
+	h, _ := g.Relabel(p)
+	a, b := colored(g), colored(h)
+	phi := IsomorphismBetween(a, b)
+	if phi == nil {
+		t.Fatal("no isomorphism found between relabelings")
+	}
+	for u := 0; u < g.N(); u++ {
+		for v := 0; v < g.N(); v++ {
+			if a.Adj[u][v] != b.Adj[phi[u]][phi[v]] {
+				t.Fatalf("witness is not an isomorphism at (%d,%d)", u, v)
+			}
+		}
+	}
+	if IsomorphismBetween(colored(graph.Cycle(6)), colored(graph.Prism(3))) != nil {
+		t.Error("isomorphism invented between C6 and prism")
+	}
+}
+
+func TestAutomorphismCounts(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *Colored
+		want int // automorphism group order
+	}{
+		{"path3", colored(graph.Path(3)), 2},
+		{"cycle4", colored(graph.Cycle(4)), 8},
+		{"cycle5", colored(graph.Cycle(5)), 10},
+		{"K4", colored(graph.Complete(4)), 24},
+		{"petersen", colored(graph.Petersen()), 120},
+		{"Q3", colored(graph.Hypercube(3)), 48},
+		{"star3", colored(graph.Star(3)), 6},
+		{"K33", colored(graph.CompleteBipartite(3, 3)), 72},
+	}
+	for _, c := range cases {
+		gens := AutomorphismGens(c.c)
+		g, err := perm.Closure(c.c.N, gens, 1<<16)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if g.Order() != c.want {
+			t.Errorf("%s: |Aut| = %d, want %d", c.name, g.Order(), c.want)
+		}
+		for _, a := range gens {
+			if !c.c.IsAutomorphism(a) {
+				t.Errorf("%s: generator %v is not an automorphism", c.name, a)
+			}
+		}
+	}
+}
+
+func TestOrbitsVertexTransitive(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Cycle(7), graph.Petersen(), graph.Hypercube(3), graph.Complete(5),
+		graph.Torus(3, 3), graph.Prism(4), graph.MoebiusKantor(),
+	} {
+		orbits := Orbits(colored(g))
+		if len(orbits) != 1 || len(orbits[0]) != g.N() {
+			t.Errorf("%v: expected vertex-transitive (1 orbit), got %d orbits", g, len(orbits))
+		}
+	}
+}
+
+func TestOrbitsAsymmetric(t *testing.T) {
+	// A path of 4: orbits {0,3}, {1,2}.
+	orbits := Orbits(colored(graph.Path(4)))
+	if len(orbits) != 2 {
+		t.Fatalf("P4 orbits = %v", orbits)
+	}
+	// Star: center alone, leaves together.
+	orbits = Orbits(colored(graph.Star(5)))
+	if len(orbits) != 2 || len(orbits[0]) != 1 || len(orbits[1]) != 5 {
+		t.Fatalf("star orbits = %v", orbits)
+	}
+}
+
+func TestOrbitsWithColors(t *testing.T) {
+	// C6 with two antipodal black nodes: blacks {0,3}, their neighbors
+	// {1,2,4,5} all equivalent.
+	cols := []int{1, 0, 0, 1, 0, 0}
+	orbits := Orbits(FromGraph(graph.Cycle(6), cols))
+	if len(orbits) != 2 {
+		t.Fatalf("orbits = %v", orbits)
+	}
+	if len(orbits[0]) != 2 || len(orbits[1]) != 4 {
+		t.Fatalf("orbit sizes = %v", orbits)
+	}
+	// C6 with two adjacent black nodes: classes {0,1}, {2,5}, {3,4}.
+	cols = []int{1, 1, 0, 0, 0, 0}
+	orbits = Orbits(FromGraph(graph.Cycle(6), cols))
+	if len(orbits) != 3 {
+		t.Fatalf("adjacent-black orbits = %v", orbits)
+	}
+}
+
+func TestDigraphCanonicalDirectionSensitive(t *testing.T) {
+	// Directed triangle vs directed path: different.
+	tri := NewDigraph(3, [][2]int{{0, 1}, {1, 2}, {2, 0}}, nil)
+	pth := NewDigraph(3, [][2]int{{0, 1}, {1, 2}, {0, 2}}, nil)
+	if Isomorphic(tri, pth) {
+		t.Error("directed triangle and transitive tournament confused")
+	}
+	// Reversed triangle is isomorphic to the triangle (swap two vertices).
+	rev := NewDigraph(3, [][2]int{{1, 0}, {2, 1}, {0, 2}}, nil)
+	if !Isomorphic(tri, rev) {
+		t.Error("reversed directed triangle should be isomorphic")
+	}
+}
+
+func TestPermutedConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	c := FromGraph(graph.RandomConnected(9, 5, 3), []int{1, 0, 0, 1, 0, 0, 0, 0, 0})
+	p := perm.Perm(rng.Perm(9))
+	d := c.Permuted(p)
+	if !Isomorphic(c, d) {
+		t.Fatal("Permuted produced non-isomorphic graph")
+	}
+	for v := 0; v < 9; v++ {
+		if d.Color[p[v]] != c.Color[v] {
+			t.Fatal("Permuted broke colors")
+		}
+	}
+}
+
+func TestLoopAndMultiEdgeSensitivity(t *testing.T) {
+	// Triangle vs triangle with one doubled edge.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	b.AddEdge(0, 1)
+	doubled := b.Graph()
+	if Isomorphic(colored(graph.Cycle(3)), colored(doubled)) {
+		t.Error("multi-edge ignored by canonical form")
+	}
+	// Loop changes the graph.
+	b2 := graph.NewBuilder(3)
+	b2.AddEdge(0, 1)
+	b2.AddEdge(1, 2)
+	b2.AddEdge(2, 0)
+	b2.AddEdge(0, 0)
+	looped := b2.Graph()
+	if Isomorphic(colored(graph.Cycle(3)), colored(looped)) {
+		t.Error("loop ignored by canonical form")
+	}
+}
+
+func TestAutomorphismGensRespectColors(t *testing.T) {
+	cols := []int{1, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	c := FromGraph(graph.Petersen(), cols)
+	gens := AutomorphismGens(c)
+	g, err := perm.Closure(10, gens, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Stabilizer of a vertex in Petersen has order 120/10 = 12.
+	if g.Order() != 12 {
+		t.Errorf("colored Petersen aut order %d, want 12", g.Order())
+	}
+	for _, a := range g.Elements() {
+		if a[0] != 0 {
+			t.Fatal("automorphism moves the black node")
+		}
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	empty := &Colored{N: 0, Color: nil, Adj: nil}
+	if len(CanonicalWord(empty)) != 0 {
+		t.Error("empty graph should have empty word")
+	}
+	single := FromGraph(graph.Path(1), nil)
+	r := Canonical(single)
+	if len(r.Perm) != 1 || r.Perm[0] != 0 {
+		t.Error("singleton canonical perm wrong")
+	}
+}
+
+func BenchmarkCanonicalPetersen(b *testing.B) {
+	c := colored(graph.Petersen())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CanonicalWord(c)
+	}
+}
+
+func BenchmarkCanonicalQ4(b *testing.B) {
+	c := colored(graph.Hypercube(4))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		CanonicalWord(c)
+	}
+}

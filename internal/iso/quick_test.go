@@ -1,0 +1,108 @@
+package iso
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/perm"
+)
+
+func randomColored(rng *rand.Rand) (*Colored, *graph.Graph, []int) {
+	n := 2 + rng.Intn(8)
+	g := graph.RandomConnected(n, rng.Intn(n), rng.Int63())
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = rng.Intn(3)
+	}
+	return FromGraph(g, cols), g, cols
+}
+
+// Canonical invariance: the canonical word of a colored graph is unchanged
+// by arbitrary relabelings — the property that lets every agent compute the
+// same class order from its own map.
+func TestQuickCanonicalInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, g, cols := randomColored(rng)
+		w := CanonicalWord(c)
+		p := rng.Perm(g.N())
+		h, err := g.Relabel(p)
+		if err != nil {
+			return false
+		}
+		ncols := make([]int, g.N())
+		for v, col := range cols {
+			ncols[p[v]] = col
+		}
+		return bytes.Equal(w, CanonicalWord(FromGraph(h, ncols)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Automorphism generators are genuine automorphisms, and their orbits
+// refine color classes.
+func TestQuickAutomorphismsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _, _ := randomColored(rng)
+		gens := AutomorphismGens(c)
+		for _, a := range gens {
+			if !c.IsAutomorphism(a) {
+				return false
+			}
+		}
+		for _, orbit := range perm.OrbitsOf(c.N, gens) {
+			col := c.Color[orbit[0]]
+			for _, v := range orbit {
+				if c.Color[v] != col {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The isomorphism witness, whenever returned, really is one.
+func TestQuickIsomorphismWitness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, g, cols := randomColored(rng)
+		p := rng.Perm(g.N())
+		h, err := g.Relabel(p)
+		if err != nil {
+			return false
+		}
+		ncols := make([]int, g.N())
+		for v, col := range cols {
+			ncols[p[v]] = col
+		}
+		d := FromGraph(h, ncols)
+		phi := IsomorphismBetween(c, d)
+		if phi == nil {
+			return false
+		}
+		for u := 0; u < c.N; u++ {
+			if d.Color[phi[u]] != c.Color[u] {
+				return false
+			}
+			for v := 0; v < c.N; v++ {
+				if c.Adj[u][v] != d.Adj[phi[u]][phi[v]] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package msgnet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ChangRoberts returns the classic ring election protocol as a mobile-agent
+// machine, for a fully occupied oriented ring (every node a home-base,
+// clockwise ports labeled cw): each agent stamps its identity at home and
+// walks clockwise; at every node it waits for the resident's stamp, halts
+// defeated on meeting a larger identity, and is elected when it comes back
+// to its own stamp. The unique leader is the maximum identity — the
+// textbook protocol the paper's quantitative world takes for granted, used
+// here to exercise the Figure 1 transformation.
+func ChangRoberts(cw int) Machine {
+	return func(memory string, v View) (string, Action) {
+		if memory == "" {
+			// First activation at home: stamp and start walking.
+			return "walk", Action{
+				Write:     []string{"id:" + strconv.Itoa(v.ID)},
+				MoveLabel: cw,
+			}
+		}
+		// Walking: find the resident's stamp.
+		stamp := -1
+		for _, mark := range v.Board {
+			if strings.HasPrefix(mark, "id:") {
+				k, err := strconv.Atoi(strings.TrimPrefix(mark, "id:"))
+				if err == nil && k > stamp {
+					stamp = k
+				}
+			}
+		}
+		switch {
+		case stamp == -1:
+			// The resident has not woken yet: park until the board changes.
+			return memory, Action{MoveLabel: -1}
+		case stamp == v.ID:
+			return memory, Action{Halt: "leader"}
+		case stamp > v.ID:
+			return memory, Action{Halt: "defeated"}
+		default:
+			return memory, Action{MoveLabel: cw}
+		}
+	}
+}
+
+// Walker returns a machine that walks `steps` hops through the given port
+// label and halts "done" — the minimal machine for runner plumbing tests.
+func Walker(label, steps int) Machine {
+	return func(memory string, v View) (string, Action) {
+		left := steps
+		if memory != "" {
+			var err error
+			left, err = strconv.Atoi(memory)
+			if err != nil {
+				return memory, Action{Halt: "error"}
+			}
+		}
+		if left == 0 {
+			return memory, Action{Halt: "done"}
+		}
+		return fmt.Sprintf("%d", left-1), Action{MoveLabel: label}
+	}
+}
+
+// Sitter returns a machine that parks forever — used to verify that both
+// runners detect the resulting deadlock instead of spinning.
+func Sitter() Machine {
+	return func(memory string, v View) (string, Action) {
+		return memory, Action{MoveLabel: -1}
+	}
+}

@@ -1,0 +1,184 @@
+package msgnet
+
+import (
+	"testing"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+)
+
+func ringConfig(n int, seed int64) Config {
+	homes := make([]int, n)
+	for i := range homes {
+		homes[i] = i
+	}
+	return Config{
+		G:      graph.Cycle(n),
+		Labels: elect.OrientedCycleLabeling(n),
+		Homes:  homes,
+		Seed:   seed,
+	}
+}
+
+func checkChangRoberts(t *testing.T, res *Result, n int) {
+	t.Helper()
+	leaders := 0
+	for i, o := range res.Outcomes {
+		switch o {
+		case "leader":
+			leaders++
+			if i != n-1 {
+				t.Fatalf("agent %d elected; the maximum identity (agent %d) must win", i, n-1)
+			}
+		case "defeated":
+		default:
+			t.Fatalf("agent %d has outcome %q", i, o)
+		}
+	}
+	if leaders != 1 {
+		t.Fatalf("%d leaders, want exactly 1", leaders)
+	}
+}
+
+func TestChangRobertsMobile(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := RunMobile(ringConfig(7, seed), ChangRoberts(1))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkChangRoberts(t, res, 7)
+	}
+}
+
+func TestChangRobertsTransformed(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		res, err := RunTransformed(ringConfig(7, seed), ChangRoberts(1))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkChangRoberts(t, res, 7)
+	}
+}
+
+// TestFigure1Equivalence is the executable content of Figure 1: the same
+// agent program elects the same leader whether run by walking agents or by
+// processors exchanging (program, memory) messages, across sizes and
+// adversarial schedules.
+func TestFigure1Equivalence(t *testing.T) {
+	for _, n := range []int{3, 5, 8, 12} {
+		for seed := int64(1); seed <= 8; seed++ {
+			mobile, err := RunMobile(ringConfig(n, seed), ChangRoberts(1))
+			if err != nil {
+				t.Fatalf("mobile n=%d seed %d: %v", n, seed, err)
+			}
+			msg, err := RunTransformed(ringConfig(n, seed*31), ChangRoberts(1))
+			if err != nil {
+				t.Fatalf("transformed n=%d seed %d: %v", n, seed, err)
+			}
+			for i := range mobile.Outcomes {
+				if mobile.Outcomes[i] != msg.Outcomes[i] {
+					t.Fatalf("n=%d seed %d: agent %d differs: mobile %q vs transformed %q",
+						n, seed, i, mobile.Outcomes[i], msg.Outcomes[i])
+				}
+			}
+		}
+	}
+}
+
+func TestWalkerStepsAndReturn(t *testing.T) {
+	// A walker doing n clockwise hops ends where it started; both runners
+	// must complete it.
+	cfg := ringConfig(6, 3)
+	cfg.Homes = []int{2}
+	for name, run := range map[string]func(Config, Machine) (*Result, error){
+		"mobile":      RunMobile,
+		"transformed": RunTransformed,
+	} {
+		res, err := run(cfg, Walker(1, 6))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Outcomes[0] != "done" {
+			t.Fatalf("%s: outcome %q", name, res.Outcomes[0])
+		}
+		// 6 moves + final halt step = 7 activations.
+		if res.Steps != 7 {
+			t.Fatalf("%s: %d steps, want 7", name, res.Steps)
+		}
+	}
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	cfg := ringConfig(4, 1)
+	if _, err := RunMobile(cfg, Sitter()); err == nil {
+		t.Error("mobile runner missed the deadlock")
+	}
+	if _, err := RunTransformed(cfg, Sitter()); err == nil {
+		t.Error("transformed runner missed the deadlock")
+	}
+}
+
+func TestParkedAgentWakesOnBoardChange(t *testing.T) {
+	// Agent 0 sits at node 1 until a mark appears; agent 1 (based at node
+	// 1 of a 2-ring... use P2 via labels) writes it. Use C3 with two
+	// agents: A walks to B's home and waits for B's stamp, then halts.
+	g := graph.Cycle(3)
+	labels := elect.OrientedCycleLabeling(3)
+	machine := func(memory string, v View) (string, Action) {
+		switch memory {
+		case "":
+			if v.ID == 1 {
+				// Agent 1: walk one step clockwise, then wait for a stamp.
+				return "waiting", Action{MoveLabel: 1}
+			}
+			// Agent 2: stamp home after a while (the scheduler decides);
+			// then halt.
+			return "", Action{Write: []string{"stamp"}, Halt: "done"}
+		case "waiting":
+			for _, m := range v.Board {
+				if m == "stamp" {
+					return memory, Action{Halt: "done"}
+				}
+			}
+			return memory, Action{MoveLabel: -1}
+		}
+		return memory, Action{Halt: "error"}
+	}
+	for seed := int64(1); seed <= 10; seed++ {
+		for name, run := range map[string]func(Config, Machine) (*Result, error){
+			"mobile":      RunMobile,
+			"transformed": RunTransformed,
+		} {
+			res, err := run(Config{G: g, Labels: labels, Homes: []int{0, 1}, Seed: seed}, machine)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", name, seed, err)
+			}
+			if res.Outcomes[0] != "done" || res.Outcomes[1] != "done" {
+				t.Fatalf("%s seed %d: outcomes %v", name, seed, res.Outcomes)
+			}
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := RunMobile(Config{}, Walker(1, 1)); err == nil {
+		t.Error("empty config accepted")
+	}
+	g := graph.Cycle(3)
+	if _, err := RunMobile(Config{G: g, Labels: elect.OrientedCycleLabeling(3)}, Walker(1, 1)); err == nil {
+		t.Error("no agents accepted")
+	}
+	if _, err := RunMobile(Config{G: g, Labels: elect.OrientedCycleLabeling(3), Homes: []int{9}}, Walker(1, 1)); err == nil {
+		t.Error("out-of-range home accepted")
+	}
+	// Bad move label surfaces as an error.
+	bad := func(memory string, v View) (string, Action) {
+		return memory, Action{MoveLabel: 99}
+	}
+	if _, err := RunMobile(Config{G: g, Labels: elect.OrientedCycleLabeling(3), Homes: []int{0}}, bad); err == nil {
+		t.Error("bad move label accepted in mobile runner")
+	}
+	if _, err := RunTransformed(Config{G: g, Labels: elect.OrientedCycleLabeling(3), Homes: []int{0}}, bad); err == nil {
+		t.Error("bad move label accepted in transformed runner")
+	}
+}

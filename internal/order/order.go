@@ -1,0 +1,295 @@
+// Package order implements the COMPUTE & ORDER step of Protocol ELECT:
+// node surroundings (Definition 3.1), the equivalence classes of a bicolored
+// graph (Definition 2.1, computed equivalently as automorphism orbits or as
+// surrounding-isomorphism classes — Lemma 3.1 proves these coincide), and
+// the deterministic total order ≺ on classes (Lemma 3.1).
+//
+// Two implementations of ≺ are provided:
+//
+//   - the direct order, keyed by (|V|, canonical word of the bicolored
+//     surrounding digraph), and
+//   - the paper's hair order, keyed by (|V|, maximum hair length, canonical
+//     word of the uni-colored digraph obtained by replacing every black node
+//     with a white node carrying a white tail of length k+1).
+//
+// Both are deterministic total orders on isomorphism classes of bicolored
+// digraphs, which is all Protocol ELECT requires (every agent must compute
+// the same order from its own map). They need not rank classes identically;
+// ablation benchmarks compare their cost.
+package order
+
+import (
+	"bytes"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/iso"
+)
+
+// Surrounding returns the surrounding S(u) of node u in the bicolored graph
+// (g, colors): the directed graph on V(g) with an arc (x, y) for every edge
+// {x, y} with d(u, x) <= d(u, y). Parallel edges contribute multiplicity; a
+// loop at x contributes an arc (x, x). colors may be nil (all white).
+func Surrounding(g *graph.Graph, colors []int, u int) *iso.Colored {
+	n := g.N()
+	dist := g.BFSDist(u)
+	c := &iso.Colored{N: n, Color: make([]int, n), Adj: make([][]int, n)}
+	if colors != nil {
+		copy(c.Color, colors)
+	}
+	for i := range c.Adj {
+		c.Adj[i] = make([]int, n)
+	}
+	for _, e := range g.EdgeEndpoints() {
+		x, y := e[0], e[1]
+		if x == y {
+			c.Adj[x][x]++
+			continue
+		}
+		if dist[x] <= dist[y] {
+			c.Adj[x][y]++
+		}
+		if dist[y] <= dist[x] {
+			c.Adj[y][x]++
+		}
+	}
+	return c
+}
+
+// Key is a comparable total-order key for a bicolored digraph.
+type Key struct {
+	N    int
+	Hair int // used only by the hair order; 0 in the direct order
+	Word []byte
+}
+
+// Compare returns -1, 0, +1 ordering keys by (N, Hair, Word).
+func (k Key) Compare(o Key) int {
+	switch {
+	case k.N != o.N:
+		if k.N < o.N {
+			return -1
+		}
+		return 1
+	case k.Hair != o.Hair:
+		if k.Hair < o.Hair {
+			return -1
+		}
+		return 1
+	default:
+		return bytes.Compare(k.Word, o.Word)
+	}
+}
+
+// Ordering names one of the two ≺ implementations.
+type Ordering int
+
+const (
+	// Direct keys a surrounding by the canonical word of the bicolored
+	// digraph itself.
+	Direct Ordering = iota
+	// Hairs keys a surrounding by the paper's Lemma 3.1 construction:
+	// (|V|, max hair length, canonical word of the hat transformation).
+	Hairs
+)
+
+// SurroundingKey computes the ≺ key of a bicolored digraph under the chosen
+// ordering.
+func SurroundingKey(c *iso.Colored, ord Ordering) Key {
+	switch ord {
+	case Direct:
+		return Key{N: c.N, Word: iso.CanonicalWord(c)}
+	case Hairs:
+		k := maxHairLength(c)
+		hat := hatTransform(c, k)
+		return Key{N: c.N, Hair: k, Word: iso.CanonicalWord(hat)}
+	default:
+		panic("order: unknown ordering")
+	}
+}
+
+// maxHairLength returns the maximum length of a hair of the underlying
+// undirected graph of c: a maximal path x_0, …, x_k with deg(x_i) = 2 for
+// 0 < i < k and deg(x_k) = 1. Zero if there is no hair (no degree-1 node).
+func maxHairLength(c *iso.Colored) int {
+	n := c.N
+	deg := make([]int, n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			if x == y {
+				if c.Adj[x][x] > 0 {
+					deg[x] += 2 * c.Adj[x][x]
+				}
+				continue
+			}
+			m := c.Adj[x][y]
+			if c.Adj[y][x] > m {
+				m = c.Adj[y][x]
+			}
+			deg[x] += m
+		}
+	}
+	best := 0
+	for x := 0; x < n; x++ {
+		if deg[x] != 1 {
+			continue
+		}
+		// Walk inward from the degree-1 endpoint x_k while degree stays 2.
+		length := 0
+		prev, cur := -1, x
+		for {
+			next := -1
+			for y := 0; y < n; y++ {
+				if y != cur && y != prev && (c.Adj[cur][y] > 0 || c.Adj[y][cur] > 0) {
+					next = y
+					break
+				}
+			}
+			if next == -1 {
+				break
+			}
+			length++
+			if deg[next] != 2 {
+				break
+			}
+			prev, cur = cur, next
+		}
+		if length > best {
+			best = length
+		}
+	}
+	return best
+}
+
+// hatTransform returns the uni-colored digraph obtained by recoloring every
+// black node white and attaching to it a tail of k+1 fresh white nodes
+// (edges of the tail are symmetric arcs). Non-isomorphic bicolored digraphs
+// with equal hair bound map to non-isomorphic uni-colored digraphs, which is
+// how Lemma 3.1 reduces bicolored ordering to uni-colored ordering.
+func hatTransform(c *iso.Colored, k int) *iso.Colored {
+	var blacks []int
+	for v := 0; v < c.N; v++ {
+		if c.Color[v] != 0 {
+			blacks = append(blacks, v)
+		}
+	}
+	tail := k + 1
+	n := c.N + len(blacks)*tail
+	out := &iso.Colored{N: n, Color: make([]int, n), Adj: make([][]int, n)}
+	for i := range out.Adj {
+		out.Adj[i] = make([]int, n)
+	}
+	for x := 0; x < c.N; x++ {
+		copy(out.Adj[x][:c.N], c.Adj[x])
+	}
+	next := c.N
+	for _, b := range blacks {
+		prev := b
+		for t := 0; t < tail; t++ {
+			out.Adj[prev][next] = 1
+			out.Adj[next][prev] = 1
+			prev = next
+			next++
+		}
+	}
+	return out
+}
+
+// Ordered is the result of COMPUTE & ORDER on a bicolored graph: the
+// equivalence classes of (g, colors), with home-base (black) classes first,
+// each group sorted by ≺.
+type Ordered struct {
+	// Classes lists the node classes in protocol order: C_1 ≺ … ≺ C_ℓ
+	// (black classes), then C_{ℓ+1} ≺ … ≺ C_k (white classes).
+	Classes [][]int
+	// NumBlack is ℓ, the number of classes containing home-bases.
+	NumBlack int
+	// Keys[i] is the ≺ key of Classes[i]'s surrounding.
+	Keys []Key
+	// ClassOf[v] is the index into Classes of node v's class.
+	ClassOf []int
+	// Tied reports whether two distinct classes of the same color group
+	// received equal keys. This cannot happen for the equivalence classes
+	// of Definition 2.1 (distinct classes have non-isomorphic surroundings,
+	// Lemma 3.1) but can for externally supplied partitions such as the
+	// translation classes of Section 4 (see DESIGN.md §6).
+	Tied bool
+}
+
+// ComputeAndOrder computes the equivalence classes of the bicolored graph
+// (g, colors) — the orbits of its color-preserving automorphism group,
+// equivalently the surrounding-isomorphism classes (Lemma 3.1) — and orders
+// them by ≺ under the chosen ordering.
+func ComputeAndOrder(g *graph.Graph, colors []int, ord Ordering) *Ordered {
+	classes := iso.Orbits(iso.FromGraph(g, colors))
+	return OrderClasses(g, colors, classes, ord)
+}
+
+// OrderClasses orders an externally supplied partition of the nodes (for
+// example the translation classes of Section 4) by the ≺ keys of its
+// members' surroundings, black classes first. All members of a supplied
+// class must be mutually equivalent (share the surrounding); the key of the
+// smallest member is used. Ties between distinct classes set Tied.
+func OrderClasses(g *graph.Graph, colors []int, classes [][]int, ord Ordering) *Ordered {
+	type entry struct {
+		members []int
+		key     Key
+		black   bool
+	}
+	entries := make([]entry, len(classes))
+	for i, cl := range classes {
+		rep := cl[0]
+		entries[i] = entry{
+			members: cl,
+			key:     SurroundingKey(Surrounding(g, colors, rep), ord),
+			black:   colors != nil && colors[rep] != 0,
+		}
+	}
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].black != entries[j].black {
+			return entries[i].black
+		}
+		return entries[i].key.Compare(entries[j].key) < 0
+	})
+	out := &Ordered{ClassOf: make([]int, g.N())}
+	for i, e := range entries {
+		out.Classes = append(out.Classes, e.members)
+		out.Keys = append(out.Keys, e.key)
+		if e.black {
+			out.NumBlack = i + 1
+		}
+		for _, v := range e.members {
+			out.ClassOf[v] = i
+		}
+		if i > 0 && entries[i-1].black == e.black && entries[i-1].key.Compare(e.key) == 0 {
+			out.Tied = true
+		}
+	}
+	return out
+}
+
+// Sizes returns the class sizes in protocol order.
+func (o *Ordered) Sizes() []int {
+	out := make([]int, len(o.Classes))
+	for i, c := range o.Classes {
+		out[i] = len(c)
+	}
+	return out
+}
+
+// GCD returns the gcd of all class sizes — the quantity Theorem 3.1's
+// success condition is stated in.
+func (o *Ordered) GCD() int {
+	g := 0
+	for _, c := range o.Classes {
+		g = gcd(g, len(c))
+	}
+	return g
+}
+
+func gcd(a, b int) int {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}

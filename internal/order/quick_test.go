@@ -1,0 +1,97 @@
+package order
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+// The ordered class structure is a partition: every node in exactly one
+// class, ClassOf consistent, black classes first, keys sorted within each
+// color group, and GCD dividing every class size.
+func TestQuickOrderedIsConsistentPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(8)
+		g := graph.RandomConnected(n, rng.Intn(6), rng.Int63())
+		colors := make([]int, n)
+		for k := 0; k <= rng.Intn(3); k++ {
+			colors[rng.Intn(n)] = 1
+		}
+		for _, ord := range []Ordering{Direct, Hairs} {
+			o := ComputeAndOrder(g, colors, ord)
+			seen := make([]bool, n)
+			for i, cl := range o.Classes {
+				if len(cl) == 0 {
+					return false
+				}
+				for _, v := range cl {
+					if seen[v] || o.ClassOf[v] != i {
+						return false
+					}
+					seen[v] = true
+					// Classes are color-pure and blacks come first.
+					if (colors[v] == 1) != (i < o.NumBlack) {
+						return false
+					}
+				}
+			}
+			for _, s := range seen {
+				if !s {
+					return false
+				}
+			}
+			// Keys sorted within each color group.
+			for i := 1; i < len(o.Classes); i++ {
+				sameGroup := (i < o.NumBlack) == (i-1 < o.NumBlack)
+				if sameGroup && o.Keys[i-1].Compare(o.Keys[i]) > 0 {
+					return false
+				}
+			}
+			// No ties between distinct equivalence classes (Lemma 3.1).
+			if o.Tied {
+				return false
+			}
+			for _, cl := range o.Classes {
+				if len(cl)%o.GCD() != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Surrounding keys agree across equivalent nodes and differ across
+// inequivalent ones (the two halves of Lemma 3.1).
+func TestQuickSurroundingKeysCharacterizeClasses(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(6)
+		g := graph.RandomConnected(n, rng.Intn(4), rng.Int63())
+		colors := make([]int, n)
+		colors[rng.Intn(n)] = 1
+		o := ComputeAndOrder(g, colors, Direct)
+		keys := make([]Key, n)
+		for v := 0; v < n; v++ {
+			keys[v] = SurroundingKey(Surrounding(g, colors, v), Direct)
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				same := keys[u].Compare(keys[v]) == 0
+				if same != (o.ClassOf[u] == o.ClassOf[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,680 @@
+// Package sim is the mobile-agent runtime of the reproduction: an
+// asynchronous simulator for agents moving on an anonymous port-labeled
+// network and communicating through node whiteboards, as defined in
+// Section 1.2 of the paper.
+//
+// Model enforcement. The qualitative model is enforced by the type system:
+//
+//   - Color is an opaque handle exposing only Equal. Protocol code cannot
+//     order two colors; the engine additionally assigns the underlying
+//     identities from a seed-shuffled palette, so code that smuggled an
+//     ordering out of them would be flushed out by multi-seed tests.
+//   - Symbol (a port symbol) is likewise opaque and only comparable for
+//     equality; each agent sees the symbols of a node in its own
+//     seed-shuffled presentation order, modelling "each agent produces its
+//     own encoding of the symbols".
+//   - Nodes are anonymous: an agent can observe only its current node's
+//     degree, port symbols, entry symbol, and whiteboard.
+//
+// Concurrency. One goroutine per agent; each whiteboard is a mutex-protected
+// sign set with a condition variable so agents can block until a predicate
+// over the signs holds ("waiting for the arrival of another agent"). Every
+// move and whiteboard access passes a scheduler hook that injects seeded
+// random delays — the paper's adversary that makes every action take "a
+// finite but otherwise unpredictable amount of time". Moves and accesses are
+// counted per agent to validate the O(r·|E|) bound of Theorem 3.1.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Color is an agent color: distinct, but mutually incomparable. The zero
+// Color is invalid.
+type Color struct {
+	id int // 1-based palette index, seed-shuffled; never exposed
+}
+
+// Equal is the only operation the qualitative model permits on colors.
+func (c Color) Equal(d Color) bool { return c.id == d.id }
+
+// IsZero reports whether c is the invalid zero Color.
+func (c Color) IsZero() bool { return c.id == 0 }
+
+// String renders an arbitrary stable name for diagnostics. The name carries
+// no protocol-usable order (it reflects the seed-shuffled internal id).
+func (c Color) String() string { return fmt.Sprintf("color#%d", c.id) }
+
+// Symbol is a port symbol at some node: distinct from the other symbols of
+// that node, recognizable on revisits, but incomparable. The zero Symbol is
+// invalid. Symbols are valid map keys.
+type Symbol struct {
+	node int
+	port int
+	ok   bool
+}
+
+// IsZero reports whether s is the invalid zero Symbol.
+func (s Symbol) IsZero() bool { return !s.ok }
+
+// Sign is a colored sign on a whiteboard: a tag written by an agent of some
+// color (Section 1.2: "an agent can write on the whiteboards signs colored
+// by its own color").
+type Sign struct {
+	Color Color
+	Tag   string
+}
+
+// Signs is a snapshot of a whiteboard's contents.
+type Signs []Sign
+
+// Has reports whether any sign carries the tag.
+func (ss Signs) Has(tag string) bool {
+	for _, s := range ss {
+		if s.Tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// HasBy reports whether a sign with the tag was written by the color.
+func (ss Signs) HasBy(c Color, tag string) bool {
+	for _, s := range ss {
+		if s.Tag == tag && s.Color.Equal(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// CountColors returns the number of distinct colors having written the tag.
+func (ss Signs) CountColors(tag string) int {
+	return len(ss.Colors(tag))
+}
+
+// Colors returns the distinct colors having written the tag (in an
+// unspecified order — colors are incomparable).
+func (ss Signs) Colors(tag string) []Color {
+	var out []Color
+	for _, s := range ss {
+		if s.Tag != tag {
+			continue
+		}
+		dup := false
+		for _, c := range out {
+			if c.Equal(s.Color) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, s.Color)
+		}
+	}
+	return out
+}
+
+// WithPrefix returns the signs whose tag starts with the prefix.
+func (ss Signs) WithPrefix(prefix string) Signs {
+	var out Signs
+	for _, s := range ss {
+		if len(s.Tag) >= len(prefix) && s.Tag[:len(prefix)] == prefix {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Board is the mutable view of a whiteboard held during an exclusive access
+// (the paper's "fair mutual exclusion mechanism"). It must only be used
+// inside the Access callback that provided it.
+type Board struct {
+	wb    *whiteboard
+	color Color
+	// trace context (nil-safe): set by Agent.Access.
+	agent *Agent
+	node  int
+}
+
+// Signs returns the current signs (a copy safe to retain).
+func (b *Board) Signs() Signs {
+	out := make(Signs, len(b.wb.signs))
+	copy(out, b.wb.signs)
+	return out
+}
+
+// Write adds the sign (caller's color, tag). Duplicate (color, tag) pairs
+// are idempotent.
+func (b *Board) Write(tag string) {
+	for _, s := range b.wb.signs {
+		if s.Tag == tag && s.Color.Equal(b.color) {
+			return
+		}
+	}
+	b.wb.signs = append(b.wb.signs, Sign{Color: b.color, Tag: tag})
+	b.wb.dirty = true
+	if b.agent != nil {
+		b.agent.eng.trace(b.agent.index, EvWrite, b.node, tag)
+	}
+}
+
+// Erase removes the caller's sign with the tag, if present.
+func (b *Board) Erase(tag string) {
+	for i, s := range b.wb.signs {
+		if s.Tag == tag && s.Color.Equal(b.color) {
+			b.wb.signs = append(b.wb.signs[:i], b.wb.signs[i+1:]...)
+			b.wb.dirty = true
+			if b.agent != nil {
+				b.agent.eng.trace(b.agent.index, EvErase, b.node, tag)
+			}
+			return
+		}
+	}
+}
+
+type whiteboard struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	signs []Sign
+	dirty bool // set by writes, used to broadcast waiters
+}
+
+func newWhiteboard() *whiteboard {
+	wb := &whiteboard{}
+	wb.cond = sync.NewCond(&wb.mu)
+	return wb
+}
+
+// ErrAborted is returned from agent operations after the engine deadline
+// fires or the run is cancelled.
+var ErrAborted = errors.New("sim: run aborted (deadline reached)")
+
+// Role is an agent's final protocol status.
+type Role int
+
+const (
+	// RoleUnknown means the protocol ended without declaring a status.
+	RoleUnknown Role = iota
+	// RoleLeader marks the elected agent.
+	RoleLeader
+	// RoleDefeated marks an agent that accepted another agent as leader.
+	RoleDefeated
+	// RoleUnsolvable marks an agent that detected that election is
+	// impossible for this input (the protocol is effectual, not universal).
+	RoleUnsolvable
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleLeader:
+		return "leader"
+	case RoleDefeated:
+		return "defeated"
+	case RoleUnsolvable:
+		return "unsolvable"
+	default:
+		return "unknown"
+	}
+}
+
+// Outcome is what a protocol reports for one agent.
+type Outcome struct {
+	Role Role
+	// Leader is the color of the elected leader, when Role is RoleLeader
+	// or RoleDefeated.
+	Leader Color
+}
+
+// Protocol is the code run by every agent (all agents execute the same
+// protocol — Section 1.2).
+type Protocol func(a *Agent) (Outcome, error)
+
+// Config describes one simulation run.
+type Config struct {
+	Graph *graph.Graph
+	// Homes lists the home-base node of each agent (distinct nodes).
+	Homes []int
+	// Seed drives color assignment, symbol presentation shuffles, the
+	// initial wake-up choice and the delay injection.
+	Seed int64
+	// MaxDelay bounds the random delay injected before each agent
+	// operation; 0 injects only scheduling yields.
+	MaxDelay time.Duration
+	// WakeAll wakes every agent at start; otherwise a random nonempty
+	// subset is woken and the rest sleep until a visiting agent wakes them
+	// (or until the protocol ends — protocols must wake sleepers they rely
+	// on, as MAP-DRAWING does).
+	WakeAll bool
+	// Timeout aborts the run (default 30s).
+	Timeout time.Duration
+	// QuantitativeIDs, when set, lets agents call Agent.ID to obtain a
+	// totally ordered integer identity — the quantitative model used by
+	// the baseline protocol of Section 1.3. Qualitative protocols must
+	// not use it.
+	QuantitativeIDs bool
+	// AllowSharedHomes permits several agents to start on one node — the
+	// extension the paper claims in Section 1.2 ("all our results extend
+	// to the case where more than one agent can occupy a single node").
+	// Off by default so accidental duplicates in configurations fail fast.
+	AllowSharedHomes bool
+	// Tracer, when set, receives observer-side events (moves, sign writes,
+	// wake-ups, outcomes). See trace.go.
+	Tracer Tracer
+}
+
+// TagHome marks home-bases: the engine writes this sign, colored by the
+// resident agent, on every home whiteboard before the run starts
+// ("the home-base of a is marked with a sign of color c(a)").
+const TagHome = "home"
+
+// TagWake wakes a sleeping agent when written on its home whiteboard.
+const TagWake = "wake"
+
+// Agent is the handle protocol code uses to act on the network. Methods are
+// only valid from the protocol goroutine the agent was handed to.
+type Agent struct {
+	eng   *engine
+	index int // agent index (engine-internal)
+	color Color
+	node  int    // current node (engine-internal; never exposed)
+	entry Symbol // symbol of the port we arrived through (zero at home)
+	rng   *rand.Rand
+
+	moves    int64
+	accesses int64
+
+	id int // quantitative identity, only via ID()
+}
+
+// Color returns the agent's own color.
+func (a *Agent) Color() Color { return a.color }
+
+// ID returns the agent's totally ordered integer identity. It panics unless
+// the run was configured with QuantitativeIDs — calling it from a
+// qualitative protocol is a model violation.
+func (a *Agent) ID() int {
+	if !a.eng.cfg.QuantitativeIDs {
+		panic("sim: Agent.ID called in the qualitative model")
+	}
+	return a.id
+}
+
+// Deg returns the degree of the current node.
+func (a *Agent) Deg() int { return a.eng.cfg.Graph.Deg(a.node) }
+
+// Symbols returns the port symbols of the current node, in this agent's own
+// presentation order (stable per agent and node across visits, but different
+// agents see different orders — "its own encoding of the symbols").
+func (a *Agent) Symbols() []Symbol {
+	d := a.eng.cfg.Graph.Deg(a.node)
+	perm := a.eng.presentation(a.index, a.node, d)
+	out := make([]Symbol, d)
+	for i, p := range perm {
+		out[i] = Symbol{node: a.node, port: p, ok: true}
+	}
+	return out
+}
+
+// Entry returns the symbol of the port through which the agent entered the
+// current node (zero at its home-base before any move).
+func (a *Agent) Entry() Symbol { return a.entry }
+
+// Move traverses the port with the given symbol (which must be a symbol of
+// the current node) and returns the entry symbol at the destination.
+func (a *Agent) Move(s Symbol) (Symbol, error) {
+	if err := a.eng.delay(a); err != nil {
+		return Symbol{}, err
+	}
+	if s.node != a.node || !s.ok {
+		return Symbol{}, fmt.Errorf("sim: symbol is not a port of the current node")
+	}
+	h := a.eng.cfg.Graph.Port(a.node, s.port)
+	a.node = h.To
+	a.entry = Symbol{node: h.To, port: h.Twin, ok: true}
+	atomic.AddInt64(&a.moves, 1)
+	a.eng.trace(a.index, EvMove, a.node, "")
+	return a.entry, nil
+}
+
+// Access grants exclusive access to the current node's whiteboard for the
+// duration of f (the model's mutual-exclusion whiteboard access). The Board
+// is invalid outside f.
+func (a *Agent) Access(f func(b *Board)) error {
+	if err := a.eng.delay(a); err != nil {
+		return err
+	}
+	wb := a.eng.boards[a.node]
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	atomic.AddInt64(&a.accesses, 1)
+	b := &Board{wb: wb, color: a.color, agent: a, node: a.node}
+	f(b)
+	if wb.dirty {
+		wb.dirty = false
+		wb.cond.Broadcast()
+	}
+	return nil
+}
+
+// Wait blocks until the current node's whiteboard satisfies pred (checked
+// under the board lock, re-checked after every write to this board). The
+// agent must stay at the node; returning signs are a snapshot.
+func (a *Agent) Wait(pred func(Signs) bool) (Signs, error) {
+	if err := a.eng.delay(a); err != nil {
+		return nil, err
+	}
+	wb := a.eng.boards[a.node]
+	wb.mu.Lock()
+	defer wb.mu.Unlock()
+	atomic.AddInt64(&a.accesses, 1)
+	for {
+		snapshot := make(Signs, len(wb.signs))
+		copy(snapshot, wb.signs)
+		if pred(snapshot) {
+			return snapshot, nil
+		}
+		if atomic.LoadInt32(&a.eng.aborted) != 0 {
+			return nil, ErrAborted
+		}
+		wb.cond.Wait()
+	}
+}
+
+// Moves returns the number of moves the agent has performed so far.
+func (a *Agent) Moves() int64 { return atomic.LoadInt64(&a.moves) }
+
+// Accesses returns the number of whiteboard accesses so far.
+func (a *Agent) Accesses() int64 { return atomic.LoadInt64(&a.accesses) }
+
+// Rand returns the agent's private PRNG (for tie-breaking inside protocol
+// implementations that allow randomized exploration order; the protocols in
+// this repository are deterministic and do not use it, but examples may).
+func (a *Agent) Rand() *rand.Rand { return a.rng }
+
+// Result collects the outcome of a run.
+type Result struct {
+	// Outcomes[i] is agent i's reported outcome (order matches cfg.Homes).
+	Outcomes []Outcome
+	// Errors[i] is agent i's protocol error, if any.
+	Errors []error
+	// Moves and Accesses are per-agent counters.
+	Moves    []int64
+	Accesses []int64
+	// Colors[i] is agent i's color (for test-side bookkeeping; tests may
+	// map colors back to indices, protocols may not).
+	Colors []Color
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// TotalMoves sums the per-agent move counters.
+func (r *Result) TotalMoves() int64 {
+	var t int64
+	for _, m := range r.Moves {
+		t += m
+	}
+	return t
+}
+
+// TotalAccesses sums the per-agent whiteboard-access counters.
+func (r *Result) TotalAccesses() int64 {
+	var t int64
+	for _, m := range r.Accesses {
+		t += m
+	}
+	return t
+}
+
+// LeaderCount returns how many agents ended in RoleLeader.
+func (r *Result) LeaderCount() int {
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Role == RoleLeader {
+			n++
+		}
+	}
+	return n
+}
+
+// AgreedLeader reports whether exactly one agent is leader, all others are
+// defeated, and all agree on the leader's color.
+func (r *Result) AgreedLeader() bool {
+	var leader Color
+	count := 0
+	for i, o := range r.Outcomes {
+		if o.Role == RoleLeader {
+			count++
+			leader = r.Colors[i]
+			if !o.Leader.Equal(leader) {
+				return false
+			}
+		}
+	}
+	if count != 1 {
+		return false
+	}
+	for _, o := range r.Outcomes {
+		if o.Role == RoleDefeated && !o.Leader.Equal(leader) {
+			return false
+		}
+		if o.Role != RoleLeader && o.Role != RoleDefeated {
+			return false
+		}
+	}
+	return true
+}
+
+// AllUnsolvable reports whether every agent declared the input unsolvable.
+func (r *Result) AllUnsolvable() bool {
+	for _, o := range r.Outcomes {
+		if o.Role != RoleUnsolvable {
+			return false
+		}
+	}
+	return len(r.Outcomes) > 0
+}
+
+type engine struct {
+	cfg     Config
+	boards  []*whiteboard
+	agents  []*Agent
+	aborted int32
+	started time.Time
+
+	presMu sync.Mutex
+	pres   map[[2]int][]int // (agent, node) -> presentation permutation
+	seedLo int64
+}
+
+func (e *engine) presentation(agent, node, deg int) []int {
+	e.presMu.Lock()
+	defer e.presMu.Unlock()
+	key := [2]int{agent, node}
+	if p, ok := e.pres[key]; ok {
+		return p
+	}
+	rng := rand.New(rand.NewSource(e.seedLo ^ int64(agent)*7919 ^ int64(node)*104729))
+	p := rng.Perm(deg)
+	e.pres[key] = p
+	return p
+}
+
+// delay injects the adversarial asynchrony before each operation.
+func (e *engine) delay(a *Agent) error {
+	if atomic.LoadInt32(&e.aborted) != 0 {
+		return ErrAborted
+	}
+	if e.cfg.MaxDelay > 0 {
+		d := time.Duration(a.rng.Int63n(int64(e.cfg.MaxDelay) + 1))
+		time.Sleep(d)
+	} else {
+		runtime.Gosched()
+	}
+	if atomic.LoadInt32(&e.aborted) != 0 {
+		return ErrAborted
+	}
+	return nil
+}
+
+// Run executes the protocol with one goroutine per agent and returns the
+// collected outcomes. It validates the configuration (connected graph,
+// distinct in-range home-bases, at least one agent).
+func Run(cfg Config, protocol Protocol) (*Result, error) {
+	if cfg.Graph == nil || cfg.Graph.N() == 0 {
+		return nil, errors.New("sim: empty graph")
+	}
+	if !cfg.Graph.IsConnected() {
+		return nil, errors.New("sim: graph must be connected")
+	}
+	if len(cfg.Homes) == 0 {
+		return nil, errors.New("sim: need at least one agent")
+	}
+	seen := make(map[int]bool)
+	for _, h := range cfg.Homes {
+		if h < 0 || h >= cfg.Graph.N() {
+			return nil, fmt.Errorf("sim: home-base %d out of range", h)
+		}
+		if seen[h] && !cfg.AllowSharedHomes {
+			return nil, fmt.Errorf("sim: duplicate home-base %d (set AllowSharedHomes to permit co-located agents)", h)
+		}
+		seen[h] = true
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	e := &engine{
+		cfg:    cfg,
+		boards: make([]*whiteboard, cfg.Graph.N()),
+		pres:   make(map[[2]int][]int),
+		seedLo: rng.Int63(),
+	}
+	for i := range e.boards {
+		e.boards[i] = newWhiteboard()
+	}
+
+	// Seed-shuffled palette: agent i's color id is palette[i]+1, so color
+	// ids carry no information about agent indices.
+	palette := rng.Perm(len(cfg.Homes))
+	e.agents = make([]*Agent, len(cfg.Homes))
+	for i, h := range cfg.Homes {
+		e.agents[i] = &Agent{
+			eng:   e,
+			index: i,
+			color: Color{id: palette[i] + 1},
+			node:  h,
+			rng:   rand.New(rand.NewSource(rng.Int63())),
+			id:    i + 1,
+		}
+	}
+
+	// Pre-mark home-bases.
+	for i, h := range cfg.Homes {
+		e.boards[h].signs = append(e.boards[h].signs, Sign{Color: e.agents[i].color, Tag: TagHome})
+	}
+
+	// Wake the initial set.
+	wake := map[int]bool{}
+	if cfg.WakeAll {
+		for i := range cfg.Homes {
+			wake[i] = true
+		}
+	} else {
+		k := 1 + rng.Intn(len(cfg.Homes))
+		for _, i := range rng.Perm(len(cfg.Homes))[:k] {
+			wake[i] = true
+		}
+	}
+	var wakeList []int
+	for i := range wake {
+		wakeList = append(wakeList, i)
+	}
+	sort.Ints(wakeList)
+	for _, i := range wakeList {
+		h := cfg.Homes[i]
+		e.boards[h].signs = append(e.boards[h].signs, Sign{Color: e.agents[i].color, Tag: TagWake})
+	}
+
+	res := &Result{
+		Outcomes: make([]Outcome, len(cfg.Homes)),
+		Errors:   make([]error, len(cfg.Homes)),
+		Moves:    make([]int64, len(cfg.Homes)),
+		Accesses: make([]int64, len(cfg.Homes)),
+		Colors:   make([]Color, len(cfg.Homes)),
+	}
+	for i := range e.agents {
+		res.Colors[i] = e.agents[i].color
+	}
+
+	start := time.Now()
+	e.started = start
+	var wg sync.WaitGroup
+	for i := range e.agents {
+		wg.Add(1)
+		go func(a *Agent, i int) {
+			defer wg.Done()
+			// Sleep until woken: a sleeping agent's first action is to wait
+			// for a wake sign on its home whiteboard.
+			_, err := a.Wait(func(ss Signs) bool { return ss.Has(TagWake) })
+			if err != nil {
+				res.Errors[i] = err
+				return
+			}
+			e.trace(i, EvWake, a.node, "")
+			out, err := protocol(a)
+			res.Outcomes[i] = out
+			res.Errors[i] = err
+			e.trace(i, EvOutcome, a.node, out.Role.String())
+		}(e.agents[i], i)
+	}
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	var runErr error
+	select {
+	case <-done:
+	case <-time.After(cfg.Timeout):
+		atomic.StoreInt32(&e.aborted, 1)
+		// Wake all waiters so they observe the abort.
+		for {
+			for _, wb := range e.boards {
+				wb.mu.Lock()
+				wb.cond.Broadcast()
+				wb.mu.Unlock()
+			}
+			select {
+			case <-done:
+				runErr = fmt.Errorf("sim: %w after %v", ErrAborted, cfg.Timeout)
+			case <-time.After(10 * time.Millisecond):
+				continue
+			}
+			break
+		}
+	}
+	res.Elapsed = time.Since(start)
+	for i := range e.agents {
+		res.Moves[i] = e.agents[i].Moves()
+		res.Accesses[i] = e.agents[i].Accesses()
+	}
+	for i, err := range res.Errors {
+		if err != nil && runErr == nil {
+			runErr = fmt.Errorf("sim: agent %d: %w", i, err)
+		}
+	}
+	return res, runErr
+}

@@ -1,0 +1,66 @@
+package sim
+
+import "time"
+
+// EventKind classifies a trace event.
+type EventKind int
+
+const (
+	// EvMove is a traversal of one edge.
+	EvMove EventKind = iota
+	// EvWrite is a sign written on a whiteboard.
+	EvWrite
+	// EvErase is a sign removed from a whiteboard.
+	EvErase
+	// EvWake is the moment an agent leaves its initial sleep.
+	EvWake
+	// EvOutcome is the agent's final protocol outcome.
+	EvOutcome
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvMove:
+		return "move"
+	case EvWrite:
+		return "write"
+	case EvErase:
+		return "erase"
+	case EvWake:
+		return "wake"
+	case EvOutcome:
+		return "outcome"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one observer-side trace record. Unlike protocol code, the
+// observer sees global identities: the agent index and physical node ids.
+// Events are emitted synchronously from inside the runtime (whiteboard
+// events under the board lock), so tracers must be fast and must not call
+// back into the simulation.
+type Event struct {
+	At    time.Duration // since the run started
+	Agent int           // agent index (matches Result slices)
+	Kind  EventKind
+	Node  int    // physical node where the event happened (destination for moves)
+	Tag   string // sign tag for EvWrite/EvErase; role string for EvOutcome
+}
+
+// Tracer receives trace events. Nil disables tracing.
+type Tracer func(Event)
+
+func (e *engine) trace(agent int, kind EventKind, node int, tag string) {
+	if e.cfg.Tracer == nil {
+		return
+	}
+	e.cfg.Tracer(Event{
+		At:    time.Since(e.started),
+		Agent: agent,
+		Kind:  kind,
+		Node:  node,
+		Tag:   tag,
+	})
+}

@@ -1,0 +1,110 @@
+package view
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Quotient is the view-quotient of a labeled bicolored network: one node
+// per view class, with the multiset of labeled arcs out of any class
+// representative. In Yamashita–Kameda theory the network is a σ_ℓ-fold
+// "fibration" of its quotient: every node of a class sees exactly the same
+// labeled arc multiset, so the quotient captures everything an anonymous
+// computation can depend on. Theorem 2.1's processor-network argument is a
+// walk through this structure.
+type Quotient struct {
+	Classes *Classes
+	// Arcs[c] lists the outgoing arcs of class c through each port of a
+	// representative: (label here, label there, destination class),
+	// sorted canonically.
+	Arcs [][]QArc
+}
+
+// QArc is one labeled arc of the quotient.
+type QArc struct {
+	LabelHere  int
+	LabelThere int
+	To         int // destination class
+}
+
+// BuildQuotient computes the view-quotient of (g, l, colors).
+func BuildQuotient(g *graph.Graph, l graph.EdgeLabeling, colors []int) (*Quotient, error) {
+	cl, err := ComputeClasses(g, l, colors)
+	if err != nil {
+		return nil, err
+	}
+	q := &Quotient{Classes: cl, Arcs: make([][]QArc, cl.Count())}
+	for c, members := range cl.Members {
+		rep := members[0]
+		var arcs []QArc
+		for p, h := range g.Ports(rep) {
+			arcs = append(arcs, QArc{
+				LabelHere:  l[rep][p],
+				LabelThere: l[h.To][h.Twin],
+				To:         cl.Class[h.To],
+			})
+		}
+		sort.Slice(arcs, func(i, j int) bool {
+			a, b := arcs[i], arcs[j]
+			if a.LabelHere != b.LabelHere {
+				return a.LabelHere < b.LabelHere
+			}
+			if a.LabelThere != b.LabelThere {
+				return a.LabelThere < b.LabelThere
+			}
+			return a.To < b.To
+		})
+		q.Arcs[c] = arcs
+	}
+	return q, nil
+}
+
+// WellDefined verifies the fibration property: every member of every class
+// produces the identical canonical arc multiset. It returns an error naming
+// the first violation (there should never be one — exposed as an executable
+// sanity check of the view theory).
+func (q *Quotient) WellDefined(g *graph.Graph, l graph.EdgeLabeling) error {
+	for c, members := range q.Classes.Members {
+		want := fmt.Sprint(q.Arcs[c])
+		for _, v := range members {
+			var arcs []QArc
+			for p, h := range g.Ports(v) {
+				arcs = append(arcs, QArc{
+					LabelHere:  l[v][p],
+					LabelThere: l[h.To][h.Twin],
+					To:         q.Classes.Class[h.To],
+				})
+			}
+			sort.Slice(arcs, func(i, j int) bool {
+				a, b := arcs[i], arcs[j]
+				if a.LabelHere != b.LabelHere {
+					return a.LabelHere < b.LabelHere
+				}
+				if a.LabelThere != b.LabelThere {
+					return a.LabelThere < b.LabelThere
+				}
+				return a.To < b.To
+			})
+			if fmt.Sprint(arcs) != want {
+				return fmt.Errorf("view: node %d of class %d has arc multiset %v, class has %v",
+					v, c, arcs, q.Arcs[c])
+			}
+		}
+	}
+	return nil
+}
+
+// NodeCount returns the number of quotient nodes (= view classes).
+func (q *Quotient) NodeCount() int { return q.Classes.Count() }
+
+// FoldDegree returns σ_ℓ — every class has this size — or 0 if the class
+// sizes are unequal (impossible for connected inputs).
+func (q *Quotient) FoldDegree() int {
+	s, ok := q.Classes.Symmetricity()
+	if !ok {
+		return 0
+	}
+	return s
+}

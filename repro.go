@@ -1,0 +1,183 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	L. Barrière, P. Flocchini, P. Fraigniaud, N. Santoro,
+//	"Can we elect if we cannot compare?", 15th ACM SPAA, 2003.
+//
+// The paper studies deterministic leader election among mobile agents on
+// anonymous networks in the QUALITATIVE model: agents carry distinct but
+// mutually incomparable labels ("colors"), and local edge labels are
+// likewise distinct but incomparable — protocols may test equality but may
+// never order labels. The repository implements:
+//
+//   - an asynchronous mobile-agent simulator with whiteboards in which the
+//     qualitative model is enforced by the type system (internal/sim);
+//   - Protocol ELECT of Section 3 — whiteboard-DFS map drawing, canonical
+//     ordering of the equivalence classes of the bicolored network, and the
+//     gcd reduction via AGENT-REDUCE and NODE-REDUCE (internal/elect);
+//   - the effectual Cayley-graph variant of Section 4, with exact Cayley
+//     recognition by regular-subgroup search (internal/group);
+//   - the impossibility machinery of Section 2 — views, symmetricity,
+//     label-preserving automorphisms and the Theorem 2.1 oracle
+//     (internal/view, internal/labeling);
+//   - the quantitative baseline, the bespoke Petersen protocol, and the
+//     lockstep anonymous-agents interpreter of the Section 1.3 argument.
+//
+// This root package is a façade re-exporting the pieces a downstream user
+// needs: graph construction, election runs, and solvability analysis. The
+// experiment harness regenerating the paper's table and figures lives in
+// internal/exp and is driven by cmd/experiments and the root benchmarks.
+package repro
+
+import (
+	"time"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/sim"
+)
+
+// Graph is an anonymous undirected multigraph (see internal/graph).
+type Graph = graph.Graph
+
+// Re-exported graph generators.
+var (
+	Path              = graph.Path
+	Cycle             = graph.Cycle
+	Complete          = graph.Complete
+	CompleteBipartite = graph.CompleteBipartite
+	Star              = graph.Star
+	Hypercube         = graph.Hypercube
+	Torus             = graph.Torus
+	Grid              = graph.Grid
+	Circulant         = graph.Circulant
+	Petersen          = graph.Petersen
+	CCC               = graph.CCC
+	Prism             = graph.Prism
+	Wheel             = graph.Wheel
+	MoebiusKantor     = graph.MoebiusKantor
+	RandomConnected   = graph.RandomConnected
+)
+
+// NewGraphBuilder starts an explicit graph construction.
+func NewGraphBuilder(n int) *graph.Builder { return graph.NewBuilder(n) }
+
+// Result is the outcome of a simulated election run.
+type Result = sim.Result
+
+// Outcome and roles of individual agents.
+type (
+	Outcome = sim.Outcome
+	Role    = sim.Role
+)
+
+// Agent roles reported by protocols.
+const (
+	RoleLeader     = sim.RoleLeader
+	RoleDefeated   = sim.RoleDefeated
+	RoleUnsolvable = sim.RoleUnsolvable
+)
+
+// RunConfig configures an election run.
+type RunConfig struct {
+	// Seed drives the adversary: color assignment, per-agent symbol
+	// encodings, initial wake-up set and delay injection.
+	Seed int64
+	// MaxDelay bounds the random per-operation delay (0 = yields only).
+	MaxDelay time.Duration
+	// WakeAll starts every agent awake; otherwise a random nonempty subset
+	// starts and MAP-DRAWING wakes the rest.
+	WakeAll bool
+	// Timeout aborts a stuck run (default 30s).
+	Timeout time.Duration
+	// UseHairOrdering selects the paper's Lemma 3.1 hair construction for
+	// the class order ≺ instead of the direct canonical order.
+	UseHairOrdering bool
+	// AllowSharedHomes permits repeated entries in the homes list — the
+	// Section 1.2 extension where several agents start on one node.
+	// Co-located agents are first reduced by a local whiteboard race; the
+	// node weights stay visible to the class computation.
+	AllowSharedHomes bool
+	// Trace, when set, receives observer-side runtime events (moves, sign
+	// writes, wake-ups, outcomes).
+	Trace Tracer
+}
+
+// Tracer receives observer-side simulation events.
+type Tracer = sim.Tracer
+
+// TraceEvent is one observer-side runtime event.
+type TraceEvent = sim.Event
+
+func (c RunConfig) ordering() order.Ordering {
+	if c.UseHairOrdering {
+		return order.Hairs
+	}
+	return order.Direct
+}
+
+// RunElect runs Protocol ELECT (Section 3) with one agent per home-base.
+// It elects a leader iff the gcd of the equivalence-class sizes of (g, p)
+// is 1; otherwise every agent reports the election unsolvable.
+func RunElect(g *Graph, homes []int, cfg RunConfig) (*Result, error) {
+	return sim.Run(simConfig(g, homes, cfg, false),
+		elect.Elect(elect.Options{Ordering: cfg.ordering()}))
+}
+
+// RunCayleyElect runs the Section 4 effectual protocol for Cayley graphs:
+// agents recognize the Cayley structure from their drawn maps, report
+// impossibility when a nontrivial translation preserves the home-base set,
+// and otherwise elect via the ELECT reduction.
+func RunCayleyElect(g *Graph, homes []int, cfg RunConfig) (*Result, error) {
+	return sim.Run(simConfig(g, homes, cfg, false),
+		elect.CayleyElect(elect.CayleyOptions{Ordering: cfg.ordering(), FallbackToElect: true}))
+}
+
+// RunQuantitative runs the quantitative baseline of Section 1.3: agents
+// carry totally ordered integer identities and the maximum wins. It is
+// universal — it succeeds on every input, including those impossible in the
+// qualitative model.
+func RunQuantitative(g *Graph, homes []int, cfg RunConfig) (*Result, error) {
+	return sim.Run(simConfig(g, homes, cfg, true), elect.QuantitativeElect())
+}
+
+// RunPetersenAdHoc runs the bespoke Section 4 protocol electing a leader on
+// the Petersen graph with two agents at adjacent home-bases — the instance
+// where ELECT is not effectual (Figure 5).
+func RunPetersenAdHoc(g *Graph, homes []int, cfg RunConfig) (*Result, error) {
+	return sim.Run(simConfig(g, homes, cfg, false), elect.PetersenElect())
+}
+
+// RunGather runs the rendezvous protocol built on ELECT (the paper's
+// footnote 2): elect a leader, then gather every agent at the leader's
+// home-base. On success every agent is physically at the rendezvous node;
+// if election is impossible, every agent reports unsolvable.
+func RunGather(g *Graph, homes []int, cfg RunConfig) (*Result, error) {
+	return sim.Run(simConfig(g, homes, cfg, false),
+		elect.Gather(elect.Options{Ordering: cfg.ordering()}))
+}
+
+func simConfig(g *Graph, homes []int, cfg RunConfig, quant bool) sim.Config {
+	return sim.Config{
+		Graph:            g,
+		Homes:            homes,
+		Seed:             cfg.Seed,
+		MaxDelay:         cfg.MaxDelay,
+		WakeAll:          cfg.WakeAll,
+		Timeout:          cfg.Timeout,
+		QuantitativeIDs:  quant,
+		AllowSharedHomes: cfg.AllowSharedHomes,
+		Tracer:           cfg.Trace,
+	}
+}
+
+// Analysis is the centralized solvability analysis of an input (see
+// internal/elect.Analyze): ordered class sizes and gcd (Theorem 3.1),
+// Cayley recognition and translation count d (Theorem 4.1), and the exact
+// Theorem 2.1 symmetric-labeling check for simple graphs.
+type Analysis = elect.Analysis
+
+// Analyze computes the solvability analysis of (g, homes).
+func Analyze(g *Graph, homes []int) (*Analysis, error) {
+	return elect.Analyze(g, homes, order.Direct)
+}
