@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench experiments examples vet fmt cover
+.PHONY: all build test race bench campaign experiments examples vet fmt cover
 
 all: build vet test
 
@@ -27,6 +27,13 @@ bench:
 
 cover:
 	$(GO) test -cover ./...
+
+# The acceptance campaign: cycles + hypercubes across 25 seeds, all cores.
+campaign:
+	$(GO) run ./cmd/campaign \
+		-families "cycle:6,9,12,15,18,24;hypercube:3,4" \
+		-placement spread -r 3 -seeds 1..25 \
+		-jsonl campaign_runs.jsonl -summary BENCH_campaign.json
 
 # Regenerate every table and figure of the paper (E1-E12).
 experiments:

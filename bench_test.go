@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/elect"
 	"repro/internal/graph"
 	"repro/internal/iso"
@@ -27,35 +28,43 @@ import (
 	"repro/internal/view"
 )
 
-func benchRun(b *testing.B, g *graph.Graph, homes []int, quant bool, p sim.Protocol) {
+// benchRun measures one protocol on one instance across b.N adversary seeds,
+// executed as a single-worker campaign work list (seeds 1..b.N, analysis
+// skipped) so the benchmarks and the experiment tables share one engine and
+// the per-op time stays the pure protocol runtime.
+func benchRun(b *testing.B, g *graph.Graph, homes []int, kind campaign.ProtocolKind) {
 	b.Helper()
 	b.ReportAllocs()
-	var lastMoves int64
-	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(sim.Config{
-			Graph: g, Homes: homes, Seed: int64(i + 1), WakeAll: false,
-			QuantitativeIDs: quant,
-		}, p)
-		if err != nil {
-			b.Fatal(err)
+	runs := make([]campaign.Run, b.N)
+	for i := range runs {
+		runs[i] = campaign.Run{
+			Instance: "bench", G: g, Homes: homes, Seed: int64(i + 1), Protocol: kind,
 		}
-		lastMoves = res.TotalMoves()
 	}
-	b.ReportMetric(float64(lastMoves)/float64(len(homes)*g.M()), "moves/(r|E|)")
+	b.ResetTimer()
+	rep, err := campaign.ExecuteRuns(runs, campaign.Options{Workers: 1, NoAnalysis: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	last := rep.Results[len(rep.Results)-1]
+	if last.Err != "" {
+		b.Fatal(last.Err)
+	}
+	b.ReportMetric(last.Ratio, "moves/(r|E|)")
 }
 
 // --- E1: Table 1 ---
 
 func BenchmarkTable1QualitativeK2(b *testing.B) {
-	benchRun(b, graph.Path(2), []int{0, 1}, false, elect.Elect(elect.Options{}))
+	benchRun(b, graph.Path(2), []int{0, 1}, campaign.ProtoElect)
 }
 
 func BenchmarkTable1QuantitativeK2(b *testing.B) {
-	benchRun(b, graph.Path(2), []int{0, 1}, true, elect.QuantitativeElect())
+	benchRun(b, graph.Path(2), []int{0, 1}, campaign.ProtoQuantitative)
 }
 
 func BenchmarkTable1QuantitativePetersen(b *testing.B) {
-	benchRun(b, graph.Petersen(), []int{0, 1}, true, elect.QuantitativeElect())
+	benchRun(b, graph.Petersen(), []int{0, 1}, campaign.ProtoQuantitative)
 }
 
 // --- E2 / E3: Figure 2 ---
@@ -85,30 +94,29 @@ func BenchmarkFig2cViews(b *testing.B) {
 // --- E4: Protocol ELECT per family (Theorem 3.1) ---
 
 func BenchmarkElectCycleSolvable(b *testing.B) {
-	benchRun(b, graph.Cycle(6), []int{0, 2}, false, elect.Elect(elect.Options{}))
+	benchRun(b, graph.Cycle(6), []int{0, 2}, campaign.ProtoElect)
 }
 
 func BenchmarkElectCycleUnsolvable(b *testing.B) {
-	benchRun(b, graph.Cycle(6), []int{0, 3}, false, elect.Elect(elect.Options{}))
+	benchRun(b, graph.Cycle(6), []int{0, 3}, campaign.ProtoElect)
 }
 
 func BenchmarkElectStarNodeReduce(b *testing.B) {
-	benchRun(b, graph.Star(4), []int{1, 2, 3}, false, elect.Elect(elect.Options{}))
+	benchRun(b, graph.Star(4), []int{1, 2, 3}, campaign.ProtoElect)
 }
 
 func BenchmarkElectHypercube(b *testing.B) {
-	benchRun(b, graph.Hypercube(3), []int{0, 1, 3}, false, elect.Elect(elect.Options{}))
+	benchRun(b, graph.Hypercube(3), []int{0, 1, 3}, campaign.ProtoElect)
 }
 
 func BenchmarkElectRandom10(b *testing.B) {
-	benchRun(b, graph.RandomConnected(10, 6, 13), []int{0, 2, 5, 8}, false, elect.Elect(elect.Options{}))
+	benchRun(b, graph.RandomConnected(10, 6, 13), []int{0, 2, 5, 8}, campaign.ProtoElect)
 }
 
 // --- E5: the Cayley decision (Theorem 4.1) ---
 
 func BenchmarkCayleyElectQ3(b *testing.B) {
-	benchRun(b, graph.Hypercube(3), []int{0, 1, 3}, false,
-		elect.CayleyElect(elect.CayleyOptions{}))
+	benchRun(b, graph.Hypercube(3), []int{0, 1, 3}, campaign.ProtoCayley)
 }
 
 func BenchmarkCayleyDecisionTorus(b *testing.B) {
@@ -142,11 +150,11 @@ func BenchmarkCayleyRecognizePetersenNegative(b *testing.B) {
 // --- E6: Figure 5 ---
 
 func BenchmarkPetersenElectFails(b *testing.B) {
-	benchRun(b, graph.Petersen(), []int{0, 1}, false, elect.Elect(elect.Options{}))
+	benchRun(b, graph.Petersen(), []int{0, 1}, campaign.ProtoElect)
 }
 
 func BenchmarkPetersenAdHoc(b *testing.B) {
-	benchRun(b, graph.Petersen(), []int{0, 1}, false, elect.PetersenElect())
+	benchRun(b, graph.Petersen(), []int{0, 1}, campaign.ProtoPetersen)
 }
 
 // --- E7: Section 1.3 lockstep ---
@@ -179,7 +187,7 @@ func BenchmarkMovesScaling(b *testing.B) {
 	for _, n := range []int{6, 12, 24} {
 		homes := []int{0, n / 3, 2 * n / 3}
 		b.Run(fmt.Sprintf("cycle-n%d-r3", n), func(b *testing.B) {
-			benchRun(b, graph.Cycle(n), homes, false, elect.Elect(elect.Options{}))
+			benchRun(b, graph.Cycle(n), homes, campaign.ProtoElect)
 		})
 	}
 	for _, r := range []int{2, 4, 8} {
@@ -188,8 +196,35 @@ func BenchmarkMovesScaling(b *testing.B) {
 			homes[i] = 2 * i
 		}
 		b.Run(fmt.Sprintf("cycle-n16-r%d", r), func(b *testing.B) {
-			benchRun(b, graph.Cycle(16), homes, false, elect.Elect(elect.Options{}))
+			benchRun(b, graph.Cycle(16), homes, campaign.ProtoElect)
 		})
+	}
+}
+
+// BenchmarkCampaignParallel measures the campaign engine end to end: a
+// 20-run work list (two cycle instances × 10 seeds) through the worker
+// pool with the shared analysis cache, per-op = one whole campaign.
+func BenchmarkCampaignParallel(b *testing.B) {
+	spec := campaign.Spec{
+		Families: []campaign.FamilySpec{
+			{Family: "cycle", Sizes: []int{9, 12}, Placement: "adjacent", R: 3},
+		},
+		Seeds:    campaign.SeedRange{From: 1, To: 10},
+		Protocol: campaign.ProtoElect,
+	}
+	runs, err := spec.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := campaign.ExecuteRuns(runs, campaign.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Summary.Errors > 0 || rep.Summary.Mismatches > 0 {
+			b.Fatalf("campaign failed: %+v", rep.Summary.Outcomes)
+		}
 	}
 }
 

@@ -1,0 +1,127 @@
+// Command campaign runs a multi-seed election campaign: a declarative spec
+// (graph families × sizes × home placements × seed ranges × protocol) is
+// expanded into a deterministic work list and executed by a bounded worker
+// pool with per-run watchdog timeouts, bounded retry of aborted runs, and a
+// shared analysis cache (see internal/campaign).
+//
+// Usage:
+//
+//	campaign -families "cycle:9,12,15;hypercube:3" -placement spread -r 3 \
+//	         -seeds 1..25 [-protocol elect|cayley|quantitative|petersen|gather] \
+//	         [-workers N] [-run-timeout 60s] [-retries 2] [-max-delay 0] \
+//	         [-wake-all] [-hairs] [-bound 40] \
+//	         [-jsonl runs.jsonl] [-summary summary.json] [-q]
+//
+// Per-run results stream to the -jsonl file as they complete; the aggregate
+// summary prints to stdout and, with -summary, is written as JSON (the CI
+// perf artifact BENCH_campaign.json). The command exits nonzero when any
+// run errors, contradicts the gcd/Cayley oracle, or exceeds the Theorem 3.1
+// move bound.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	families := flag.String("families", "cycle:6,9,12", "semicolon-separated family:size1,size2 specs")
+	placement := flag.String("placement", "spread", "home placement strategy: spread, adjacent, antipodal, single")
+	r := flag.Int("r", 2, "number of agents for the placement strategy")
+	seeds := flag.String("seeds", "1..10", "inclusive seed range a..b (or a single seed)")
+	protocol := flag.String("protocol", "elect", "protocol: elect, cayley, quantitative, petersen, gather")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	runTimeout := flag.Duration("run-timeout", 60*time.Second, "per-run watchdog timeout")
+	retries := flag.Int("retries", 2, "max retries of watchdog-aborted runs (reseeded); -1 disables")
+	maxDelay := flag.Duration("max-delay", 0, "adversarial per-operation delay bound (0 = yields only)")
+	wakeAll := flag.Bool("wake-all", false, "wake all agents at start")
+	hairs := flag.Bool("hairs", false, "use the paper's hair ordering for ≺ (Lemma 3.1)")
+	fallback := flag.Bool("cayley-fallback", false, "cayley protocol falls back to ELECT on non-Cayley maps")
+	bound := flag.Float64("bound", 40, "Theorem 3.1 ratio bound c: fail if moves > c·r·|E|")
+	jsonlPath := flag.String("jsonl", "", "write per-run JSONL records to this file")
+	summaryPath := flag.String("summary", "", "write the aggregate summary JSON to this file")
+	quiet := flag.Bool("q", false, "suppress the per-failure listing")
+	flag.Parse()
+
+	fams, err := campaign.ParseFamilies(*families, *placement, *r)
+	if err != nil {
+		fail(err)
+	}
+	seedRange, err := campaign.ParseSeedRange(*seeds)
+	if err != nil {
+		fail(err)
+	}
+	spec := campaign.Spec{
+		Families: fams,
+		Seeds:    seedRange,
+		Protocol: campaign.ProtocolKind(*protocol),
+	}
+	opt := campaign.Options{
+		Workers:         *workers,
+		RunTimeout:      *runTimeout,
+		MaxRetries:      *retries,
+		MaxDelay:        *maxDelay,
+		WakeAll:         *wakeAll,
+		UseHairOrdering: *hairs,
+		CayleyFallback:  *fallback,
+		RatioBound:      *bound,
+	}
+	if *jsonlPath != "" {
+		f, err := os.Create(*jsonlPath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		opt.JSONL = f
+	}
+
+	runs, err := spec.Expand()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("campaign: %d runs (%s, seeds %d..%d)\n",
+		len(runs), *families, seedRange.From, seedRange.To)
+
+	rep, err := campaign.ExecuteRuns(runs, opt)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Print(rep.Summary.Render())
+
+	if *summaryPath != "" {
+		data, err := json.MarshalIndent(rep.Summary, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*summaryPath, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("summary written to %s\n", *summaryPath)
+	}
+
+	failures := rep.Failures()
+	bad := len(failures) > 0 || rep.Summary.BoundViolations > 0
+	if bad {
+		if !*quiet {
+			for _, f := range failures {
+				fmt.Fprintf(os.Stderr, "FAIL run %d %s seed %d: outcome %s (expected %s) err=%q\n",
+					f.Index, f.Instance, f.Seed, f.Outcome, f.Expected, f.Err)
+			}
+			if rep.Summary.BoundViolations > 0 {
+				fmt.Fprintf(os.Stderr, "FAIL: %d runs exceed the moves ≤ %.0f·r·|E| bound (max ratio %.1f)\n",
+					rep.Summary.BoundViolations, rep.Summary.RatioBound, rep.Summary.RatioMax)
+			}
+		}
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "campaign:", err)
+	os.Exit(1)
+}

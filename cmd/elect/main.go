@@ -64,8 +64,12 @@ func main() {
 	}
 
 	cfg := repro.RunConfig{Seed: *seed, WakeAll: *wakeAll, UseHairOrdering: *hairs}
+	// The print sink runs behind a buffered tracer so terminal I/O happens
+	// off the simulation's hot path (events are emitted under the board
+	// lock); Close after the run flushes whatever is still buffered.
+	var tracer *repro.BufferedTracer
 	if *trace {
-		cfg.Trace = func(e repro.TraceEvent) {
+		tracer = repro.NewBufferedTracer(func(e repro.TraceEvent) {
 			switch e.Kind.String() {
 			case "move":
 				fmt.Printf("%12v agent %d -> node %d\n", e.At.Round(time.Microsecond), e.Agent, e.Node)
@@ -74,7 +78,8 @@ func main() {
 			default:
 				fmt.Printf("%12v agent %d %s %s\n", e.At.Round(time.Microsecond), e.Agent, e.Kind, e.Tag)
 			}
-		}
+		}, 0)
+		cfg.Trace = tracer.Trace
 	}
 	var res *repro.Result
 	switch *protocol {
@@ -88,6 +93,12 @@ func main() {
 		res, err = repro.RunPetersenAdHoc(g, homes, cfg)
 	default:
 		fail(fmt.Errorf("unknown protocol %q", *protocol))
+	}
+	if tracer != nil {
+		tracer.Close()
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Printf("trace: %d events dropped (buffer full)\n", d)
+		}
 	}
 	if err != nil {
 		fail(err)

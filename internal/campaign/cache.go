@@ -1,0 +1,64 @@
+package campaign
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/order"
+)
+
+// analysisCache memoizes elect.Analyze per canonical (graph, homes) pair.
+// The centralized analysis (class ordering, Cayley recognition, the Theorem
+// 2.1 oracle) is often far more expensive than a single simulated run and
+// depends only on the instance, never the seed — a campaign of s seeds per
+// instance pays for it once instead of s times.
+//
+// Concurrent requests for the same key coalesce: the first caller computes
+// under a per-entry latch while the rest block on it, so a worker pool never
+// duplicates an in-flight analysis.
+type analysisCache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	an   *elect.Analysis
+	err  error
+}
+
+func newAnalysisCache() *analysisCache {
+	return &analysisCache{entries: make(map[string]*cacheEntry)}
+}
+
+// analyze returns the memoized analysis of (g, homes), computing it on
+// first use, plus whether the call was served from an existing entry
+// (including calls that blocked on an in-flight computation).
+func (c *analysisCache) analyze(g *graph.Graph, homes []int) (*elect.Analysis, bool, error) {
+	key := canonicalKey(g, homes)
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	e.once.Do(func() {
+		e.an, e.err = elect.Analyze(g, homes, order.Direct)
+	})
+	return e.an, ok, e.err
+}
+
+// stats returns (hits, misses) so far.
+func (c *analysisCache) stats() (int64, int64) {
+	return c.hits.Load(), c.misses.Load()
+}

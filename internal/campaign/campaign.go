@@ -1,0 +1,331 @@
+// Package campaign executes multi-seed election campaigns: a declarative
+// spec (graph families × sizes × home placements × seed ranges × protocol)
+// is expanded into a deterministic work list and driven through a bounded
+// worker pool with per-run watchdog timeouts, bounded retry of aborted runs
+// under a fresh seed offset, and a memoized analysis cache keyed by the
+// canonical (graph, homes) form — so the expensive centralized analysis
+// (class ordering, Cayley recognition, the Theorem 2.1 oracle) is computed
+// once per instance instead of once per seed.
+//
+// Results stream to JSONL as runs complete, and an aggregate Summary
+// reports outcome counts, move/access percentiles against the Theorem 3.1
+// r·|E| bound, oracle mismatches, retry/watchdog counts, cache hit rate and
+// wall-clock vs serial time. The experiment harness (internal/exp), the
+// root benchmarks and cmd/campaign all execute through this engine.
+//
+// Execution is deterministic per (spec, seed) modulo worker interleaving:
+// the work list order is fixed by the spec, each run's simulation is fully
+// seeded, and per-run records carry their work-list index so sorted JSONL
+// output is reproducible run-to-run.
+package campaign
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/sim"
+)
+
+// Options tunes campaign execution. The zero value is usable: GOMAXPROCS
+// workers, a 60s watchdog, 2 retries of watchdog-aborted runs, ratio bound
+// 40.
+type Options struct {
+	// Workers bounds the worker pool (default GOMAXPROCS).
+	Workers int
+	// RunTimeout is the per-run watchdog: a simulation that exceeds it is
+	// aborted (default 60s).
+	RunTimeout time.Duration
+	// MaxRetries bounds how many times an aborted run is re-executed under
+	// a fresh seed offset (default 2; negative disables retries).
+	MaxRetries int
+	// RetrySeedOffset is added to the run seed per retry attempt so a stuck
+	// adversary schedule is not replayed verbatim (default 1000003).
+	RetrySeedOffset int64
+	// MaxDelay, WakeAll, UseHairOrdering and AllowSharedHomes are passed
+	// through to the simulation (see sim.Config / repro.RunConfig).
+	MaxDelay         time.Duration
+	WakeAll          bool
+	UseHairOrdering  bool
+	AllowSharedHomes bool
+	// CayleyFallback sets CayleyOptions.FallbackToElect for ProtoCayley.
+	CayleyFallback bool
+	// RatioBound is the constant c the summary asserts moves ≤ c·r·|E|
+	// against (default 40, matching the experiment suite).
+	RatioBound float64
+	// NoAnalysis skips the centralized analysis entirely: no cache, no
+	// oracle prediction, every run trivially OK. Used by benchmarks that
+	// measure pure protocol runtime.
+	NoAnalysis bool
+	// JSONL, when set, receives one JSON record per completed run.
+	JSONL io.Writer
+
+	// testProtocol, when set (tests only), overrides the protocol for each
+	// attempt — used to exercise the watchdog/retry path deterministically.
+	testProtocol func(run Run, attempt int) sim.Protocol
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.RunTimeout <= 0 {
+		o.RunTimeout = 60 * time.Second
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 2
+	} else if o.MaxRetries < 0 {
+		o.MaxRetries = 0
+	}
+	if o.RetrySeedOffset == 0 {
+		o.RetrySeedOffset = 1_000_003
+	}
+	if o.RatioBound == 0 {
+		o.RatioBound = 40
+	}
+	return o
+}
+
+// protoInfo is a constructed protocol plus its model requirements.
+type protoInfo struct {
+	p     sim.Protocol
+	quant bool
+}
+
+// protocolFor constructs the protocol for a kind. Protocols returned by the
+// elect package are stateless closures, safe to share across concurrent
+// runs.
+func protocolFor(kind ProtocolKind, opt Options) (protoInfo, error) {
+	ord := order.Direct
+	if opt.UseHairOrdering {
+		ord = order.Hairs
+	}
+	switch kind {
+	case ProtoElect:
+		return protoInfo{p: elect.Elect(elect.Options{Ordering: ord})}, nil
+	case ProtoCayley:
+		return protoInfo{p: elect.CayleyElect(elect.CayleyOptions{
+			Ordering: ord, FallbackToElect: opt.CayleyFallback})}, nil
+	case ProtoQuantitative:
+		return protoInfo{p: elect.QuantitativeElect(), quant: true}, nil
+	case ProtoPetersen:
+		return protoInfo{p: elect.PetersenElect()}, nil
+	case ProtoGather:
+		return protoInfo{p: elect.Gather(elect.Options{Ordering: ord})}, nil
+	default:
+		return protoInfo{}, fmt.Errorf("campaign: unknown protocol %q", kind)
+	}
+}
+
+// expectedOutcome predicts a run's outcome from the centralized analysis
+// (Theorems 3.1 and 4.1), or "" when the oracle does not apply.
+func expectedOutcome(kind ProtocolKind, an *elect.Analysis, cayleyFallback bool) string {
+	if an == nil {
+		return ""
+	}
+	gcdRule := "unsolvable"
+	if an.GCD == 1 {
+		gcdRule = "leader"
+	}
+	switch kind {
+	case ProtoElect, ProtoGather:
+		return gcdRule
+	case ProtoCayley:
+		if an.Cayley {
+			return gcdRule
+		}
+		if cayleyFallback {
+			return gcdRule
+		}
+		return "" // non-Cayley without fallback: the protocol errs by contract
+	case ProtoQuantitative:
+		return "leader" // universal (Section 1.3)
+	default:
+		return "" // petersen ad hoc: only specified for its one instance
+	}
+}
+
+// Execute expands the spec and runs it. See ExecuteRuns.
+func Execute(spec Spec, opt Options) (*Report, error) {
+	runs, err := spec.Expand()
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteRuns(runs, opt)
+}
+
+// ExecuteRuns drives an explicit work list through the pool. Results come
+// back in work-list order regardless of completion order; the JSONL stream
+// (when configured) is in completion order with indices for re-sorting.
+func ExecuteRuns(runs []Run, opt Options) (*Report, error) {
+	opt = opt.withDefaults()
+	if len(runs) == 0 {
+		return nil, errors.New("campaign: empty work list")
+	}
+	protos := make(map[ProtocolKind]protoInfo)
+	for _, r := range runs {
+		kind := r.Protocol
+		if kind == "" {
+			kind = ProtoElect
+		}
+		if _, ok := protos[kind]; ok {
+			continue
+		}
+		pi, err := protocolFor(kind, opt)
+		if err != nil {
+			return nil, err
+		}
+		protos[kind] = pi
+	}
+
+	cache := newAnalysisCache()
+	jw := newJSONLWriter(opt.JSONL)
+	results := make([]RunResult, len(runs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				kind := runs[i].Protocol
+				if kind == "" {
+					kind = ProtoElect
+				}
+				results[i] = executeOne(i, runs[i], kind, protos[kind], opt, cache)
+				jw.write(results[i])
+			}
+		}()
+	}
+	for i := range runs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	hits, misses := cache.stats()
+	rep := &Report{
+		Results: results,
+		Summary: summarize(results, opt.Workers, time.Since(start), opt.RatioBound, hits, misses),
+	}
+	if jw != nil && jw.err != nil {
+		return rep, fmt.Errorf("campaign: jsonl write: %w", jw.err)
+	}
+	return rep, nil
+}
+
+// executeOne runs one unit of work: cached analysis, then the simulation
+// under the watchdog with bounded reseeded retries.
+func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options, cache *analysisCache) RunResult {
+	res := RunResult{
+		Index: index, Instance: run.Instance, Protocol: string(kind),
+		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
+	}
+	if !opt.NoAnalysis {
+		an, hit, err := cache.analyze(run.G, run.Homes)
+		if err == nil {
+			res.Sizes = an.Sizes
+			res.GCD = an.GCD
+			res.CacheHit = hit
+		} else {
+			an = nil
+		}
+		res.Expected = expectedOutcome(kind, an, opt.CayleyFallback)
+	}
+
+	start := time.Now()
+	var simRes *sim.Result
+	var runErr error
+	for attempt := 1; ; attempt++ {
+		res.Attempts = attempt
+		p := pi.p
+		if opt.testProtocol != nil {
+			p = opt.testProtocol(run, attempt)
+		}
+		simRes, runErr = sim.Run(sim.Config{
+			Graph: run.G, Homes: run.Homes,
+			Seed:             run.Seed + int64(attempt-1)*opt.RetrySeedOffset,
+			MaxDelay:         opt.MaxDelay,
+			WakeAll:          opt.WakeAll,
+			Timeout:          opt.RunTimeout,
+			QuantitativeIDs:  pi.quant,
+			AllowSharedHomes: opt.AllowSharedHomes,
+		}, p)
+		if runErr == nil || !errors.Is(runErr, sim.ErrAborted) || attempt > opt.MaxRetries {
+			break
+		}
+	}
+	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+
+	if runErr != nil {
+		res.Outcome = "error"
+		res.Err = runErr.Error()
+		res.Aborted = errors.Is(runErr, sim.ErrAborted)
+		return res
+	}
+	res.Moves = simRes.TotalMoves()
+	res.Accesses = simRes.TotalAccesses()
+	if res.R*res.M > 0 {
+		res.Ratio = float64(res.Moves) / float64(res.R*res.M)
+	}
+	switch {
+	case simRes.AgreedLeader():
+		res.Outcome = "leader"
+	case simRes.AllUnsolvable():
+		res.Outcome = "unsolvable"
+	default:
+		res.Outcome = "mixed"
+	}
+	res.OK = res.Expected == "" || res.Outcome == res.Expected
+	return res
+}
+
+// Instance is a named (graph, homes) input for analysis-only batches.
+type Instance struct {
+	Name  string
+	G     *graph.Graph
+	Homes []int
+}
+
+// AnalyzeBatch computes the centralized analysis of every instance through
+// a bounded pool sharing one analysis cache — the engine behind the
+// experiment suite's decision sweeps. Results come back in input order;
+// the first analysis error aborts with the instance's name attached.
+func AnalyzeBatch(insts []Instance, workers int) ([]*elect.Analysis, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cache := newAnalysisCache()
+	out := make([]*elect.Analysis, len(insts))
+	errs := make([]error, len(insts))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				an, _, err := cache.analyze(insts[i].G, insts[i].Homes)
+				out[i], errs[i] = an, err
+			}
+		}()
+	}
+	for i := range insts {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("campaign: analyze %s %v: %w", insts[i].Name, insts[i].Homes, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,417 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/sim"
+)
+
+// acceptanceSpec is the ISSUE acceptance campaign: cycles and hypercubes ×
+// 25 seeds ≥ 200 runs, mixing solvable (adjacent placements, gcd 1) and
+// unsolvable (evenly spread placements, gcd r) instances.
+func acceptanceSpec() Spec {
+	return Spec{
+		Families: []FamilySpec{
+			{Family: "cycle", Sizes: []int{6, 9, 12, 15, 18, 24}, Placement: "spread", R: 3},
+			{Family: "cycle", Sizes: []int{9, 15}, Placement: "adjacent", R: 3},
+			{Family: "hypercube", Sizes: []int{3, 4}, Placement: "spread", R: 2},
+		},
+		Seeds:    SeedRange{From: 1, To: 25},
+		Protocol: ProtoElect,
+	}
+}
+
+const acceptanceRuns = 250 // 10 instances × 25 seeds
+
+func TestSpecExpand(t *testing.T) {
+	spec := acceptanceSpec()
+	runs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != acceptanceRuns {
+		t.Fatalf("expanded to %d runs, want %d", len(runs), acceptanceRuns)
+	}
+	again, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range runs {
+		if runs[i].Instance != again[i].Instance || runs[i].Seed != again[i].Seed {
+			t.Fatalf("expansion not deterministic at %d: %+v vs %+v", i, runs[i], again[i])
+		}
+	}
+	// Same (family, size) shares one graph value across seeds.
+	if runs[0].G != runs[1].G {
+		t.Error("seeds of one instance should share the graph value")
+	}
+}
+
+func TestCampaignAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var jsonl bytes.Buffer
+	rep, err := Execute(acceptanceSpec(), Options{JSONL: &jsonl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary
+	if s.Runs != acceptanceRuns {
+		t.Fatalf("runs: %d, want %d", s.Runs, acceptanceRuns)
+	}
+	if s.Errors != 0 || s.Mismatches != 0 {
+		t.Fatalf("errors=%d mismatches=%d; failures: %+v", s.Errors, s.Mismatches, rep.Failures())
+	}
+	// Theorem 3.1: every run's moves stay within c·r·|E|.
+	if s.BoundViolations != 0 || s.RatioMax > s.RatioBound {
+		t.Fatalf("move bound violated: max ratio %.1f, %d violations", s.RatioMax, s.BoundViolations)
+	}
+	// 10 instances, 250 runs: the analysis cache must serve 240 hits.
+	if s.CacheHitRate <= 0 {
+		t.Fatalf("cache hit rate %.2f, want > 0", s.CacheHitRate)
+	}
+	if s.CacheMisses != 10 {
+		t.Errorf("cache misses: %d, want 10 (one per instance)", s.CacheMisses)
+	}
+	// Both verdicts must occur across the sweep (gcd 1 and gcd > 1 inputs).
+	if s.Outcomes["leader"] == 0 || s.Outcomes["unsolvable"] == 0 {
+		t.Errorf("outcome mix missing a verdict: %v", s.Outcomes)
+	}
+	if n := strings.Count(jsonl.String(), "\n"); n != acceptanceRuns {
+		t.Errorf("jsonl lines: %d, want %d", n, acceptanceRuns)
+	}
+}
+
+// canonicalJSONL parses, de-times, and sorts a JSONL stream for the
+// determinism diff.
+func canonicalJSONL(t *testing.T, raw []byte) []RunResult {
+	t.Helper()
+	var out []RunResult
+	for _, line := range bytes.Split(raw, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var r RunResult
+		if err := json.Unmarshal(line, &r); err != nil {
+			t.Fatalf("bad jsonl line %q: %v", line, err)
+		}
+		r.ElapsedMS = 0
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Index < out[j].Index })
+	return out
+}
+
+// TestCampaignDeterminism runs the same spec twice — under different worker
+// counts — and diffs the sorted JSONL records: execution must be
+// deterministic per (spec, seed) modulo worker interleaving.
+func TestCampaignDeterminism(t *testing.T) {
+	spec := Spec{
+		Families: []FamilySpec{
+			{Family: "cycle", Sizes: []int{9, 12}, Placement: "spread", R: 3},
+			{Family: "hypercube", Sizes: []int{3}, Placement: "spread", R: 2},
+		},
+		Seeds:    SeedRange{From: 1, To: 10},
+		Protocol: ProtoElect,
+	}
+	var a, b bytes.Buffer
+	if _, err := Execute(spec, Options{Workers: 4, JSONL: &a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Execute(spec, Options{Workers: 2, JSONL: &b}); err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := canonicalJSONL(t, a.Bytes()), canonicalJSONL(t, b.Bytes())
+	if len(ra) != len(rb) {
+		t.Fatalf("record counts differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if !reflect.DeepEqual(ra[i], rb[i]) {
+			t.Fatalf("record %d differs between runs:\n  %+v\n  %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+// TestCampaignSpeedup checks the pool actually parallelizes: a
+// delay-injected campaign must finish at least 2x faster with a real pool
+// than with one worker. Runs block on the adversary's seeded sleeps, so
+// pooled runs overlap even on a single-core runner; on multi-core hardware
+// the CPU-bound protocol work parallelizes on top of that.
+func TestCampaignSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	spec := Spec{
+		Families: []FamilySpec{
+			{Family: "cycle", Sizes: []int{6, 9}, Placement: "spread", R: 2},
+		},
+		Seeds:    SeedRange{From: 1, To: 30},
+		Protocol: ProtoElect,
+	}
+	delay := 300 * time.Microsecond
+	workers := max(4, runtime.GOMAXPROCS(0))
+	t0 := time.Now()
+	if _, err := Execute(spec, Options{Workers: 1, MaxDelay: delay}); err != nil {
+		t.Fatal(err)
+	}
+	serial := time.Since(t0)
+	t0 = time.Now()
+	if _, err := Execute(spec, Options{Workers: workers, MaxDelay: delay}); err != nil {
+		t.Fatal(err)
+	}
+	parallel := time.Since(t0)
+	if speedup := float64(serial) / float64(parallel); speedup < 2 {
+		t.Errorf("pool speedup %.2fx over -workers=1 with %d workers, want >= 2x (serial %v, parallel %v)",
+			speedup, workers, serial, parallel)
+	}
+}
+
+// TestWatchdogRetry exercises the watchdog + reseeded-retry path: the first
+// attempt deadlocks (an agent waits for a sign nobody writes), the retry
+// runs the real protocol and succeeds.
+func TestWatchdogRetry(t *testing.T) {
+	deadlock := func(a *sim.Agent) (sim.Outcome, error) {
+		_, err := a.Wait(func(sim.Signs) bool { return false })
+		return sim.Outcome{}, err
+	}
+	real := elect.Elect(elect.Options{})
+	g := graph.Cycle(6)
+	runs := []Run{{Instance: "cycle6[0 2]", G: g, Homes: []int{0, 2}, Seed: 1, Protocol: ProtoElect}}
+	rep, err := ExecuteRuns(runs, Options{
+		Workers:    1,
+		RunTimeout: 150 * time.Millisecond,
+		MaxRetries: 2,
+		testProtocol: func(_ Run, attempt int) sim.Protocol {
+			if attempt == 1 {
+				return deadlock
+			}
+			return real
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Results[0]
+	if r.Attempts != 2 {
+		t.Errorf("attempts: %d, want 2", r.Attempts)
+	}
+	if r.Outcome != "leader" || r.Err != "" {
+		t.Errorf("retried run: outcome %q err %q, want recovered leader", r.Outcome, r.Err)
+	}
+	if rep.Summary.Retries != 1 || rep.Summary.Aborted != 0 {
+		t.Errorf("summary retries=%d aborted=%d, want 1/0", rep.Summary.Retries, rep.Summary.Aborted)
+	}
+}
+
+// TestWatchdogExhausted verifies that a run that keeps hitting the watchdog
+// surfaces as an aborted error after MaxRetries reseeded attempts.
+func TestWatchdogExhausted(t *testing.T) {
+	deadlock := func(a *sim.Agent) (sim.Outcome, error) {
+		_, err := a.Wait(func(sim.Signs) bool { return false })
+		return sim.Outcome{}, err
+	}
+	g := graph.Cycle(5)
+	runs := []Run{{Instance: "cycle5[0]", G: g, Homes: []int{0}, Seed: 3, Protocol: ProtoElect}}
+	rep, err := ExecuteRuns(runs, Options{
+		Workers:      1,
+		RunTimeout:   50 * time.Millisecond,
+		MaxRetries:   1,
+		testProtocol: func(Run, int) sim.Protocol { return deadlock },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rep.Results[0]
+	if r.Outcome != "error" || !r.Aborted {
+		t.Errorf("outcome %q aborted=%v, want watchdog error", r.Outcome, r.Aborted)
+	}
+	if r.Attempts != 2 {
+		t.Errorf("attempts: %d, want 2 (1 + MaxRetries)", r.Attempts)
+	}
+	if rep.Summary.Aborted != 1 || rep.Summary.Errors != 1 {
+		t.Errorf("summary aborted=%d errors=%d, want 1/1", rep.Summary.Aborted, rep.Summary.Errors)
+	}
+}
+
+func TestCanonicalKey(t *testing.T) {
+	a, b := graph.Cycle(6), graph.Cycle(6)
+	if canonicalKey(a, []int{0, 2}) != canonicalKey(b, []int{2, 0}) {
+		t.Error("structurally equal instances should share a key (homes are a multiset)")
+	}
+	if canonicalKey(a, []int{0, 2}) == canonicalKey(a, []int{0, 3}) {
+		t.Error("different placements must not share a key")
+	}
+	if canonicalKey(a, []int{0, 2}) == canonicalKey(graph.Cycle(7), []int{0, 2}) {
+		t.Error("different graphs must not share a key")
+	}
+	// Shared-home weights are part of the key.
+	if canonicalKey(a, []int{0, 0, 2}) == canonicalKey(a, []int{0, 2}) {
+		t.Error("home multiplicity must be part of the key")
+	}
+}
+
+func TestAnalysisCacheCoalesces(t *testing.T) {
+	c := newAnalysisCache()
+	g := graph.Cycle(6)
+	an1, hit1, err := c.analyze(g, []int{0, 2})
+	if err != nil || hit1 {
+		t.Fatalf("first call: hit=%v err=%v", hit1, err)
+	}
+	an2, hit2, err := c.analyze(graph.Cycle(6), []int{2, 0})
+	if err != nil || !hit2 {
+		t.Fatalf("second call: hit=%v err=%v", hit2, err)
+	}
+	if an1 != an2 {
+		t.Error("cache should return the identical analysis value")
+	}
+	if hits, misses := c.stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats: %d/%d, want 1/1", hits, misses)
+	}
+}
+
+func TestAnalyzeBatch(t *testing.T) {
+	insts := []Instance{
+		{"C6a", graph.Cycle(6), []int{0, 2}},
+		{"C6b", graph.Cycle(6), []int{0, 3}},
+		{"Q3", graph.Hypercube(3), []int{0, 7}},
+		{"C6a-dup", graph.Cycle(6), []int{0, 2}},
+	}
+	got, err := AnalyzeBatch(insts, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, in := range insts {
+		want, err := elect.Analyze(in.G, in.Homes, order.Direct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[i].GCD != want.GCD || !reflect.DeepEqual(got[i].Sizes, want.Sizes) {
+			t.Errorf("%s: batch %v/%d vs direct %v/%d", in.Name, got[i].Sizes, got[i].GCD, want.Sizes, want.GCD)
+		}
+	}
+	if got[0] != got[3] {
+		t.Error("duplicate instances should share one cached analysis")
+	}
+}
+
+func TestMixedProtocolRuns(t *testing.T) {
+	g := graph.Cycle(6)
+	runs := []Run{
+		{Instance: "qual", G: g, Homes: []int{0, 2}, Seed: 1, Protocol: ProtoElect},
+		{Instance: "quant", G: g, Homes: []int{0, 2}, Seed: 1, Protocol: ProtoQuantitative},
+		{Instance: "quant-antipodal", G: g, Homes: []int{0, 3}, Seed: 1, Protocol: ProtoQuantitative},
+		{Instance: "qual-antipodal", G: g, Homes: []int{0, 3}, Seed: 1, Protocol: ProtoElect},
+	}
+	rep, err := ExecuteRuns(runs, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{"leader", "leader", "leader", "unsolvable"}
+	for i, want := range wants {
+		if rep.Results[i].Outcome != want {
+			t.Errorf("run %d (%s): outcome %q, want %q", i, runs[i].Instance, rep.Results[i].Outcome, want)
+		}
+		if !rep.Results[i].OK {
+			t.Errorf("run %d: oracle mismatch: %+v", i, rep.Results[i])
+		}
+	}
+	// Two distinct instances, four runs: both protocols share the cache.
+	if rep.Summary.CacheMisses != 2 || rep.Summary.CacheHits != 2 {
+		t.Errorf("cache hits/misses: %d/%d, want 2/2", rep.Summary.CacheHits, rep.Summary.CacheMisses)
+	}
+}
+
+func TestParseFamilies(t *testing.T) {
+	fams, err := ParseFamilies("cycle:9,12 ; hypercube:3;petersen", "spread", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("families: %d, want 3", len(fams))
+	}
+	if fams[0].Family != "cycle" || !reflect.DeepEqual(fams[0].Sizes, []int{9, 12}) {
+		t.Errorf("cycle spec wrong: %+v", fams[0])
+	}
+	if fams[2].Family != "petersen" || len(fams[2].Sizes) != 0 {
+		t.Errorf("petersen spec wrong: %+v", fams[2])
+	}
+	if _, err := ParseFamilies("cycle:x", "spread", 2); err == nil {
+		t.Error("bad size should fail")
+	}
+}
+
+func TestParseSeedRange(t *testing.T) {
+	r, err := ParseSeedRange("1..25")
+	if err != nil || r.From != 1 || r.To != 25 || r.Count() != 25 {
+		t.Fatalf("range: %+v err=%v", r, err)
+	}
+	r, err = ParseSeedRange("7")
+	if err != nil || r.From != 7 || r.To != 7 || r.Count() != 1 {
+		t.Fatalf("single: %+v err=%v", r, err)
+	}
+	if _, err := ParseSeedRange("a..b"); err == nil {
+		t.Error("bad range should fail")
+	}
+}
+
+func TestExpandPlacements(t *testing.T) {
+	cases := []struct {
+		strategy string
+		r, n     int
+		want     [][]int
+	}{
+		{"spread", 3, 12, [][]int{{0, 4, 8}}},
+		{"spread", 2, 16, [][]int{{0, 8}}},
+		{"adjacent", 3, 6, [][]int{{0, 1, 2}}},
+		{"antipodal", 2, 10, [][]int{{0, 5}}},
+		{"single", 1, 5, [][]int{{0}}},
+	}
+	for _, c := range cases {
+		got, err := expandPlacement(c.strategy, c.r, c.n)
+		if err != nil {
+			t.Errorf("%s: %v", c.strategy, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s(r=%d,n=%d): %v, want %v", c.strategy, c.r, c.n, got, c.want)
+		}
+	}
+	if _, err := expandPlacement("spread", 10, 5); err == nil {
+		t.Error("r > n should fail")
+	}
+	if _, err := expandPlacement("bogus", 2, 5); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestExpandErrors(t *testing.T) {
+	if _, err := (Spec{
+		Families: []FamilySpec{{Family: "nosuch", Sizes: []int{4}}},
+		Seeds:    SeedRange{From: 1, To: 1},
+	}).Expand(); err == nil {
+		t.Error("unknown family should fail")
+	}
+	if _, err := (Spec{
+		Families: []FamilySpec{{Family: "cycle", Sizes: []int{6}}},
+		Seeds:    SeedRange{From: 5, To: 1},
+	}).Expand(); err == nil {
+		t.Error("empty seed range should fail")
+	}
+	if _, err := (Spec{
+		Families: []FamilySpec{{Family: "cycle", Sizes: []int{6}, Homes: [][]int{{0, 9}}}},
+		Seeds:    SeedRange{From: 1, To: 1},
+	}).Expand(); err == nil {
+		t.Error("out-of-range home should fail")
+	}
+}

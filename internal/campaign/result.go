@@ -1,0 +1,233 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RunResult is the per-run record of a campaign, one JSONL line per run.
+// Every field except ElapsedMS is deterministic per (spec, seed); the
+// determinism test zeroes ElapsedMS and diffs the sorted records.
+type RunResult struct {
+	// Index is the run's position in the expanded work list.
+	Index    int    `json:"index"`
+	Instance string `json:"instance"`
+	Protocol string `json:"protocol"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	R        int    `json:"r"`
+	Seed     int64  `json:"seed"`
+	// Attempts counts executions including watchdog retries (1 = no retry).
+	Attempts int `json:"attempts"`
+	// Outcome is "leader", "unsolvable", "mixed", or "error".
+	Outcome  string `json:"outcome"`
+	Moves    int64  `json:"moves"`
+	Accesses int64  `json:"accesses"`
+	// Ratio is Moves / (r·|E|), the Theorem 3.1 quantity.
+	Ratio float64 `json:"ratio"`
+	// Analysis fields (from the shared cache): ordered class sizes, gcd,
+	// and whether this run's analysis was served from cache.
+	Sizes    []int `json:"sizes,omitempty"`
+	GCD      int   `json:"gcd,omitempty"`
+	CacheHit bool  `json:"cache_hit"`
+	// Expected is the oracle-predicted outcome ("" when the oracle does not
+	// apply to the protocol); OK reports Outcome == Expected.
+	Expected string `json:"expected,omitempty"`
+	OK       bool   `json:"ok"`
+	// ElapsedMS is the run's wall-clock time (nondeterministic).
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Err       string  `json:"err,omitempty"`
+	// Aborted reports that the final attempt still hit the watchdog.
+	Aborted bool `json:"aborted,omitempty"`
+}
+
+// Summary aggregates a campaign.
+type Summary struct {
+	Runs     int            `json:"runs"`
+	Workers  int            `json:"workers"`
+	Outcomes map[string]int `json:"outcomes"`
+	// Mismatches counts runs whose outcome contradicts the oracle
+	// prediction; Errors counts runs that exhausted retries with an error.
+	Mismatches int `json:"mismatches"`
+	Errors     int `json:"errors"`
+	// Retries counts extra attempts beyond the first, across all runs;
+	// Aborted counts runs whose final attempt still hit the watchdog.
+	Retries int `json:"retries"`
+	Aborted int `json:"aborted"`
+	// Move statistics and the Theorem 3.1 ratio envelope.
+	MovesP50 int64 `json:"moves_p50"`
+	MovesP90 int64 `json:"moves_p90"`
+	MovesP99 int64 `json:"moves_p99"`
+	// AccessP50/90/99 are whiteboard-access percentiles.
+	AccessP50 int64   `json:"accesses_p50"`
+	AccessP90 int64   `json:"accesses_p90"`
+	AccessP99 int64   `json:"accesses_p99"`
+	RatioP50  float64 `json:"ratio_p50"`
+	RatioP90  float64 `json:"ratio_p90"`
+	RatioMax  float64 `json:"ratio_max"`
+	// RatioBound is the constant c the campaign asserts moves ≤ c·r·|E|
+	// against; BoundViolations counts runs exceeding it.
+	RatioBound      float64 `json:"ratio_bound"`
+	BoundViolations int     `json:"bound_violations"`
+	// Analysis cache effectiveness.
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// WallMS is the campaign's wall-clock time; SerialMS sums the per-run
+	// times (what one worker would have paid); SpeedupEst is their ratio.
+	WallMS     float64 `json:"wall_ms"`
+	SerialMS   float64 `json:"serial_ms"`
+	SpeedupEst float64 `json:"speedup_est"`
+}
+
+// Report is the full outcome of a campaign: per-run results in work-list
+// order plus the aggregate summary.
+type Report struct {
+	Results []RunResult `json:"results"`
+	Summary Summary     `json:"summary"`
+}
+
+// Failures returns the results that errored or contradicted the oracle.
+func (r *Report) Failures() []RunResult {
+	var out []RunResult
+	for _, res := range r.Results {
+		if res.Err != "" || !res.OK {
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// jsonlWriter streams one JSON record per line, serialized across workers.
+// Records are written in completion order; consumers needing work-list
+// order sort by the index field.
+type jsonlWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+	err error
+}
+
+func newJSONLWriter(w io.Writer) *jsonlWriter {
+	if w == nil {
+		return nil
+	}
+	return &jsonlWriter{w: w, enc: json.NewEncoder(w)}
+}
+
+func (jw *jsonlWriter) write(r RunResult) {
+	if jw == nil {
+		return
+	}
+	jw.mu.Lock()
+	defer jw.mu.Unlock()
+	if jw.err == nil {
+		jw.err = jw.enc.Encode(r)
+	}
+}
+
+func summarize(results []RunResult, workers int, wall time.Duration, bound float64, hits, misses int64) Summary {
+	s := Summary{
+		Runs:        len(results),
+		Workers:     workers,
+		Outcomes:    map[string]int{},
+		RatioBound:  bound,
+		WallMS:      float64(wall) / float64(time.Millisecond),
+		CacheHits:   hits,
+		CacheMisses: misses,
+	}
+	if hits+misses > 0 {
+		s.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	var moves, accesses []int64
+	var ratios []float64
+	for _, r := range results {
+		s.Outcomes[r.Outcome]++
+		s.Retries += r.Attempts - 1
+		s.SerialMS += r.ElapsedMS
+		if r.Err != "" {
+			s.Errors++
+			if r.Aborted {
+				s.Aborted++
+			}
+			continue
+		}
+		if !r.OK {
+			s.Mismatches++
+		}
+		moves = append(moves, r.Moves)
+		accesses = append(accesses, r.Accesses)
+		ratios = append(ratios, r.Ratio)
+		if r.Ratio > s.RatioMax {
+			s.RatioMax = r.Ratio
+		}
+		if r.Ratio > bound {
+			s.BoundViolations++
+		}
+	}
+	s.MovesP50, s.MovesP90, s.MovesP99 = pctInt(moves, 50), pctInt(moves, 90), pctInt(moves, 99)
+	s.AccessP50, s.AccessP90, s.AccessP99 = pctInt(accesses, 50), pctInt(accesses, 90), pctInt(accesses, 99)
+	s.RatioP50, s.RatioP90 = pctFloat(ratios, 50), pctFloat(ratios, 90)
+	if s.WallMS > 0 {
+		s.SpeedupEst = s.SerialMS / s.WallMS
+	}
+	return s
+}
+
+func pctInt(xs []int64, p int) int64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]int64(nil), xs...)
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	return ys[pctIndex(len(ys), p)]
+}
+
+func pctFloat(xs []float64, p int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	ys := append([]float64(nil), xs...)
+	sort.Float64s(ys)
+	return ys[pctIndex(len(ys), p)]
+}
+
+// pctIndex is the nearest-rank percentile index.
+func pctIndex(n, p int) int {
+	i := (n*p + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	if i > n {
+		i = n
+	}
+	return i - 1
+}
+
+// Render prints the summary as a human-readable block.
+func (s Summary) Render() string {
+	out := fmt.Sprintf("campaign: %d runs, %d workers, wall %.0fms (serial %.0fms, ≈%.1fx)\n",
+		s.Runs, s.Workers, s.WallMS, s.SerialMS, s.SpeedupEst)
+	keys := make([]string, 0, len(s.Outcomes))
+	for k := range s.Outcomes {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out += "  outcomes:"
+	for _, k := range keys {
+		out += fmt.Sprintf(" %s=%d", k, s.Outcomes[k])
+	}
+	out += fmt.Sprintf("\n  oracle mismatches: %d, errors: %d, retries: %d, watchdog-aborted: %d\n",
+		s.Mismatches, s.Errors, s.Retries, s.Aborted)
+	out += fmt.Sprintf("  moves p50/p90/p99: %d/%d/%d, accesses p50/p90/p99: %d/%d/%d\n",
+		s.MovesP50, s.MovesP90, s.MovesP99, s.AccessP50, s.AccessP90, s.AccessP99)
+	out += fmt.Sprintf("  moves/(r·|E|) p50/p90/max: %.1f/%.1f/%.1f (bound %.0f, violations %d)\n",
+		s.RatioP50, s.RatioP90, s.RatioMax, s.RatioBound, s.BoundViolations)
+	out += fmt.Sprintf("  analysis cache: %d hits / %d misses (hit rate %.1f%%)\n",
+		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate)
+	return out
+}

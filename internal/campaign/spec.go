@@ -1,0 +1,287 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// ProtocolKind selects the protocol a campaign runs.
+type ProtocolKind string
+
+// The protocol kinds a campaign can execute (matching cmd/elect).
+const (
+	ProtoElect        ProtocolKind = "elect"
+	ProtoCayley       ProtocolKind = "cayley"
+	ProtoQuantitative ProtocolKind = "quantitative"
+	ProtoPetersen     ProtocolKind = "petersen"
+	ProtoGather       ProtocolKind = "gather"
+)
+
+// SeedRange is an inclusive range of adversary seeds.
+type SeedRange struct {
+	From, To int64
+}
+
+// Count returns the number of seeds in the range (0 when empty).
+func (r SeedRange) Count() int {
+	if r.To < r.From {
+		return 0
+	}
+	return int(r.To - r.From + 1)
+}
+
+// FamilySpec describes one graph family of a campaign: the family name, the
+// size parameters to instantiate, and the home placements to enumerate on
+// each instance — either a strategy expanded against the built graph or an
+// explicit list.
+type FamilySpec struct {
+	// Family is a generator name: path, cycle, complete, star, hypercube
+	// (size = dimension), torus (size = side), grid (size = side), petersen
+	// (size ignored), wheel, prism, ccc (size = dimension), random.
+	Family string
+	// Sizes lists the size parameters; families with a fixed size (petersen)
+	// may leave it empty.
+	Sizes []int
+	// Placement names the home-placement strategy: "spread" (R agents evenly
+	// spaced), "adjacent" (nodes 0..R-1), "antipodal" (0 and n/2, R forced
+	// to 2), "single" (node 0). Ignored when Homes is set.
+	Placement string
+	// R is the number of agents for the placement strategy.
+	R int
+	// Homes, when non-empty, lists explicit placements (one run set per
+	// entry) and overrides Placement/R.
+	Homes [][]int
+}
+
+// Spec is a declarative campaign: families × sizes × placements × seeds,
+// executed under one protocol. Expansion is deterministic — the same spec
+// always yields the same work list in the same order.
+type Spec struct {
+	Families []FamilySpec
+	Seeds    SeedRange
+	Protocol ProtocolKind
+}
+
+// Run is one unit of campaign work: a named instance plus an adversary seed.
+type Run struct {
+	// Instance names the (graph, homes) pair, e.g. "cycle12[0 4 8]".
+	Instance string
+	G        *graph.Graph
+	Homes    []int
+	Seed     int64
+	Protocol ProtocolKind
+}
+
+// Expand turns the spec into its deterministic work list. Each (family,
+// size) pair builds its graph exactly once, so every seed of an instance
+// shares the same *graph.Graph value (and therefore the same analysis-cache
+// entry).
+func (s Spec) Expand() ([]Run, error) {
+	if s.Seeds.Count() == 0 {
+		return nil, fmt.Errorf("campaign: empty seed range [%d, %d]", s.Seeds.From, s.Seeds.To)
+	}
+	proto := s.Protocol
+	if proto == "" {
+		proto = ProtoElect
+	}
+	if _, err := protocolFor(proto, Options{}); err != nil {
+		return nil, err
+	}
+	var runs []Run
+	for _, f := range s.Families {
+		sizes := f.Sizes
+		if len(sizes) == 0 {
+			sizes = []int{0}
+		}
+		for _, size := range sizes {
+			g, err := BuildGraph(f.Family, size)
+			if err != nil {
+				return nil, err
+			}
+			placements := f.Homes
+			if len(placements) == 0 {
+				placements, err = expandPlacement(f.Placement, f.R, g.N())
+				if err != nil {
+					return nil, fmt.Errorf("campaign: %s%d: %w", f.Family, size, err)
+				}
+			}
+			for _, homes := range placements {
+				for _, h := range homes {
+					if h < 0 || h >= g.N() {
+						return nil, fmt.Errorf("campaign: %s%d: home %d out of range", f.Family, size, h)
+					}
+				}
+				name := instanceName(f.Family, size, homes)
+				for seed := s.Seeds.From; seed <= s.Seeds.To; seed++ {
+					runs = append(runs, Run{
+						Instance: name, G: g, Homes: homes, Seed: seed, Protocol: proto,
+					})
+				}
+			}
+		}
+	}
+	if len(runs) == 0 {
+		return nil, fmt.Errorf("campaign: spec expands to no runs")
+	}
+	return runs, nil
+}
+
+func instanceName(family string, size int, homes []int) string {
+	if family == "petersen" {
+		return fmt.Sprintf("petersen%v", homes)
+	}
+	return fmt.Sprintf("%s%d%v", family, size, homes)
+}
+
+// expandPlacement resolves a placement strategy against a graph of n nodes.
+func expandPlacement(strategy string, r, n int) ([][]int, error) {
+	if r <= 0 {
+		r = 1
+	}
+	switch strategy {
+	case "", "spread":
+		if r > n {
+			return nil, fmt.Errorf("placement spread: r=%d exceeds n=%d", r, n)
+		}
+		homes := make([]int, r)
+		for i := range homes {
+			homes[i] = i * n / r
+		}
+		return [][]int{homes}, nil
+	case "adjacent":
+		if r > n {
+			return nil, fmt.Errorf("placement adjacent: r=%d exceeds n=%d", r, n)
+		}
+		homes := make([]int, r)
+		for i := range homes {
+			homes[i] = i
+		}
+		return [][]int{homes}, nil
+	case "antipodal":
+		if n < 2 {
+			return nil, fmt.Errorf("placement antipodal: need n >= 2, have %d", n)
+		}
+		return [][]int{{0, n / 2}}, nil
+	case "single":
+		return [][]int{{0}}, nil
+	default:
+		return nil, fmt.Errorf("unknown placement strategy %q", strategy)
+	}
+}
+
+// BuildGraph instantiates a named graph family (the registry shared by the
+// campaign spec and the CLIs).
+func BuildGraph(family string, size int) (*graph.Graph, error) {
+	switch family {
+	case "path":
+		return graph.Path(size), nil
+	case "cycle":
+		return graph.Cycle(size), nil
+	case "complete":
+		return graph.Complete(size), nil
+	case "star":
+		return graph.Star(size), nil
+	case "hypercube":
+		return graph.Hypercube(size), nil
+	case "torus":
+		return graph.Torus(size, size), nil
+	case "grid":
+		return graph.Grid(size, size), nil
+	case "petersen":
+		return graph.Petersen(), nil
+	case "wheel":
+		return graph.Wheel(size), nil
+	case "prism":
+		return graph.Prism(size), nil
+	case "ccc":
+		return graph.CCC(size), nil
+	case "random":
+		return graph.RandomConnected(size, size/2, 42), nil
+	default:
+		return nil, fmt.Errorf("campaign: unknown graph family %q", family)
+	}
+}
+
+// ParseFamilies parses the CLI family syntax: semicolon-separated
+// "family:size1,size2,..." entries, e.g. "cycle:9,12,15;hypercube:3,4".
+// Families without sizes ("petersen") omit the colon part.
+func ParseFamilies(s string, placement string, r int) ([]FamilySpec, error) {
+	var out []FamilySpec
+	for _, entry := range strings.Split(s, ";") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		name, sizesPart, hasSizes := strings.Cut(entry, ":")
+		f := FamilySpec{Family: strings.TrimSpace(name), Placement: placement, R: r}
+		if hasSizes {
+			for _, tok := range strings.Split(sizesPart, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(tok))
+				if err != nil {
+					return nil, fmt.Errorf("campaign: bad size %q in %q: %w", tok, entry, err)
+				}
+				f.Sizes = append(f.Sizes, v)
+			}
+		}
+		out = append(out, f)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("campaign: no families in %q", s)
+	}
+	return out, nil
+}
+
+// ParseSeedRange parses "a..b" (inclusive) or a single seed "a".
+func ParseSeedRange(s string) (SeedRange, error) {
+	s = strings.TrimSpace(s)
+	lo, hi, isRange := strings.Cut(s, "..")
+	from, err := strconv.ParseInt(strings.TrimSpace(lo), 10, 64)
+	if err != nil {
+		return SeedRange{}, fmt.Errorf("campaign: bad seed %q: %w", lo, err)
+	}
+	if !isRange {
+		return SeedRange{From: from, To: from}, nil
+	}
+	to, err := strconv.ParseInt(strings.TrimSpace(hi), 10, 64)
+	if err != nil {
+		return SeedRange{}, fmt.Errorf("campaign: bad seed %q: %w", hi, err)
+	}
+	return SeedRange{From: from, To: to}, nil
+}
+
+// canonicalKey serializes the (graph, homes) pair into the analysis-cache
+// key: node count, the sorted edge multiset, and the sorted home multiset.
+// Two runs share a key exactly when they present the same adjacency
+// structure and agent placement (isomorphic but differently numbered
+// instances hash apart — the cache trades isomorphism detection for O(|E|)
+// keying).
+func canonicalKey(g *graph.Graph, homes []int) string {
+	edges := g.EdgeEndpoints()
+	es := make([][2]int, len(edges))
+	for i, e := range edges {
+		u, v := e[0], e[1]
+		if u > v {
+			u, v = v, u
+		}
+		es[i] = [2]int{u, v}
+	}
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	hs := append([]int(nil), homes...)
+	sort.Ints(hs)
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d;e=", g.N())
+	for _, e := range es {
+		fmt.Fprintf(&b, "%d-%d,", e[0], e[1])
+	}
+	fmt.Fprintf(&b, ";h=%v", hs)
+	return b.String()
+}

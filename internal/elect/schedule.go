@@ -128,13 +128,6 @@ func computeScheduleOpt(sizes []int, numBlack int, noSkip bool) *schedule {
 	return sc
 }
 
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 func gcdInt(a, b int) int {
 	for b != 0 {
 		a, b = b, a%b

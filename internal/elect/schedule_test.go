@@ -1,0 +1,116 @@
+package elect
+
+import "testing"
+
+// TestScheduleSingleClass: with only one class the reduction has nothing to
+// consume — no phases, and the final d is that class's size (so gcd > 1
+// instances are reported unsolvable without any reduction work).
+func TestScheduleSingleClass(t *testing.T) {
+	for _, tc := range []struct {
+		size     int
+		numBlack int
+	}{
+		{1, 1}, // one lone black agent: already elected
+		{4, 1}, // one black class of 4
+		{5, 0}, // degenerate: no black classes at all
+	} {
+		sizes := []int{tc.size}
+		sc := computeScheduleOpt(sizes, tc.numBlack, false)
+		if len(sc.phases) != 0 {
+			t.Errorf("sizes=%v numBlack=%d: got %d phases, want 0", sizes, tc.numBlack, len(sc.phases))
+		}
+		if sc.finalD != tc.size {
+			t.Errorf("sizes=%v numBlack=%d: finalD=%d, want %d", sizes, tc.numBlack, sc.finalD, tc.size)
+		}
+	}
+}
+
+// TestScheduleAllMultiplesSkipped: when every later class size is a multiple
+// of the running d, gcd(d, |C_i|) = d for all of them — every phase is
+// skipped, finalD stays sizes[0], yet the no-skip ablation still executes
+// one phase per class with dOut == dIn.
+func TestScheduleAllMultiplesSkipped(t *testing.T) {
+	sizes := []int{4, 8, 12, 16}
+	for _, numBlack := range []int{1, 2, 4} {
+		sc := computeScheduleOpt(sizes, numBlack, false)
+		if len(sc.phases) != 0 {
+			t.Errorf("numBlack=%d: got %d phases, want all skipped", numBlack, len(sc.phases))
+		}
+		if sc.finalD != 4 {
+			t.Errorf("numBlack=%d: finalD=%d, want 4", numBlack, sc.finalD)
+		}
+
+		noSkip := computeScheduleOpt(sizes, numBlack, true)
+		if len(noSkip.phases) != len(sizes)-1 {
+			t.Errorf("numBlack=%d noSkip: got %d phases, want %d", numBlack, len(noSkip.phases), len(sizes)-1)
+		}
+		for _, p := range noSkip.phases {
+			if p.dOut != p.dIn {
+				t.Errorf("numBlack=%d noSkip class %d: dIn=%d dOut=%d, a no-op phase must keep d",
+					numBlack, p.classIdx, p.dIn, p.dOut)
+			}
+		}
+		if noSkip.finalD != 4 {
+			t.Errorf("numBlack=%d noSkip: finalD=%d, want 4", numBlack, noSkip.finalD)
+		}
+	}
+}
+
+// TestScheduleGCDChainInvariant: with and without the skip, every executed
+// phase must realize dOut = gcd(dIn, |C_classIdx|), phases must chain
+// (dOut feeds the next phase's dIn), and both variants end at the same
+// finalD = gcd of all class sizes — the skip is a pure cost optimization.
+func TestScheduleGCDChainInvariant(t *testing.T) {
+	cases := []struct {
+		sizes    []int
+		numBlack int
+	}{
+		{[]int{4, 6}, 2},
+		{[]int{4, 6}, 1},
+		{[]int{6, 10, 15}, 3},
+		{[]int{6, 10, 15}, 2},
+		{[]int{6, 10, 15}, 0},
+		{[]int{9, 12, 30, 8}, 2},
+		{[]int{5, 8}, 2},
+		{[]int{12, 18, 8, 27}, 4},
+		{[]int{2, 2, 2, 2}, 2},
+		{[]int{7, 7, 7}, 1},
+	}
+	for _, tc := range cases {
+		for _, noSkip := range []bool{false, true} {
+			sc := computeScheduleOpt(tc.sizes, tc.numBlack, noSkip)
+			d := tc.sizes[0]
+			for _, p := range sc.phases {
+				if p.dIn != d {
+					t.Errorf("sizes=%v black=%d noSkip=%v class %d: dIn=%d, want chained %d",
+						tc.sizes, tc.numBlack, noSkip, p.classIdx, p.dIn, d)
+				}
+				if want := gcdInt(p.dIn, tc.sizes[p.classIdx]); p.dOut != want {
+					t.Errorf("sizes=%v black=%d noSkip=%v class %d: dOut=%d, want gcd(%d,%d)=%d",
+						tc.sizes, tc.numBlack, noSkip, p.classIdx, p.dOut, p.dIn, tc.sizes[p.classIdx], want)
+				}
+				d = p.dOut
+			}
+			if sc.finalD != d {
+				t.Errorf("sizes=%v black=%d noSkip=%v: finalD=%d, want chain end %d",
+					tc.sizes, tc.numBlack, noSkip, sc.finalD, d)
+			}
+		}
+		// Both variants converge to the same d; with skip it is the full gcd
+		// chain unless it bottomed out at 1 early.
+		withSkip := computeScheduleOpt(tc.sizes, tc.numBlack, false)
+		noSkip := computeScheduleOpt(tc.sizes, tc.numBlack, true)
+		if withSkip.finalD != noSkip.finalD {
+			t.Errorf("sizes=%v black=%d: skip finalD=%d, noSkip finalD=%d",
+				tc.sizes, tc.numBlack, withSkip.finalD, noSkip.finalD)
+		}
+		want := tc.sizes[0]
+		for _, s := range tc.sizes {
+			want = gcdInt(want, s)
+		}
+		if withSkip.finalD != want {
+			t.Errorf("sizes=%v black=%d: finalD=%d, want gcd of all sizes %d",
+				tc.sizes, tc.numBlack, withSkip.finalD, want)
+		}
+	}
+}

@@ -4,12 +4,36 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
+	"repro/internal/campaign"
 	"repro/internal/elect"
 	"repro/internal/graph"
-	"repro/internal/order"
 	"repro/internal/sim"
 )
+
+// campaignOptions is the experiment suite's execution profile: the same
+// adversary settings runCfg used for direct sim.Run calls, now driven
+// through the campaign pool so multi-instance sweeps run in parallel and
+// share one analysis cache.
+func campaignOptions() campaign.Options {
+	return campaign.Options{
+		MaxDelay:   50 * time.Microsecond,
+		RunTimeout: 120 * time.Second,
+	}
+}
+
+// campaignRuns converts an instance list into a single-seed campaign work
+// list under one protocol.
+func campaignRuns(insts []Instance, seed int64, kind campaign.ProtocolKind) []campaign.Run {
+	runs := make([]campaign.Run, len(insts))
+	for i, inst := range insts {
+		runs[i] = campaign.Run{
+			Instance: inst.Name, G: inst.G, Homes: inst.Homes, Seed: seed, Protocol: kind,
+		}
+	}
+	return runs
+}
 
 // ---------------------------------------------------------------------------
 // E4 — Theorem 3.1: ELECT correctness, phase invariant and move counts.
@@ -48,33 +72,33 @@ type ElectRow struct {
 	Ratio float64
 }
 
-// RunElectExperiment runs ELECT on the suite and checks every outcome
-// against the gcd criterion (Theorem 3.1).
+// RunElectExperiment runs ELECT on the suite through the campaign engine
+// and checks every outcome against the gcd criterion (Theorem 3.1) — the
+// campaign's cached analysis supplies the class sizes and the oracle
+// verdict per instance.
 func RunElectExperiment(seed int64) (string, []ElectRow, error) {
+	suite := ElectSuite()
+	rep, err := campaign.ExecuteRuns(campaignRuns(suite, seed, campaign.ProtoElect), campaignOptions())
+	if err != nil {
+		return "", nil, err
+	}
 	var rows []ElectRow
 	var cells [][]string
-	for _, inst := range ElectSuite() {
-		o := order.ComputeAndOrder(inst.G, elect.BlackColors(inst.G.N(), inst.Homes), order.Direct)
-		res, err := sim.Run(runCfg(inst.G, inst.Homes, seed, false), elect.Elect(elect.Options{}))
-		if err != nil {
-			return "", nil, fmt.Errorf("%s: %w", inst.Name, err)
+	for i, res := range rep.Results {
+		if res.Err != "" {
+			return "", nil, fmt.Errorf("%s: %s", res.Instance, res.Err)
+		}
+		if !res.OK {
+			return "", nil, fmt.Errorf("%s: outcome %s, oracle wants %s", res.Instance, res.Outcome, res.Expected)
 		}
 		row := ElectRow{
-			Name: inst.Name, N: inst.G.N(), M: inst.G.M(), R: len(inst.Homes),
-			Sizes: o.Sizes(), GCD: o.GCD(), Outcome: outcomeString(res),
-			Moves: res.TotalMoves(), Accesses: res.TotalAccesses(),
-			Ratio: float64(res.TotalMoves()) / float64(len(inst.Homes)*inst.G.M()),
-		}
-		want := "unsolvable"
-		if o.GCD() == 1 {
-			want = "leader"
-		}
-		if row.Outcome != want {
-			return "", nil, fmt.Errorf("%s: outcome %s, oracle wants %s", inst.Name, row.Outcome, want)
+			Name: suite[i].Name, N: res.N, M: res.M, R: res.R,
+			Sizes: res.Sizes, GCD: res.GCD, Outcome: res.Outcome,
+			Moves: res.Moves, Accesses: res.Accesses, Ratio: res.Ratio,
 		}
 		rows = append(rows, row)
 		cells = append(cells, []string{
-			inst.Name, fmt.Sprint(row.N), fmt.Sprint(row.M), fmt.Sprint(row.R),
+			row.Name, fmt.Sprint(row.N), fmt.Sprint(row.M), fmt.Sprint(row.R),
 			trimSizes(row.Sizes), fmt.Sprint(row.GCD), row.Outcome,
 			fmt.Sprint(row.Moves), fmt.Sprintf("%.1f", row.Ratio),
 		})
@@ -132,29 +156,35 @@ var (
 )
 
 func cayleySweepAgreement() (int, int, error) {
-	agree, total := 0, 0
+	// Fan the whole placement enumeration through the campaign's pooled,
+	// cached analysis engine instead of analyzing serially.
+	var insts []campaign.Instance
 	for _, inst := range CayleyGraphs() {
-		placements := enumeratePlacements(inst.G.N())
-		for _, homes := range placements {
-			an, err := elect.Analyze(inst.G, homes, order.Direct)
-			if err != nil {
-				return 0, 0, fmt.Errorf("%s %v: %w", inst.Name, homes, err)
-			}
-			if !an.Cayley {
-				return 0, 0, fmt.Errorf("%s not recognized as Cayley", inst.Name)
-			}
-			if !an.Thm21Checked {
-				return 0, 0, fmt.Errorf("%s %v: oracle undecided", inst.Name, homes)
-			}
-			total++
-			if an.CayleyElectSucceeds() == !an.Impossible21 {
-				agree++
-			}
-			// Internal consistency: d > 1 must imply gcd > 1 (translation
-			// classes refine automorphism classes).
-			if an.TranslationD > 1 && an.GCD == 1 {
-				return 0, 0, fmt.Errorf("%s %v: d=%d but gcd=1", inst.Name, homes, an.TranslationD)
-			}
+		for _, homes := range enumeratePlacements(inst.G.N()) {
+			insts = append(insts, campaign.Instance{Name: inst.Name, G: inst.G, Homes: homes})
+		}
+	}
+	analyses, err := campaign.AnalyzeBatch(insts, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	agree, total := 0, 0
+	for i, an := range analyses {
+		name, homes := insts[i].Name, insts[i].Homes
+		if !an.Cayley {
+			return 0, 0, fmt.Errorf("%s not recognized as Cayley", name)
+		}
+		if !an.Thm21Checked {
+			return 0, 0, fmt.Errorf("%s %v: oracle undecided", name, homes)
+		}
+		total++
+		if an.CayleyElectSucceeds() == !an.Impossible21 {
+			agree++
+		}
+		// Internal consistency: d > 1 must imply gcd > 1 (translation
+		// classes refine automorphism classes).
+		if an.TranslationD > 1 && an.GCD == 1 {
+			return 0, 0, fmt.Errorf("%s %v: d=%d but gcd=1", name, homes, an.TranslationD)
 		}
 	}
 	return agree, total, nil
@@ -203,17 +233,28 @@ func RunCayleyExperiment(seed int64) (string, []CayleyRow, error) {
 		{"K4", graph.Complete(4), []int{0, 1, 2, 3}},
 		{"torus33", graph.Torus(3, 3), []int{0, 4}},
 	}
+	// The representative instances need the full analysis (translation d,
+	// Theorem 2.1 verdict) for the table columns and the distributed runs
+	// for the last column; both go through the campaign engine.
+	insts := make([]campaign.Instance, len(reps))
+	for i, inst := range reps {
+		insts[i] = campaign.Instance{Name: inst.Name, G: inst.G, Homes: inst.Homes}
+	}
+	analyses, err := campaign.AnalyzeBatch(insts, 0)
+	if err != nil {
+		return "", nil, err
+	}
+	rep, err := campaign.ExecuteRuns(campaignRuns(reps, seed, campaign.ProtoCayley), campaignOptions())
+	if err != nil {
+		return "", nil, err
+	}
 	var rows []CayleyRow
 	var cells [][]string
-	for _, inst := range reps {
-		an, err := elect.Analyze(inst.G, inst.Homes, order.Direct)
-		if err != nil {
-			return "", nil, err
-		}
-		res, err := sim.Run(runCfg(inst.G, inst.Homes, seed, false),
-			elect.CayleyElect(elect.CayleyOptions{}))
-		if err != nil {
-			return "", nil, fmt.Errorf("%s %v: %w", inst.Name, inst.Homes, err)
+	for i, inst := range reps {
+		an := analyses[i]
+		res := rep.Results[i]
+		if res.Err != "" {
+			return "", nil, fmt.Errorf("%s %v: %s", inst.Name, inst.Homes, res.Err)
 		}
 		decision := "elect"
 		if !an.CayleyElectSucceeds() {
@@ -225,7 +266,7 @@ func RunCayleyExperiment(seed int64) (string, []CayleyRow, error) {
 		}
 		row := CayleyRow{
 			Name: inst.Name, Homes: inst.Homes, D: an.TranslationD, GCD: an.GCD,
-			Decision: decision, Oracle: oracle, Distributed: outcomeString(res),
+			Decision: decision, Oracle: oracle, Distributed: res.Outcome,
 		}
 		okDist := (row.Decision == "elect" && row.Distributed == "leader") ||
 			(row.Decision == "impossible" && row.Distributed == "unsolvable")
@@ -265,17 +306,26 @@ func RunCayleyExperiment(seed int64) (string, []CayleyRow, error) {
 func RunPetersenExperiment(seed int64) (string, error) {
 	g := graph.Petersen()
 	homes := []int{0, 1}
-	an, err := elect.Analyze(g, homes, order.Direct)
+	analyses, err := campaign.AnalyzeBatch(
+		[]campaign.Instance{{Name: "petersen", G: g, Homes: homes}}, 0)
 	if err != nil {
 		return "", err
 	}
-	resElect, err := sim.Run(runCfg(g, homes, seed, false), elect.Elect(elect.Options{}))
+	an := analyses[0]
+	// Both protocols run on the same instance through one campaign, so the
+	// second run's analysis is a cache hit.
+	rep, err := campaign.ExecuteRuns([]campaign.Run{
+		{Instance: "petersen", G: g, Homes: homes, Seed: seed, Protocol: campaign.ProtoElect},
+		{Instance: "petersen", G: g, Homes: homes, Seed: seed, Protocol: campaign.ProtoPetersen},
+	}, campaignOptions())
 	if err != nil {
 		return "", err
 	}
-	resAdhoc, err := sim.Run(runCfg(g, homes, seed, false), elect.PetersenElect())
-	if err != nil {
-		return "", err
+	resElect, resAdhoc := rep.Results[0], rep.Results[1]
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			return "", fmt.Errorf("petersen (%s): %s", res.Protocol, res.Err)
+		}
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 5 — Petersen graph, two adjacent agents\n")
@@ -283,11 +333,11 @@ func RunPetersenExperiment(seed int64) (string, error) {
 		an.Sizes, an.GCD)
 	fmt.Fprintf(&b, "  Cayley graph: %v (vertex-transitive but not Cayley)\n", an.Cayley)
 	fmt.Fprintf(&b, "  symmetric labeling exists (Thm 2.1): %v  => election possible\n", an.Impossible21)
-	fmt.Fprintf(&b, "  Protocol ELECT outcome: %s (not effectual here)\n", outcomeString(resElect))
+	fmt.Fprintf(&b, "  Protocol ELECT outcome: %s (not effectual here)\n", resElect.Outcome)
 	fmt.Fprintf(&b, "  Ad-hoc 5-step protocol: %s (moves: %d)\n",
-		outcomeString(resAdhoc), resAdhoc.TotalMoves())
+		resAdhoc.Outcome, resAdhoc.Moves)
 	ok := an.GCD == 2 && !an.Cayley && !an.Impossible21 &&
-		resElect.AllUnsolvable() && resAdhoc.AgreedLeader()
+		resElect.Outcome == "unsolvable" && resAdhoc.Outcome == "leader"
 	if !ok {
 		return b.String(), fmt.Errorf("exp: Figure 5 expectations violated")
 	}
@@ -326,22 +376,26 @@ func RunCostExperiment(seed int64) (string, []CostRow, error) {
 		}
 		insts = append(insts, Instance{fmt.Sprintf("C16-r%d", r), graph.Cycle(16), homes})
 	}
+	rep, err := campaign.ExecuteRuns(campaignRuns(insts, seed, campaign.ProtoElect), campaignOptions())
+	if err != nil {
+		return "", nil, err
+	}
 	var rows []CostRow
 	var cells [][]string
-	for _, inst := range insts {
-		res, err := sim.Run(runCfg(inst.G, inst.Homes, seed, false), elect.Elect(elect.Options{}))
-		if err != nil {
-			return "", nil, fmt.Errorf("%s: %w", inst.Name, err)
+	for _, res := range rep.Results {
+		if res.Err != "" {
+			return "", nil, fmt.Errorf("%s: %s", res.Instance, res.Err)
 		}
-		r := len(inst.Homes)
+		if !res.OK {
+			return "", nil, fmt.Errorf("%s: outcome %s, oracle wants %s", res.Instance, res.Outcome, res.Expected)
+		}
 		row := CostRow{
-			Name: inst.Name, N: inst.G.N(), M: inst.G.M(), R: r,
-			Moves: res.TotalMoves(),
-			Ratio: float64(res.TotalMoves()) / float64(r*inst.G.M()),
+			Name: res.Instance, N: res.N, M: res.M, R: res.R,
+			Moves: res.Moves, Ratio: res.Ratio,
 		}
 		rows = append(rows, row)
 		cells = append(cells, []string{
-			inst.Name, fmt.Sprint(row.N), fmt.Sprint(row.M), fmt.Sprint(row.R),
+			row.Name, fmt.Sprint(row.N), fmt.Sprint(row.M), fmt.Sprint(row.R),
 			fmt.Sprint(row.Moves), fmt.Sprintf("%.1f", row.Ratio),
 		})
 	}
@@ -421,24 +475,41 @@ func RunDegradationExperiment(seed int64) (string, []DegradationRow, error) {
 		{"grid23", graph.Grid(2, 3), []int{0, 4}},
 		{"random10", graph.RandomConnected(10, 6, 13), []int{0, 2, 5, 8}},
 	}
+	// One campaign interleaving both protocols — two runs per instance on
+	// the same (graph, homes), so each instance's analysis is computed once
+	// and the quantitative run reuses it from the cache.
+	runs := make([]campaign.Run, 2*len(insts))
+	for i, inst := range insts {
+		runs[2*i] = campaign.Run{
+			Instance: inst.Name, G: inst.G, Homes: inst.Homes, Seed: seed,
+			Protocol: campaign.ProtoElect,
+		}
+		runs[2*i+1] = campaign.Run{
+			Instance: inst.Name, G: inst.G, Homes: inst.Homes, Seed: seed,
+			Protocol: campaign.ProtoQuantitative,
+		}
+	}
+	rep, err := campaign.ExecuteRuns(runs, campaignOptions())
+	if err != nil {
+		return "", nil, err
+	}
 	var rows []DegradationRow
 	var cells [][]string
-	for _, inst := range insts {
-		qual, err := sim.Run(runCfg(inst.G, inst.Homes, seed, false), elect.Elect(elect.Options{}))
-		if err != nil {
-			return "", nil, fmt.Errorf("%s: %w", inst.Name, err)
+	for i, inst := range insts {
+		qual, quant := rep.Results[2*i], rep.Results[2*i+1]
+		if qual.Err != "" {
+			return "", nil, fmt.Errorf("%s: %s", inst.Name, qual.Err)
 		}
-		quant, err := sim.Run(runCfg(inst.G, inst.Homes, seed, true), elect.QuantitativeElect())
-		if err != nil {
-			return "", nil, fmt.Errorf("%s: %w", inst.Name, err)
+		if quant.Err != "" {
+			return "", nil, fmt.Errorf("%s: %s", inst.Name, quant.Err)
 		}
-		if !qual.AgreedLeader() || !quant.AgreedLeader() {
+		if qual.Outcome != "leader" || quant.Outcome != "leader" {
 			return "", nil, fmt.Errorf("%s: a protocol failed to elect", inst.Name)
 		}
 		row := DegradationRow{
-			Name: inst.Name, N: inst.G.N(), M: inst.G.M(), R: len(inst.Homes),
-			QualMoves: qual.TotalMoves(), QuantMoves: quant.TotalMoves(),
-			Factor: float64(qual.TotalMoves()) / float64(quant.TotalMoves()),
+			Name: inst.Name, N: qual.N, M: qual.M, R: qual.R,
+			QualMoves: qual.Moves, QuantMoves: quant.Moves,
+			Factor: float64(qual.Moves) / float64(quant.Moves),
 		}
 		rows = append(rows, row)
 		cells = append(cells, []string{

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// BufferedTracer decouples a slow trace sink from the simulation runtime.
+// Whiteboard events are emitted under the board lock (see Event), so a
+// tracer that formats and prints inline serializes every agent on I/O. The
+// buffered tracer hands events to a channel instead: a drain goroutine
+// calls the sink outside the lock, and when the buffer is full the event is
+// counted as dropped rather than stalling the simulation.
+//
+// Usage:
+//
+//	bt := sim.NewBufferedTracer(sink, 0)
+//	defer bt.Close()
+//	cfg.Tracer = bt.Trace
+//
+// Close flushes everything still buffered, so after sim.Run + Close the
+// sink has seen every non-dropped event exactly once, in emission order.
+type BufferedTracer struct {
+	ch      chan Event
+	quit    chan struct{}
+	done    chan struct{}
+	closed  atomic.Bool
+	dropped atomic.Int64
+	once    sync.Once
+}
+
+// DefaultTraceBuffer is the buffer capacity used when NewBufferedTracer is
+// given a non-positive size.
+const DefaultTraceBuffer = 4096
+
+// NewBufferedTracer starts a drain goroutine feeding sink from a channel of
+// the given capacity (DefaultTraceBuffer if size <= 0). The caller must
+// Close it to flush and stop the goroutine.
+func NewBufferedTracer(sink Tracer, size int) *BufferedTracer {
+	if size <= 0 {
+		size = DefaultTraceBuffer
+	}
+	bt := &BufferedTracer{
+		ch:   make(chan Event, size),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(bt.done)
+		for {
+			select {
+			case e := <-bt.ch:
+				sink(e)
+			case <-bt.quit:
+				for {
+					select {
+					case e := <-bt.ch:
+						sink(e)
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+	return bt
+}
+
+// Trace is the Tracer to install as Config.Tracer. It never blocks: a full
+// buffer (or a closed tracer) increments the drop counter instead.
+func (bt *BufferedTracer) Trace(e Event) {
+	if bt.closed.Load() {
+		bt.dropped.Add(1)
+		return
+	}
+	select {
+	case bt.ch <- e:
+	default:
+		bt.dropped.Add(1)
+	}
+}
+
+// Close flushes buffered events to the sink and stops the drain goroutine.
+// It is idempotent; call it after the simulation returns. Events traced
+// after Close count as dropped.
+func (bt *BufferedTracer) Close() {
+	bt.once.Do(func() {
+		bt.closed.Store(true)
+		close(bt.quit)
+		<-bt.done
+	})
+}
+
+// Dropped reports how many events were discarded because the buffer was
+// full (or the tracer closed).
+func (bt *BufferedTracer) Dropped() int64 {
+	return bt.dropped.Load()
+}

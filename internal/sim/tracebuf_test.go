@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// walkOnce is a minimal protocol generating trace events: write a sign at
+// home, step through the first port, and stop.
+func walkOnce(a *Agent) (Outcome, error) {
+	if err := a.Access(func(b *Board) { b.Write("here") }); err != nil {
+		return Outcome{}, err
+	}
+	if _, err := a.Move(a.Symbols()[0]); err != nil {
+		return Outcome{}, err
+	}
+	return Outcome{Role: RoleDefeated, Leader: a.Color()}, nil
+}
+
+// TestBufferedTracerDeliversAll checks that with ample buffer the buffered
+// tracer delivers exactly the synchronous event sequence, with no drops.
+func TestBufferedTracerDeliversAll(t *testing.T) {
+	g := graph.Cycle(6)
+	cfg := Config{Graph: g, Homes: []int{0, 3}, Seed: 7, WakeAll: true}
+
+	// A synchronous tracer is called from every agent goroutine and must
+	// lock for itself; the buffered tracer's sink runs on one goroutine.
+	var mu sync.Mutex
+	var direct []Event
+	cfg.Tracer = func(e Event) {
+		mu.Lock()
+		direct = append(direct, e)
+		mu.Unlock()
+	}
+	if _, err := Run(cfg, walkOnce); err != nil {
+		t.Fatal(err)
+	}
+
+	var buffered []Event
+	bt := NewBufferedTracer(func(e Event) { buffered = append(buffered, e) }, 0)
+	cfg.Tracer = bt.Trace
+	if _, err := Run(cfg, walkOnce); err != nil {
+		t.Fatal(err)
+	}
+	bt.Close()
+
+	if bt.Dropped() != 0 {
+		t.Fatalf("dropped %d events with an ample buffer", bt.Dropped())
+	}
+	if len(buffered) != len(direct) {
+		t.Fatalf("buffered tracer saw %d events, synchronous saw %d", len(buffered), len(direct))
+	}
+	// Cross-agent interleaving is scheduler-dependent, but each agent's own
+	// event sequence is its program order: compare per agent.
+	for _, events := range [][]Event{direct, buffered} {
+		perAgent := map[int][]Event{}
+		for _, e := range events {
+			perAgent[e.Agent] = append(perAgent[e.Agent], e)
+		}
+		for agent, seq := range perAgent {
+			var want []string
+			for _, e := range seq {
+				want = append(want, e.Kind.String())
+			}
+			// walkOnce: wake, write, move, outcome.
+			if len(seq) != 4 || seq[0].Kind != EvWake || seq[1].Kind != EvWrite ||
+				seq[2].Kind != EvMove || seq[3].Kind != EvOutcome {
+				t.Fatalf("agent %d event sequence %v, want [wake write move outcome]", agent, want)
+			}
+		}
+	}
+}
+
+// TestBufferedTracerDropsWhenFull fills a capacity-1 buffer while the sink
+// is blocked and checks overflow is counted, not blocking.
+func TestBufferedTracerDropsWhenFull(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var seen []Event
+	bt := NewBufferedTracer(func(e Event) {
+		seen = append(seen, e)
+		entered <- struct{}{}
+		<-release
+	}, 1)
+
+	bt.Trace(Event{Node: 1})
+	<-entered // sink is now blocked on event 1; the buffer is empty
+	bt.Trace(Event{Node: 2})
+	// Buffer (cap 1) holds event 2; these cannot be accepted.
+	bt.Trace(Event{Node: 3})
+	bt.Trace(Event{Node: 4})
+	if got := bt.Dropped(); got != 2 {
+		t.Fatalf("Dropped() = %d, want 2", got)
+	}
+
+	go func() {
+		for {
+			select {
+			case <-entered:
+			case release <- struct{}{}:
+			}
+		}
+	}()
+	bt.Close()
+	if len(seen) != 2 || seen[0].Node != 1 || seen[1].Node != 2 {
+		t.Fatalf("sink saw %+v, want events 1 and 2", seen)
+	}
+}
+
+// TestBufferedTracerCloseSemantics: Close flushes, is idempotent, and
+// subsequent Trace calls count as drops instead of panicking.
+func TestBufferedTracerCloseSemantics(t *testing.T) {
+	var seen []Event
+	bt := NewBufferedTracer(func(e Event) {
+		time.Sleep(time.Millisecond) // let events pile into the buffer
+		seen = append(seen, e)
+	}, 64)
+	for i := 0; i < 10; i++ {
+		bt.Trace(Event{Node: i})
+	}
+	bt.Close()
+	bt.Close() // idempotent
+	if len(seen) != 10 {
+		t.Fatalf("flush delivered %d events, want 10", len(seen))
+	}
+	bt.Trace(Event{Node: 99})
+	if got := bt.Dropped(); got != 1 {
+		t.Fatalf("Dropped() after Close = %d, want 1", got)
+	}
+	if len(seen) != 10 {
+		t.Fatalf("post-Close trace reached the sink")
+	}
+}

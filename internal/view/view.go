@@ -107,7 +107,7 @@ func ComputeClasses(g *graph.Graph, l graph.EdgeLabeling, colors []int) (*Classe
 	if err := l.Validate(g); err != nil {
 		return nil, err
 	}
-	cls := depthClasses(g, l, colors, maxInt(g.N()-1, 0))
+	cls := depthClasses(g, l, colors, max(g.N()-1, 0))
 	return fromAssignment(cls), nil
 }
 
@@ -266,7 +266,7 @@ func SymmetricityMax(g *graph.Graph, colors []int, limit int) (int, graph.EdgeLa
 	total := 1
 	for v := 0; v < g.N(); v++ {
 		f := factorial(g.Deg(v))
-		if total > limit/maxInt(f, 1) {
+		if total > limit/max(f, 1) {
 			return 0, nil, fmt.Errorf("view: labeling space exceeds limit %d", limit)
 		}
 		total *= f
