@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench campaign experiments examples vet fmt cover
+.PHONY: all build test race bench bench-iso campaign experiments examples vet fmt cover
 
 all: build vet test
 
@@ -24,6 +24,12 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Canonical-engine perf trajectory: regenerate BENCH_iso.json (DESIGN.md §8,
+# EXPERIMENTS.md). Fails if the optimized engine falls below the documented
+# 5x speedup over the frozen reference on Analyze(C32).
+bench-iso:
+	$(GO) run ./cmd/benchiso -o BENCH_iso.json
 
 cover:
 	$(GO) test -cover ./...

@@ -1,0 +1,19 @@
+package repro
+
+// Perf trajectory of the canonical-labeling engine (DESIGN.md §8). These
+// wrap the shared kernels of internal/isobench so `go test -bench BenchmarkIso`
+// and the BENCH_iso.json generator (cmd/benchiso, `make bench-iso`) measure
+// identical work. BenchmarkIsoAnalyzeC32Reference vs BenchmarkIsoAnalyzeC32
+// is the documented ≥5× speedup pair.
+
+import (
+	"testing"
+
+	"repro/internal/isobench"
+)
+
+func BenchmarkIso(b *testing.B) {
+	for _, c := range isobench.Cases() {
+		b.Run(c.Name, c.Run)
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -46,7 +47,12 @@ func main() {
 	jsonlPath := flag.String("jsonl", "", "write per-run JSONL records to this file")
 	summaryPath := flag.String("summary", "", "write the aggregate summary JSON to this file")
 	quiet := flag.Bool("q", false, "suppress the per-failure listing")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf := prof.Start(*cpuprofile, *memprofile)
+	defer stopProf()
 
 	fams, err := campaign.ParseFamilies(*families, *placement, *r)
 	if err != nil {
@@ -117,6 +123,7 @@ func main() {
 					rep.Summary.BoundViolations, rep.Summary.RatioBound, rep.Summary.RatioMax)
 			}
 		}
+		stopProf() // os.Exit skips defers; flush profiles first
 		os.Exit(1)
 	}
 }

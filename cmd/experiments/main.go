@@ -15,12 +15,18 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/prof"
 )
 
 func main() {
 	which := flag.String("e", "all", "experiment to run: all, table1, fig2ab, fig2c, elect, cayley, petersen, anonymous, cost, ablation, shared, degradation, fig1")
 	seed := flag.Int64("seed", 1, "adversary seed for the simulated runs")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProf := prof.Start(*cpuprofile, *memprofile)
+	defer stopProf()
 
 	type experiment struct {
 		id, title string
@@ -82,9 +88,11 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
+		stopProf()
 		os.Exit(2)
 	}
 	if failed {
+		stopProf() // os.Exit skips defers; flush profiles first
 		os.Exit(1)
 	}
 }

@@ -3,6 +3,7 @@ package campaign
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/elect"
 	"repro/internal/graph"
@@ -23,6 +24,10 @@ type analysisCache struct {
 	entries map[string]*cacheEntry
 	hits    atomic.Int64
 	misses  atomic.Int64
+	// analysisNS accumulates the wall-clock time spent inside elect.Analyze
+	// (cache misses only — hits pay nothing), surfaced in the campaign
+	// summary as AnalysisMS.
+	analysisNS atomic.Int64
 }
 
 type cacheEntry struct {
@@ -53,12 +58,14 @@ func (c *analysisCache) analyze(g *graph.Graph, homes []int) (*elect.Analysis, b
 		c.misses.Add(1)
 	}
 	e.once.Do(func() {
+		start := time.Now()
 		e.an, e.err = elect.Analyze(g, homes, order.Direct)
+		c.analysisNS.Add(int64(time.Since(start)))
 	})
 	return e.an, ok, e.err
 }
 
-// stats returns (hits, misses) so far.
-func (c *analysisCache) stats() (int64, int64) {
-	return c.hits.Load(), c.misses.Load()
+// stats returns (hits, misses, time spent analyzing) so far.
+func (c *analysisCache) stats() (int64, int64, time.Duration) {
+	return c.hits.Load(), c.misses.Load(), time.Duration(c.analysisNS.Load())
 }

@@ -210,10 +210,10 @@ func ExecuteRuns(runs []Run, opt Options) (*Report, error) {
 	close(idx)
 	wg.Wait()
 
-	hits, misses := cache.stats()
+	hits, misses, analysis := cache.stats()
 	rep := &Report{
 		Results: results,
-		Summary: summarize(results, opt.Workers, time.Since(start), opt.RatioBound, hits, misses),
+		Summary: summarize(results, opt.Workers, time.Since(start), opt.RatioBound, hits, misses, analysis),
 	}
 	if jw != nil && jw.err != nil {
 		return rep, fmt.Errorf("campaign: jsonl write: %w", jw.err)

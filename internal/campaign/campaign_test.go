@@ -275,8 +275,12 @@ func TestAnalysisCacheCoalesces(t *testing.T) {
 	if an1 != an2 {
 		t.Error("cache should return the identical analysis value")
 	}
-	if hits, misses := c.stats(); hits != 1 || misses != 1 {
+	hits, misses, analysis := c.stats()
+	if hits != 1 || misses != 1 {
 		t.Errorf("stats: %d/%d, want 1/1", hits, misses)
+	}
+	if analysis <= 0 {
+		t.Error("stats should report positive analysis time after a miss")
 	}
 }
 

@@ -73,10 +73,12 @@ type Summary struct {
 	// against; BoundViolations counts runs exceeding it.
 	RatioBound      float64 `json:"ratio_bound"`
 	BoundViolations int     `json:"bound_violations"`
-	// Analysis cache effectiveness.
+	// Analysis cache effectiveness. AnalysisMS is the total wall-clock time
+	// spent inside elect.Analyze across cache misses (nondeterministic).
 	CacheHits    int64   `json:"cache_hits"`
 	CacheMisses  int64   `json:"cache_misses"`
 	CacheHitRate float64 `json:"cache_hit_rate"`
+	AnalysisMS   float64 `json:"analysis_ms"`
 	// WallMS is the campaign's wall-clock time; SerialMS sums the per-run
 	// times (what one worker would have paid); SpeedupEst is their ratio.
 	WallMS     float64 `json:"wall_ms"`
@@ -130,7 +132,7 @@ func (jw *jsonlWriter) write(r RunResult) {
 	}
 }
 
-func summarize(results []RunResult, workers int, wall time.Duration, bound float64, hits, misses int64) Summary {
+func summarize(results []RunResult, workers int, wall time.Duration, bound float64, hits, misses int64, analysis time.Duration) Summary {
 	s := Summary{
 		Runs:        len(results),
 		Workers:     workers,
@@ -139,6 +141,7 @@ func summarize(results []RunResult, workers int, wall time.Duration, bound float
 		WallMS:      float64(wall) / float64(time.Millisecond),
 		CacheHits:   hits,
 		CacheMisses: misses,
+		AnalysisMS:  float64(analysis) / float64(time.Millisecond),
 	}
 	if hits+misses > 0 {
 		s.CacheHitRate = float64(hits) / float64(hits+misses)
@@ -227,7 +230,7 @@ func (s Summary) Render() string {
 		s.MovesP50, s.MovesP90, s.MovesP99, s.AccessP50, s.AccessP90, s.AccessP99)
 	out += fmt.Sprintf("  moves/(r·|E|) p50/p90/max: %.1f/%.1f/%.1f (bound %.0f, violations %d)\n",
 		s.RatioP50, s.RatioP90, s.RatioMax, s.RatioBound, s.BoundViolations)
-	out += fmt.Sprintf("  analysis cache: %d hits / %d misses (hit rate %.1f%%)\n",
-		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate)
+	out += fmt.Sprintf("  analysis cache: %d hits / %d misses (hit rate %.1f%%), %.0fms analyzing\n",
+		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate, s.AnalysisMS)
 	return out
 }

@@ -1,0 +1,267 @@
+package iso
+
+import "repro/internal/perm"
+
+// canonState drives one canonical labeling search. All scratch (partition
+// levels, signature buffers, the path's word prefix, orbit union-finds) is
+// owned here and reused across the whole backtracking tree, so the search
+// allocates O(depth) level structures and otherwise runs allocation-free.
+type canonState struct {
+	c *Colored
+	g *csr
+	n int
+
+	// Search outcome.
+	best     []byte      // minimum leaf word so far (full serialization)
+	bperm    perm.Perm   // ordering that produced best (vertex -> position)
+	bpermInv []int       // position -> vertex, maintained with bperm
+	autos    []perm.Perm // discovered automorphisms (see leaf handling)
+	bestGen  int         // bumped every time best is replaced
+
+	// prefix is the serialized word of the current path, valid up to the
+	// bytes determined by the path's leading singleton cells: length
+	// n + k² when the first k cells are singletons. prefix[0:n] (the color
+	// bytes) is constant across the entire tree: initial cells are
+	// monochromatic and occupy fixed position ranges that refinement and
+	// individualization only subdivide.
+	prefix []byte
+
+	// base is the stack of individualized vertices on the current path;
+	// the orbit pruning at each node is relative to it.
+	base []int
+
+	levels []*level
+
+	// leaves counts visited leaves; when maxLeaves > 0 and the count would
+	// exceed it, budgetHit aborts the search (CanonicalBudget returns
+	// ErrLeafBudget — an explicit failure, never a truncated word).
+	leaves    int
+	maxLeaves int
+	budgetHit bool
+
+	// Scratch reused by every refinement pass and leaf.
+	cellOf       []int32
+	sig          []int32
+	startScratch []int32
+	colorCounts  []int32
+}
+
+func newCanonState(c *Colored, maxLeaves int) *canonState {
+	n := c.N
+	return &canonState{
+		c:            c,
+		g:            buildCSR(c),
+		n:            n,
+		maxLeaves:    maxLeaves,
+		prefix:       make([]byte, 0, n+n*n),
+		base:         make([]int, 0, n),
+		cellOf:       make([]int32, n),
+		startScratch: make([]int32, 0, n+1),
+	}
+}
+
+// level returns the pooled partition state for the given search depth,
+// allocating it on first use.
+func (st *canonState) level(depth int) *level {
+	for len(st.levels) <= depth {
+		lv := &level{
+			lab:       make([]int, st.n),
+			cellStart: make([]int32, 0, st.n+1),
+			uf:        make([]int32, st.n),
+			ufGen:     -1,
+		}
+		lv.tried = make([]int, 0, st.n)
+		st.levels = append(st.levels, lv)
+	}
+	return st.levels[depth]
+}
+
+// sigScratch returns a zeroable signature buffer of at least size entries.
+func (st *canonState) sigScratch(size int) []int32 {
+	if cap(st.sig) < size {
+		st.sig = make([]int32, size)
+	}
+	return st.sig[:size]
+}
+
+func (st *canonState) run() {
+	lv := st.level(0)
+	st.initialPartition(lv)
+	st.prefix = st.prefix[:0]
+	for _, v := range lv.lab {
+		st.prefix = append(st.prefix, byte(st.c.Color[v]))
+	}
+	st.search(0, 0, -1)
+}
+
+// search explores the subtree rooted at level depth, whose partition has
+// been individualized but not yet refined. fixed is the number of leading
+// singleton cells of the parent (whose word bytes are already in prefix).
+// cmp is the relation of the path's determined word bytes to best:
+// -1 strictly smaller (or best unset), 0 equal so far. Subtrees whose
+// determined bytes exceed best are pruned before reaching a leaf.
+func (st *canonState) search(depth, fixed, cmp int) {
+	if st.budgetHit {
+		return
+	}
+	lv := st.levels[depth]
+	st.refine(lv)
+
+	// Extend the determined prefix over the new leading singleton cells
+	// and compare incrementally against best.
+	k := fixed
+	for k < lv.ncells && lv.cellStart[k+1]-lv.cellStart[k] == 1 {
+		k++
+	}
+	for i := fixed; i < k; i++ {
+		st.prefix = appendBlock(st.prefix, st.c, lv.lab, i, lv.lab[i])
+	}
+	if cmp == 0 {
+		lo, hi := st.n+fixed*fixed, st.n+k*k
+		for i := lo; i < hi; i++ {
+			if st.prefix[i] != st.best[i] {
+				if st.prefix[i] < st.best[i] {
+					cmp = -1
+				} else {
+					st.prefix = st.prefix[:st.n+fixed*fixed]
+					return // partial word already exceeds best: prune
+				}
+				break
+			}
+		}
+	}
+
+	if lv.discrete(st.n) {
+		st.leaf(lv, cmp)
+		st.prefix = st.prefix[:st.n+fixed*fixed]
+		return
+	}
+
+	// Branch on the first smallest non-singleton cell.
+	target, targetLen := -1, st.n+1
+	for t := 0; t < lv.ncells; t++ {
+		if l := int(lv.cellStart[t+1] - lv.cellStart[t]); l > 1 && l < targetLen {
+			target, targetLen = t, l
+		}
+	}
+	s, e := int(lv.cellStart[target]), int(lv.cellStart[target+1])
+	lv.tried = lv.tried[:0]
+	for ci := s; ci < e; ci++ {
+		v := lv.lab[ci]
+		// Orbit pruning: vertices of the cell in one orbit of the
+		// base-pointwise stabilizer of the discovered automorphism group
+		// lead to identical subtrees; explore one per orbit.
+		if st.inOrbitOfTried(lv, v) {
+			continue
+		}
+		lv.tried = append(lv.tried, v)
+		child := st.level(depth + 1)
+		child.copyFrom(lv)
+		child.individualize(target, v)
+		st.base = append(st.base, v)
+		gen := st.bestGen
+		st.search(depth+1, k, cmp)
+		st.base = st.base[:len(st.base)-1]
+		if st.budgetHit {
+			break
+		}
+		if st.bestGen != gen {
+			// best was replaced by a leaf of the subtree just explored,
+			// so this node's determined prefix is a prefix of (hence
+			// equal to) the new best's.
+			cmp = 0
+		}
+	}
+	st.prefix = st.prefix[:st.n+fixed*fixed]
+}
+
+// leaf handles a discrete partition: prefix now holds the full leaf word.
+func (st *canonState) leaf(lv *level, cmp int) {
+	st.leaves++
+	if st.maxLeaves > 0 && st.leaves > st.maxLeaves {
+		st.budgetHit = true
+		return
+	}
+	switch cmp {
+	case -1:
+		// Strictly smaller than best at some determined byte (or best
+		// unset): install as the new best.
+		st.best = append(st.best[:0], st.prefix...)
+		if st.bperm == nil {
+			st.bperm = make(perm.Perm, st.n)
+			st.bpermInv = make([]int, st.n)
+		}
+		for pos, v := range lv.lab {
+			st.bperm[v] = pos
+			st.bpermInv[pos] = v
+		}
+		st.bestGen++
+	case 0:
+		// Equal to best: lab and bperm induce the same canonical graph,
+		// so bperm⁻¹∘cand is an automorphism of c.
+		a := make(perm.Perm, st.n)
+		for pos, v := range lv.lab {
+			a[v] = st.bpermInv[pos]
+		}
+		if !a.IsIdentity() && st.c.IsAutomorphism(a) {
+			st.autos = append(st.autos, a)
+		}
+	}
+}
+
+// inOrbitOfTried reports whether some already-tried branch vertex maps to v
+// under the subgroup of discovered automorphisms fixing the current base
+// pointwise. The orbit partition is a union-find over the stabilizer's
+// generators, cached on the level and rebuilt only when new automorphisms
+// have been discovered since — no stabilizer recomputation and no
+// permutation inversions in the loop (inverses are not needed at all:
+// union(i, a[i]) over generators already yields the generated group's
+// orbits).
+func (st *canonState) inOrbitOfTried(lv *level, v int) bool {
+	if len(lv.tried) == 0 || len(st.autos) == 0 {
+		return false
+	}
+	if lv.ufGen != len(st.autos) {
+		for i := range lv.uf {
+			lv.uf[i] = int32(i)
+		}
+		for _, a := range st.autos {
+			fixesBase := true
+			for _, b := range st.base {
+				if a[b] != b {
+					fixesBase = false
+					break
+				}
+			}
+			if !fixesBase {
+				continue
+			}
+			for i, ai := range a {
+				ufUnion(lv.uf, int32(i), int32(ai))
+			}
+		}
+		lv.ufGen = len(st.autos)
+	}
+	r := ufFind(lv.uf, int32(v))
+	for _, t := range lv.tried {
+		if ufFind(lv.uf, int32(t)) == r {
+			return true
+		}
+	}
+	return false
+}
+
+func ufFind(uf []int32, x int32) int32 {
+	for uf[x] != x {
+		uf[x] = uf[uf[x]]
+		x = uf[x]
+	}
+	return x
+}
+
+func ufUnion(uf []int32, a, b int32) {
+	ra, rb := ufFind(uf, a), ufFind(uf, b)
+	if ra != rb {
+		uf[ra] = rb
+	}
+}

@@ -15,12 +15,20 @@
 // Lemma 3.1 requires (the protocol only needs all agents to agree on one
 // such order, as DESIGN.md §5 and §6 record). BruteCanonicalWord retains
 // the paper's exact min-word definition as a small-instance oracle.
+//
+// Every solvability decision in the repo funnels through Canonical, so the
+// hot paths here are written allocation-free: integer signature refinement
+// over flat scratch buffers (no fmt, no strings, no maps), incremental
+// best-word prefix pruning, and stabilizer-orbit pruning with cached
+// union-find state. DESIGN.md §8 describes the engine; reference.go keeps
+// the original (pre-optimization) engine for differential tests and for
+// measuring the speedup (BENCH_iso.json).
 package iso
 
 import (
 	"bytes"
-	"fmt"
-	"sort"
+	"errors"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/perm"
@@ -36,6 +44,18 @@ type Colored struct {
 	N     int
 	Color []int
 	Adj   [][]int // Adj[u][v] = number of arcs u -> v
+}
+
+// NewColored allocates an all-white, arcless graph on n vertices whose
+// adjacency rows share one flat backing array (a single allocation instead
+// of n+1, and cache-contiguous row scans). Callers fill Color and Adj.
+func NewColored(n int) *Colored {
+	c := &Colored{N: n, Color: make([]int, n), Adj: make([][]int, n)}
+	flat := make([]int, n*n)
+	for i := range c.Adj {
+		c.Adj[i] = flat[i*n : (i+1)*n : (i+1)*n]
+	}
+	return c
 }
 
 // FromGraph builds the symmetric Colored form of an undirected multigraph.
@@ -55,10 +75,7 @@ func FromGraph(g *graph.Graph, colors []int) *Colored {
 // NewDigraph builds a Colored digraph on n vertices from arc list (u, v)
 // pairs; parallel arcs accumulate multiplicity. colors may be nil.
 func NewDigraph(n int, arcs [][2]int, colors []int) *Colored {
-	c := &Colored{N: n, Color: make([]int, n), Adj: make([][]int, n)}
-	for i := range c.Adj {
-		c.Adj[i] = make([]int, n)
-	}
+	c := NewColored(n)
 	for _, a := range arcs {
 		c.Adj[a[0]][a[1]]++
 	}
@@ -73,46 +90,69 @@ func NewDigraph(n int, arcs [][2]int, colors []int) *Colored {
 
 // Clone returns a deep copy.
 func (c *Colored) Clone() *Colored {
-	d := &Colored{N: c.N, Color: append([]int(nil), c.Color...), Adj: make([][]int, c.N)}
+	d := NewColored(c.N)
+	copy(d.Color, c.Color)
 	for i := range d.Adj {
-		d.Adj[i] = append([]int(nil), c.Adj[i]...)
+		copy(d.Adj[i], c.Adj[i])
 	}
 	return d
 }
 
 // Permuted returns the graph with vertex v renamed p[v].
 func (c *Colored) Permuted(p perm.Perm) *Colored {
-	d := &Colored{N: c.N, Color: make([]int, c.N), Adj: make([][]int, c.N)}
-	for i := range d.Adj {
-		d.Adj[i] = make([]int, c.N)
-	}
+	d := NewColored(c.N)
 	for v := 0; v < c.N; v++ {
 		d.Color[p[v]] = c.Color[v]
-		for w := 0; w < c.N; w++ {
-			d.Adj[p[v]][p[w]] = c.Adj[v][w]
+		row, drow := c.Adj[v], d.Adj[p[v]]
+		for w, m := range row {
+			drow[p[w]] = m
 		}
 	}
 	return d
 }
 
-// word serializes the graph relabeled by p (vertex v goes to position p[v])
-// as the byte string: colors in position order, then adjacency rows in
-// position order. Two Colored values have equal words for some relabelings
-// iff they are isomorphic.
+// word serializes the graph relabeled by p (vertex v goes to position p[v]).
+// Layout: colors in position order, then for each position i the block
+//
+//	Adj[v_i][v_0], …, Adj[v_i][v_i], Adj[v_0][v_i], …, Adj[v_{i-1}][v_i]
+//
+// where v_j is the vertex at position j — the growing-principal-submatrix
+// order. Total length n + n², an injective serialization, so two Colored
+// values have equal words for some relabelings iff they are isomorphic.
+// This layout (rather than row-major rows) is what makes incremental
+// best-word prefix pruning possible during the canonical search: once the
+// first k positions of an ordering are fixed, its first n + k² word bytes
+// are fixed too.
 func (c *Colored) word(p perm.Perm) []byte {
-	n := c.N
-	inv := p.Inverse() // inv[pos] = original vertex at pos
-	out := make([]byte, 0, n+n*n)
-	for pos := 0; pos < n; pos++ {
-		out = append(out, byte(c.Color[inv[pos]]))
+	inv := make([]int, c.N)
+	for v, pos := range p {
+		inv[pos] = v
 	}
-	for i := 0; i < n; i++ {
-		vi := inv[i]
-		for j := 0; j < n; j++ {
-			out = append(out, byte(c.Adj[vi][inv[j]]))
-		}
+	return c.appendWord(make([]byte, 0, c.N+c.N*c.N), inv)
+}
+
+// appendWord appends the serialization of the ordering inv (inv[pos] =
+// vertex at position pos) to dst.
+func (c *Colored) appendWord(dst []byte, inv []int) []byte {
+	for _, v := range inv {
+		dst = append(dst, byte(c.Color[v]))
 	}
-	return out
+	for i, vi := range inv {
+		dst = appendBlock(dst, c, inv, i, vi)
+	}
+	return dst
+}
+
+// appendBlock appends position i's word block for the ordering inv.
+func appendBlock(dst []byte, c *Colored, inv []int, i, vi int) []byte {
+	row := c.Adj[vi]
+	for j := 0; j <= i; j++ {
+		dst = append(dst, byte(row[inv[j]]))
+	}
+	for j := 0; j < i; j++ {
+		dst = append(dst, byte(c.Adj[inv[j]][vi]))
+	}
+	return dst
 }
 
 // IsAutomorphism reports whether p is a color-preserving automorphism of c.
@@ -124,141 +164,14 @@ func (c *Colored) IsAutomorphism(p perm.Perm) bool {
 		if c.Color[p[v]] != c.Color[v] {
 			return false
 		}
-		for w := 0; w < c.N; w++ {
-			if c.Adj[p[v]][p[w]] != c.Adj[v][w] {
+		row, prow := c.Adj[v], c.Adj[p[v]]
+		for w, m := range row {
+			if prow[p[w]] != m {
 				return false
 			}
 		}
 	}
 	return true
-}
-
-// partition is an ordered partition of the vertex set into cells.
-type partition struct {
-	cells [][]int
-}
-
-func (p *partition) clone() *partition {
-	q := &partition{cells: make([][]int, len(p.cells))}
-	for i, c := range p.cells {
-		q.cells[i] = append([]int(nil), c...)
-	}
-	return q
-}
-
-func (p *partition) discrete() bool {
-	for _, c := range p.cells {
-		if len(c) > 1 {
-			return false
-		}
-	}
-	return true
-}
-
-// initialPartition groups vertices by color, cells ordered by color value.
-func initialPartition(c *Colored) *partition {
-	byColor := make(map[int][]int)
-	var colors []int
-	for v := 0; v < c.N; v++ {
-		if _, ok := byColor[c.Color[v]]; !ok {
-			colors = append(colors, c.Color[v])
-		}
-		byColor[c.Color[v]] = append(byColor[c.Color[v]], v)
-	}
-	sort.Ints(colors)
-	p := &partition{}
-	for _, col := range colors {
-		p.cells = append(p.cells, byColor[col])
-	}
-	return p
-}
-
-// refine performs equitable refinement: repeatedly split cells by the
-// vector, over all current cells, of (out-multiplicity into the cell,
-// in-multiplicity from the cell). Subcell order is determined by the
-// signature vectors, so the refined partition is isomorphism-invariant.
-func refine(c *Colored, p *partition) *partition {
-	cur := p.clone()
-	for {
-		// Compute, for each vertex, its signature relative to cur.
-		sig := make(map[int]string, c.N)
-		var buf bytes.Buffer
-		for _, cell := range cur.cells {
-			for _, v := range cell {
-				buf.Reset()
-				for _, other := range cur.cells {
-					out, in := 0, 0
-					for _, u := range other {
-						out += c.Adj[v][u]
-						in += c.Adj[u][v]
-					}
-					fmt.Fprintf(&buf, "%d,%d;", out, in)
-				}
-				sig[v] = buf.String()
-			}
-		}
-		next := &partition{}
-		split := false
-		for _, cell := range cur.cells {
-			groups := make(map[string][]int)
-			var keys []string
-			for _, v := range cell {
-				s := sig[v]
-				if _, ok := groups[s]; !ok {
-					keys = append(keys, s)
-				}
-				groups[s] = append(groups[s], v)
-			}
-			if len(keys) > 1 {
-				split = true
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				next.cells = append(next.cells, groups[k])
-			}
-		}
-		cur = next
-		if !split {
-			return cur
-		}
-	}
-}
-
-// individualize returns the partition with v pulled out of its cell as a
-// preceding singleton.
-func individualize(p *partition, v int) *partition {
-	q := &partition{}
-	for _, cell := range p.cells {
-		idx := -1
-		for i, u := range cell {
-			if u == v {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			q.cells = append(q.cells, append([]int(nil), cell...))
-			continue
-		}
-		q.cells = append(q.cells, []int{v})
-		rest := make([]int, 0, len(cell)-1)
-		rest = append(rest, cell[:idx]...)
-		rest = append(rest, cell[idx+1:]...)
-		if len(rest) > 0 {
-			q.cells = append(q.cells, rest)
-		}
-	}
-	return q
-}
-
-// permFromDiscrete converts a discrete partition to the permutation sending
-// each vertex to its cell position.
-func permFromDiscrete(p *partition, n int) perm.Perm {
-	out := make(perm.Perm, n)
-	for pos, cell := range p.cells {
-		out[cell[0]] = pos
-	}
-	return out
 }
 
 // Result is the outcome of a canonical labeling computation.
@@ -273,119 +186,74 @@ type Result struct {
 	AutoGens []perm.Perm
 }
 
-type canonState struct {
-	c     *Colored
-	best  []byte
-	bperm perm.Perm
-	autos []perm.Perm
-	// base is the stack of individualized vertices on the current path.
-	base []int
-	// leafCount guards against pathological blowup.
-	leaves int
-}
+// referenceEngine, when set, routes Canonical through the frozen pre-PR
+// engine in reference.go. A benchmarking hook (cmd/benchiso measures the
+// optimized engine's speedup on identical workloads, including
+// elect.Analyze, without plumbing an engine parameter through every layer);
+// not intended for production use.
+var referenceEngine atomic.Bool
+
+// SetReferenceEngine routes Canonical through the frozen pre-optimization
+// engine (on=true) or the optimized engine (on=false, the default). Both
+// engines produce canonical forms; see reference.go for when their words
+// coincide. Safe to call concurrently, but toggling while other goroutines
+// are comparing words across the switch is a logic error.
+func SetReferenceEngine(on bool) { referenceEngine.Store(on) }
 
 // Canonical computes a canonical form of c: the minimum serialized word
 // over the refinement-consistent vertex orderings explored by the search.
 // Words are equal iff the graphs are color-isomorphic, which is the property
 // Lemma 3.1's total order needs (see the package comment).
 func Canonical(c *Colored) *Result {
+	if referenceEngine.Load() {
+		return referenceCanonical(c)
+	}
+	r, err := CanonicalBudget(c, 0)
+	if err != nil {
+		panic("iso: unreachable: unbudgeted search returned " + err.Error())
+	}
+	return r
+}
+
+// ErrLeafBudget is returned by CanonicalBudget when the backtracking search
+// visits more leaves than the caller allowed.
+var ErrLeafBudget = errors.New("iso: canonical search exceeded its leaf budget")
+
+// CanonicalBudget is Canonical with an explicit bound on search effort:
+// the search fails with ErrLeafBudget after visiting maxLeaves leaves
+// (maxLeaves <= 0 means unbounded). The error is explicit — a budgeted
+// search never silently truncates, since a word computed from a partial
+// search would not be canonical.
+func CanonicalBudget(c *Colored, maxLeaves int) (*Result, error) {
 	if c.N == 0 {
-		return &Result{Perm: perm.Perm{}, Word: []byte{}}
+		return &Result{Perm: perm.Perm{}, Word: []byte{}}, nil
 	}
-	st := &canonState{c: c}
-	st.search(refine(c, initialPartition(c)))
-	return &Result{Perm: st.bperm, Word: st.best, AutoGens: st.autos}
+	st := newCanonState(c, maxLeaves)
+	st.run()
+	if st.budgetHit {
+		return nil, ErrLeafBudget
+	}
+	return &Result{Perm: st.bperm, Word: st.best, AutoGens: st.autos}, nil
 }
 
-func (st *canonState) search(p *partition) {
-	if p.discrete() {
-		st.leaves++
-		cand := permFromDiscrete(p, st.c.N)
-		w := st.c.word(cand)
-		switch {
-		case st.best == nil || bytes.Compare(w, st.best) < 0:
-			st.best = w
-			st.bperm = cand
-		case bytes.Equal(w, st.best):
-			// cand and bperm induce the same canonical graph, so
-			// bperm⁻¹∘cand is an automorphism of c.
-			a := cand.Compose(st.bperm.Inverse())
-			if !a.IsIdentity() && st.c.IsAutomorphism(a) {
-				st.autos = append(st.autos, a)
-			}
-		}
-		return
+// EquitablePartition returns the coarsest equitable refinement of c's color
+// partition: the cells, in canonical (isomorphism-invariant) order, of the
+// partition in which any two vertices of a cell have equal arc multiplicity
+// into and out of every cell. This is the refinement step of the canonical
+// search, exposed for benchmarks and diagnostics.
+func EquitablePartition(c *Colored) [][]int {
+	if c.N == 0 {
+		return nil
 	}
-	// Branch on the first smallest non-singleton cell.
-	target := -1
-	for i, cell := range p.cells {
-		if len(cell) > 1 {
-			if target == -1 || len(cell) < len(p.cells[target]) {
-				target = i
-			}
-		}
+	st := newCanonState(c, 0)
+	lv := st.level(0)
+	st.initialPartition(lv)
+	st.refine(lv)
+	out := make([][]int, 0, lv.ncells)
+	for k := 0; k < lv.ncells; k++ {
+		out = append(out, append([]int(nil), lv.lab[lv.cellStart[k]:lv.cellStart[k+1]]...))
 	}
-	cell := p.cells[target]
-
-	// Orbit pruning: among the automorphisms discovered so far, keep the
-	// ones fixing every vertex of the current base pointwise; two cell
-	// vertices in the same orbit of that stabilizer lead to identical
-	// subtrees, so explore one representative per orbit.
-	tried := make([]int, 0, len(cell))
-	for _, v := range cell {
-		if st.inStabOrbitOfTried(v, tried) {
-			continue
-		}
-		tried = append(tried, v)
-		st.base = append(st.base, v)
-		st.search(refine(st.c, individualize(p, v)))
-		st.base = st.base[:len(st.base)-1]
-	}
-}
-
-// inStabOrbitOfTried reports whether some already-tried vertex maps to v
-// under the subgroup of discovered automorphisms that fix the current base.
-func (st *canonState) inStabOrbitOfTried(v int, tried []int) bool {
-	if len(tried) == 0 || len(st.autos) == 0 {
-		return false
-	}
-	var stab []perm.Perm
-	for _, a := range st.autos {
-		ok := true
-		for _, b := range st.base {
-			if a[b] != b {
-				ok = false
-				break
-			}
-		}
-		if ok {
-			stab = append(stab, a)
-		}
-	}
-	if len(stab) == 0 {
-		return false
-	}
-	// BFS the orbit of v under stab (and inverses).
-	seen := map[int]bool{v: true}
-	queue := []int{v}
-	for len(queue) > 0 {
-		x := queue[0]
-		queue = queue[1:]
-		for _, t := range tried {
-			if x == t {
-				return true
-			}
-		}
-		for _, a := range stab {
-			for _, y := range []int{a[x], a.Inverse()[x]} {
-				if !seen[y] {
-					seen[y] = true
-					queue = append(queue, y)
-				}
-			}
-		}
-	}
-	return false
+	return out
 }
 
 // CanonicalWord is a convenience wrapper returning only the canonical word.
@@ -416,10 +284,7 @@ func IsomorphismBetween(a, b *Colored) perm.Perm {
 
 // AutomorphismGens returns generators of the color-preserving automorphism
 // group of c, never including the identity. For rigid graphs the slice is
-// empty. The generators come from the canonical search plus, to make orbit
-// computations complete, one extra canonical run per vertex orbit candidate
-// is avoided by the theory: orbits of the generated group already equal the
-// true automorphism orbits because the search visits every minimal leaf.
+// empty.
 func AutomorphismGens(c *Colored) []perm.Perm {
 	return automorphismGensComplete(c)
 }
@@ -453,40 +318,46 @@ func automorphismGensComplete(c *Colored) []perm.Perm {
 		}
 	}
 	// For every pair of distinct current roots with equal color, test
-	// whether an automorphism merges them.
-	for u := 0; u < n; u++ {
-		if find(u) != u {
-			continue
-		}
-		for v := u + 1; v < n; v++ {
-			if find(v) == find(u) || c.Color[v] != c.Color[u] {
-				continue
-			}
-			if a := transporter(c, u, v); a != nil {
-				gens = append(gens, a)
-				for i, w := range a {
-					union(i, w)
-				}
-			}
-		}
-	}
-	return gens
-}
-
-// transporter returns an automorphism of c mapping u to v, or nil.
-func transporter(c *Colored, u, v int) perm.Perm {
-	cu := c.Clone()
-	cv := c.Clone()
-	// Individualize by a fresh color not otherwise used.
+	// whether an automorphism merges them. The canonical form of the
+	// graph-with-u-individualized is computed once per root u, not once
+	// per candidate pair (it is the expensive half of every transporter
+	// test in u's inner loop).
 	fresh := 0
 	for _, col := range c.Color {
 		if col >= fresh {
 			fresh = col + 1
 		}
 	}
-	cu.Color[u] = fresh
-	cv.Color[v] = fresh
-	return IsomorphismBetween(cu, cv)
+	scratch := c.Clone()
+	for u := 0; u < n; u++ {
+		if find(u) != u {
+			continue
+		}
+		var ru *Result // canonical form of c with u individualized, lazily
+		for v := u + 1; v < n; v++ {
+			if find(v) == find(u) || c.Color[v] != c.Color[u] {
+				continue
+			}
+			if ru == nil {
+				scratch.Color[u] = fresh
+				ru = Canonical(scratch)
+				scratch.Color[u] = c.Color[u]
+			}
+			scratch.Color[v] = fresh
+			rv := Canonical(scratch)
+			scratch.Color[v] = c.Color[v]
+			if !bytes.Equal(ru.Word, rv.Word) {
+				continue
+			}
+			// The transporter u→v: through the shared canonical form.
+			a := ru.Perm.Compose(rv.Perm.Inverse())
+			gens = append(gens, a)
+			for i, w := range a {
+				union(i, w)
+			}
+		}
+	}
+	return gens
 }
 
 // Orbits returns the orbits of the color-preserving automorphism group of c,

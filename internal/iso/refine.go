@@ -1,0 +1,270 @@
+package iso
+
+// This file implements the allocation-free equitable refinement at the heart
+// of the canonical search. The hot path performs no fmt formatting, builds
+// no strings and allocates no maps: vertex signatures are integer vectors
+// written into flat scratch buffers that are reused across every refinement
+// pass and every node of the backtracking search (DESIGN.md §8).
+
+// csr is a compressed-sparse-row view of a Colored's arcs, built once per
+// canonical search so refinement passes count multiplicities by scanning
+// neighbor lists (O(arcs)) instead of dense adjacency rows (O(n) per vertex
+// per cell).
+type csr struct {
+	// Out-arcs grouped by source: for outStart[v] <= a < outStart[v+1],
+	// there are outMult[a] arcs v -> outDst[a].
+	outStart []int32
+	outDst   []int32
+	outMult  []int32
+	// In-arcs grouped by target: for inStart[v] <= a < inStart[v+1],
+	// there are inMult[a] arcs inDst[a] -> v.
+	inStart []int32
+	inDst   []int32
+	inMult  []int32
+}
+
+func buildCSR(c *Colored) *csr {
+	n := c.N
+	arcs := 0
+	for u := 0; u < n; u++ {
+		for _, m := range c.Adj[u] {
+			if m != 0 {
+				arcs++
+			}
+		}
+	}
+	s := &csr{
+		outStart: make([]int32, n+1), inStart: make([]int32, n+1),
+		outDst: make([]int32, 0, arcs), outMult: make([]int32, 0, arcs),
+		inDst: make([]int32, 0, arcs), inMult: make([]int32, 0, arcs),
+	}
+	for u := 0; u < n; u++ {
+		for v, m := range c.Adj[u] {
+			if m != 0 {
+				s.outDst = append(s.outDst, int32(v))
+				s.outMult = append(s.outMult, int32(m))
+			}
+		}
+		s.outStart[u+1] = int32(len(s.outDst))
+	}
+	for v := 0; v < n; v++ {
+		for u := 0; u < n; u++ {
+			if m := c.Adj[u][v]; m != 0 {
+				s.inDst = append(s.inDst, int32(u))
+				s.inMult = append(s.inMult, int32(m))
+			}
+		}
+		s.inStart[v+1] = int32(len(s.inDst))
+	}
+	return s
+}
+
+// level is one node's partition state in the backtracking search. Levels are
+// pooled in canonState and reused across sibling branches, so a search
+// allocates at most depth-many of them.
+type level struct {
+	// lab lists the vertices in partition order; cell k occupies
+	// lab[cellStart[k]:cellStart[k+1]].
+	lab       []int
+	cellStart []int32 // len ncells+1, backed by an n+1 array
+	ncells    int
+	// uf caches the orbit union-find of the automorphisms discovered so
+	// far that fix this level's base pointwise; ufGen is the automorphism
+	// count it was built from (rebuilt lazily when new ones appear).
+	uf    []int32
+	ufGen int
+	// tried lists the branch vertices already explored at this node, for
+	// the stabilizer-orbit pruning.
+	tried []int
+}
+
+func (lv *level) discrete(n int) bool { return lv.ncells == n }
+
+// copyFrom makes lv an independent copy of src's partition (uf cache not
+// copied; it is rebuilt on demand).
+func (lv *level) copyFrom(src *level) {
+	copy(lv.lab, src.lab)
+	lv.cellStart = lv.cellStart[:len(src.cellStart)]
+	copy(lv.cellStart, src.cellStart)
+	lv.ncells = src.ncells
+	lv.ufGen = -1
+}
+
+// initialPartition fills lv with the color partition: vertices grouped by
+// color, cells ordered by ascending color value.
+func (st *canonState) initialPartition(lv *level) {
+	n := st.c.N
+	for i := range lv.lab {
+		lv.lab[i] = i
+	}
+	// Stable counting sort by color (colors are small non-negative ints,
+	// but guard against sparse values with a comparison sort fallback).
+	maxCol := 0
+	ok := true
+	for _, col := range st.c.Color {
+		if col < 0 || col > 4*n+16 {
+			ok = false
+			break
+		}
+		if col > maxCol {
+			maxCol = col
+		}
+	}
+	if ok {
+		if cap(st.colorCounts) < maxCol+2 {
+			st.colorCounts = make([]int32, maxCol+2)
+		}
+		counts := st.colorCounts[:maxCol+2]
+		for i := range counts {
+			counts[i] = 0
+		}
+		for _, col := range st.c.Color {
+			counts[col+1]++
+		}
+		for i := 1; i < len(counts); i++ {
+			counts[i] += counts[i-1]
+		}
+		for v := 0; v < n; v++ {
+			col := st.c.Color[v]
+			lv.lab[counts[col]] = v
+			counts[col]++
+		}
+	} else {
+		insertionSortBy(lv.lab, func(a, b int) int { return st.c.Color[a] - st.c.Color[b] })
+	}
+	lv.cellStart = lv.cellStart[:0]
+	for i := 0; i < n; i++ {
+		if i == 0 || st.c.Color[lv.lab[i]] != st.c.Color[lv.lab[i-1]] {
+			lv.cellStart = append(lv.cellStart, int32(i))
+		}
+	}
+	lv.cellStart = append(lv.cellStart, int32(n))
+	lv.ncells = len(lv.cellStart) - 1
+	lv.ufGen = -1
+}
+
+func insertionSortBy(a []int, cmp func(x, y int) int) {
+	for i := 1; i < len(a); i++ {
+		x := a[i]
+		j := i - 1
+		for j >= 0 && cmp(a[j], x) > 0 {
+			a[j+1] = a[j]
+			j--
+		}
+		a[j+1] = x
+	}
+}
+
+// refine refines lv in place to the coarsest equitable partition at least as
+// fine as it: repeatedly split cells by the vector, over all current cells,
+// of (out-multiplicity into the cell, in-multiplicity from the cell).
+// Subcells are ordered by ascending signature vector — a function of
+// isomorphism-invariant data only, so the refined partition (including the
+// order of its cells) is isomorphism-invariant.
+func (st *canonState) refine(lv *level) {
+	n := st.c.N
+	for {
+		nc := lv.ncells
+		if nc == n {
+			return
+		}
+		// cellOf[v] = ordinal of v's cell.
+		for k := 0; k < nc; k++ {
+			for i := lv.cellStart[k]; i < lv.cellStart[k+1]; i++ {
+				st.cellOf[lv.lab[i]] = int32(k)
+			}
+		}
+		// Signature rows: sig[v*stride + 2*k] counts arcs v -> cell k,
+		// sig[v*stride + 2*k + 1] counts arcs cell k -> v.
+		stride := 2 * nc
+		sig := st.sigScratch(n * stride)
+		for i := range sig {
+			sig[i] = 0
+		}
+		g := st.g
+		for v := 0; v < n; v++ {
+			row := sig[v*stride:]
+			for a := g.outStart[v]; a < g.outStart[v+1]; a++ {
+				row[2*st.cellOf[g.outDst[a]]] += g.outMult[a]
+			}
+			for a := g.inStart[v]; a < g.inStart[v+1]; a++ {
+				row[2*st.cellOf[g.inDst[a]]+1] += g.inMult[a]
+			}
+		}
+		// Split every cell along its signature rows. New boundaries are
+		// collected into scratch and swapped in at the end of the pass.
+		newStart := st.startScratch[:0]
+		split := false
+		for k := 0; k < nc; k++ {
+			s, e := int(lv.cellStart[k]), int(lv.cellStart[k+1])
+			newStart = append(newStart, int32(s))
+			if e-s == 1 {
+				continue
+			}
+			st.sortCellBySig(lv.lab[s:e], sig, stride)
+			for i := s + 1; i < e; i++ {
+				if sigCompare(sig, stride, lv.lab[i-1], lv.lab[i]) != 0 {
+					newStart = append(newStart, int32(i))
+					split = true
+				}
+			}
+		}
+		newStart = append(newStart, int32(n))
+		st.startScratch = newStart[:0]
+		lv.cellStart = lv.cellStart[:len(newStart)]
+		copy(lv.cellStart, newStart)
+		lv.ncells = len(newStart) - 1
+		if !split {
+			return
+		}
+	}
+}
+
+// sigCompare lexicographically compares the signature rows of vertices u, v.
+func sigCompare(sig []int32, stride, u, v int) int {
+	ru := sig[u*stride : u*stride+stride]
+	rv := sig[v*stride : v*stride+stride]
+	for i, x := range ru {
+		if x != rv[i] {
+			if x < rv[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// sortCellBySig stably sorts one cell's vertices by ascending signature row
+// (binary insertion sort: cells are usually small, and stability keeps the
+// within-subcell order deterministic without extra keys).
+func (st *canonState) sortCellBySig(cell []int, sig []int32, stride int) {
+	for i := 1; i < len(cell); i++ {
+		x := cell[i]
+		j := i - 1
+		for j >= 0 && sigCompare(sig, stride, cell[j], x) > 0 {
+			cell[j+1] = cell[j]
+			j--
+		}
+		cell[j+1] = x
+	}
+}
+
+// individualize splits vertex v (currently in cell k) out of its cell as a
+// preceding singleton, in place.
+func (lv *level) individualize(k int, v int) {
+	s, e := int(lv.cellStart[k]), int(lv.cellStart[k+1])
+	// Move v to the front of its cell.
+	for i := s; i < e; i++ {
+		if lv.lab[i] == v {
+			copy(lv.lab[s+1:i+1], lv.lab[s:i])
+			lv.lab[s] = v
+			break
+		}
+	}
+	// Insert a boundary after position s.
+	lv.cellStart = append(lv.cellStart, 0)
+	copy(lv.cellStart[k+2:], lv.cellStart[k+1:])
+	lv.cellStart[k+1] = int32(s + 1)
+	lv.ncells++
+}

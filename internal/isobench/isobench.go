@@ -1,0 +1,94 @@
+// Package isobench defines the canonical-engine benchmark kernels shared by
+// the repo-root `go test -bench` benchmarks (bench_iso_test.go) and the
+// BENCH_iso.json perf-trajectory generator (cmd/benchiso). Keeping the
+// kernels in one place guarantees the JSON artifact and the interactive
+// benchmarks measure exactly the same work (DESIGN.md §8, EXPERIMENTS.md).
+package isobench
+
+import (
+	"testing"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/iso"
+	"repro/internal/order"
+)
+
+// Case is one named benchmark kernel.
+type Case struct {
+	Name string
+	Run  func(b *testing.B)
+}
+
+// analyzeC32 is the headline workload of the perf trajectory: the full
+// centralized analysis (classes, ≺ order, Cayley recognition, Theorem 2.1
+// oracle) of the 32-cycle with four spread home-bases. The documented target
+// is ≥5× over the pre-optimization engine on this kernel.
+func analyzeC32(b *testing.B) {
+	g := graph.Cycle(32)
+	homes := []int{0, 8, 16, 24}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := elect.Analyze(g, homes, order.Direct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AnalyzeC32 runs the headline kernel under the optimized engine.
+func AnalyzeC32(b *testing.B) { analyzeC32(b) }
+
+// AnalyzeC32Reference runs the headline kernel with Canonical routed through
+// the frozen pre-optimization engine, giving the perf-trajectory baseline.
+func AnalyzeC32Reference(b *testing.B) {
+	iso.SetReferenceEngine(true)
+	defer iso.SetReferenceEngine(false)
+	analyzeC32(b)
+}
+
+func canonical(c *iso.Colored) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			iso.CanonicalWord(c)
+		}
+	}
+}
+
+// surrounding returns the C32 surrounding digraph kernel input: the exact
+// bicolored digraph shape Analyze feeds the engine once per class.
+func surrounding() *iso.Colored {
+	g := graph.Cycle(32)
+	return order.Surrounding(g, elect.BlackColors(32, []int{0, 8, 16, 24}), 0)
+}
+
+// Cases lists the kernels in report order. The first two form the speedup
+// pair (reference vs optimized Analyze(C32)); the rest track the engine on
+// representative shapes: cycles, hypercubes, Petersen, tori, a surrounding
+// digraph, and the refinement pass alone.
+func Cases() []Case {
+	return []Case{
+		{"AnalyzeC32Reference", AnalyzeC32Reference},
+		{"AnalyzeC32", AnalyzeC32},
+		{"CanonicalC32Surrounding", canonical(surrounding())},
+		{"CanonicalC64", canonical(iso.FromGraph(graph.Cycle(64), nil))},
+		{"CanonicalQ4", canonical(iso.FromGraph(graph.Hypercube(4), nil))},
+		{"CanonicalPetersen", canonical(iso.FromGraph(graph.Petersen(), nil))},
+		{"CanonicalTorus4x4", canonical(iso.FromGraph(graph.Torus(4, 4), nil))},
+		{"EquitablePartitionQ5", func(b *testing.B) {
+			c := iso.FromGraph(graph.Hypercube(5), nil)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				iso.EquitablePartition(c)
+			}
+		}},
+		{"OrderClassesTorus4x6", func(b *testing.B) {
+			g := graph.Torus(4, 6)
+			colors := elect.BlackColors(24, []int{0, 12})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				order.ComputeAndOrder(g, colors, order.Direct)
+			}
+		}},
+	}
+}

@@ -20,7 +20,9 @@ package order
 
 import (
 	"bytes"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/iso"
@@ -33,12 +35,9 @@ import (
 func Surrounding(g *graph.Graph, colors []int, u int) *iso.Colored {
 	n := g.N()
 	dist := g.BFSDist(u)
-	c := &iso.Colored{N: n, Color: make([]int, n), Adj: make([][]int, n)}
+	c := iso.NewColored(n)
 	if colors != nil {
 		copy(c.Color, colors)
-	}
-	for i := range c.Adj {
-		c.Adj[i] = make([]int, n)
 	}
 	for _, e := range g.EdgeEndpoints() {
 		x, y := e[0], e[1]
@@ -175,10 +174,7 @@ func hatTransform(c *iso.Colored, k int) *iso.Colored {
 	}
 	tail := k + 1
 	n := c.N + len(blacks)*tail
-	out := &iso.Colored{N: n, Color: make([]int, n), Adj: make([][]int, n)}
-	for i := range out.Adj {
-		out.Adj[i] = make([]int, n)
-	}
+	out := iso.NewColored(n)
 	for x := 0; x < c.N; x++ {
 		copy(out.Adj[x][:c.N], c.Adj[x])
 	}
@@ -216,13 +212,70 @@ type Ordered struct {
 	Tied bool
 }
 
+// Classes computes the equivalence classes of the bicolored graph
+// (g, colors): the orbits of its color-preserving automorphism group,
+// equivalently the surrounding-isomorphism classes (Lemma 3.1 proves the
+// two definitions coincide). Each class is sorted ascending, classes
+// ordered by smallest member.
+func Classes(g *graph.Graph, colors []int) [][]int {
+	return iso.Orbits(iso.FromGraph(g, colors))
+}
+
 // ComputeAndOrder computes the equivalence classes of the bicolored graph
-// (g, colors) — the orbits of its color-preserving automorphism group,
-// equivalently the surrounding-isomorphism classes (Lemma 3.1) — and orders
-// them by ≺ under the chosen ordering.
+// (g, colors) and orders them by ≺ under the chosen ordering.
 func ComputeAndOrder(g *graph.Graph, colors []int, ord Ordering) *Ordered {
-	classes := iso.Orbits(iso.FromGraph(g, colors))
-	return OrderClasses(g, colors, classes, ord)
+	return OrderClasses(g, colors, Classes(g, colors), ord)
+}
+
+// classKeys computes the ≺ keys of the classes' surroundings through a
+// bounded worker pool (GOMAXPROCS workers). Canonical-word work is deduped
+// per class: only each class's representative (smallest member) is keyed,
+// never every node. Workers draw class indices from a channel and write to
+// disjoint slots of an index-addressed slice, so the merged result is
+// deterministic — identical for any worker count or completion order.
+func classKeys(g *graph.Graph, colors []int, classes [][]int, ord Ordering) []Key {
+	keys := make([]Key, len(classes))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(classes) {
+		workers = len(classes)
+	}
+	if workers <= 1 {
+		for i, cl := range classes {
+			keys[i] = SurroundingKey(Surrounding(g, colors, cl[0]), ord)
+		}
+		return keys
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				keys[i] = SurroundingKey(Surrounding(g, colors, classes[i][0]), ord)
+			}
+		}()
+	}
+	for i := range classes {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return keys
+}
+
+// NodeKeys returns the ≺ key of every node's surrounding, computing one
+// canonical word per class (members of a class share their surrounding's
+// isomorphism class, hence its key) through the bounded parallel pool.
+func NodeKeys(g *graph.Graph, colors []int, classes [][]int, ord Ordering) []Key {
+	keys := classKeys(g, colors, classes, ord)
+	out := make([]Key, g.N())
+	for i, cl := range classes {
+		for _, v := range cl {
+			out[v] = keys[i]
+		}
+	}
+	return out
 }
 
 // OrderClasses orders an externally supplied partition of the nodes (for
@@ -236,12 +289,13 @@ func OrderClasses(g *graph.Graph, colors []int, classes [][]int, ord Ordering) *
 		key     Key
 		black   bool
 	}
+	keys := classKeys(g, colors, classes, ord)
 	entries := make([]entry, len(classes))
 	for i, cl := range classes {
 		rep := cl[0]
 		entries[i] = entry{
 			members: cl,
-			key:     SurroundingKey(Surrounding(g, colors, rep), ord),
+			key:     keys[i],
 			black:   colors != nil && colors[rep] != 0,
 		}
 	}

@@ -1,0 +1,99 @@
+package order
+
+// Determinism of the parallel class-key computation: COMPUTE & ORDER must
+// produce the same class order and keys regardless of how many workers the
+// bounded pool runs (Protocol ELECT requires every agent, on any machine,
+// to derive the identical order).
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func sameOrdered(a, b *Ordered) bool {
+	if len(a.Classes) != len(b.Classes) || a.NumBlack != b.NumBlack || a.Tied != b.Tied {
+		return false
+	}
+	for i := range a.Classes {
+		if len(a.Classes[i]) != len(b.Classes[i]) {
+			return false
+		}
+		for j := range a.Classes[i] {
+			if a.Classes[i][j] != b.Classes[i][j] {
+				return false
+			}
+		}
+		if a.Keys[i].N != b.Keys[i].N || a.Keys[i].Hair != b.Keys[i].Hair ||
+			!bytes.Equal(a.Keys[i].Word, b.Keys[i].Word) {
+			return false
+		}
+	}
+	for i := range a.ClassOf {
+		if a.ClassOf[i] != b.ClassOf[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestParallelClassesDeterministic runs ComputeAndOrder under GOMAXPROCS=1
+// (serial path) and GOMAXPROCS=8 (parallel pool) and requires identical
+// results: same classes in the same order, same keys, same ClassOf map.
+func TestParallelClassesDeterministic(t *testing.T) {
+	cases := []struct {
+		name   string
+		g      *graph.Graph
+		colors []int
+	}{
+		{"c12-blacks", graph.Cycle(12), blacks(12, 0, 4, 8)},
+		{"petersen", graph.Petersen(), blacks(10, 0)},
+		{"q4", graph.Hypercube(4), nil},
+		{"torus3x4", graph.Torus(3, 4), blacks(12, 0, 6)},
+		{"star6", graph.Star(6), blacks(7, 1, 2)},
+	}
+	for _, ord := range []Ordering{Direct, Hairs} {
+		for _, tc := range cases {
+			prev := runtime.GOMAXPROCS(1)
+			serial := ComputeAndOrder(tc.g, tc.colors, ord)
+			runtime.GOMAXPROCS(8)
+			par := ComputeAndOrder(tc.g, tc.colors, ord)
+			runtime.GOMAXPROCS(prev)
+			if !sameOrdered(serial, par) {
+				t.Errorf("%s ord=%d: GOMAXPROCS=1 and GOMAXPROCS=8 orders differ", tc.name, ord)
+			}
+		}
+	}
+}
+
+// TestNodeKeysMatchClassKeys: every node's key equals its class
+// representative's key, under both worker regimes.
+func TestNodeKeysMatchClassKeys(t *testing.T) {
+	g := graph.Torus(3, 4)
+	colors := blacks(12, 0, 6)
+	classes := Classes(g, colors)
+	prev := runtime.GOMAXPROCS(8)
+	keys := NodeKeys(g, colors, classes, Direct)
+	runtime.GOMAXPROCS(prev)
+	if len(keys) != g.N() {
+		t.Fatalf("NodeKeys returned %d keys for %d nodes", len(keys), g.N())
+	}
+	for _, cl := range classes {
+		want := SurroundingKey(Surrounding(g, colors, cl[0]), Direct)
+		for _, v := range cl {
+			if keys[v].Compare(want) != 0 {
+				t.Fatalf("node %d key differs from its class representative's", v)
+			}
+		}
+	}
+}
+
+func blacks(n int, idx ...int) []int {
+	cols := make([]int, n)
+	for _, i := range idx {
+		cols[i] = 1
+	}
+	return cols
+}

@@ -1,0 +1,58 @@
+// Package prof wires the standard -cpuprofile / -memprofile flags into the
+// repo's commands. Profiles feed `go tool pprof` when chasing regressions in
+// the canonical engine (DESIGN.md §8) or the campaign runner.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuPath if it is non-empty and returns a
+// stop function that must run before the heap profile is written. The stop
+// function also writes an allocation-site heap profile to memPath if that is
+// non-empty. Typical use:
+//
+//	defer prof.Start(*cpuprofile, *memprofile)()
+func Start(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done { // idempotent: callers may both defer and call before os.Exit
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "prof:", err)
+	os.Exit(1)
+}
