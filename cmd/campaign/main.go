@@ -10,24 +10,35 @@
 //	         -seeds 1..25 [-protocol elect|cayley|quantitative|petersen|gather] \
 //	         [-workers N] [-run-timeout 60s] [-retries 2] [-max-delay 0] \
 //	         [-wake-all] [-hairs] [-bound 40] \
-//	         [-jsonl runs.jsonl] [-summary summary.json] [-q]
+//	         [-jsonl runs.jsonl] [-summary summary.json] [-q] \
+//	         [-telemetry] [-timeline timeline.json] [-listen :8080]
 //
 // Per-run results stream to the -jsonl file as they complete; the aggregate
 // summary prints to stdout and, with -summary, is written as JSON (the CI
 // perf artifact BENCH_campaign.json). The command exits nonzero when any
 // run errors, contradicts the gcd/Cayley oracle, or exceeds the Theorem 3.1
 // move bound.
+//
+// Observability: -telemetry collects per-run phase counters into the
+// per-run records and the summary's phase table; -timeline exports the
+// worker-pool schedule as Chrome trace_event JSON for Perfetto; -listen
+// serves live campaign counters as JSON at /debug/metrics and the standard
+// pprof profiles under /debug/pprof/ while the campaign runs.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/prof"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -49,6 +60,9 @@ func main() {
 	quiet := flag.Bool("q", false, "suppress the per-failure listing")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	telemetryOn := flag.Bool("telemetry", false, "collect per-run phase counters and iso search stats (implied by -timeline and -listen)")
+	timelinePath := flag.String("timeline", "", "write the worker-pool timeline as Chrome trace_event JSON (open in Perfetto) to this file")
+	listen := flag.String("listen", "", "serve live metrics at /debug/metrics and pprof under /debug/pprof/ on this address")
 	flag.Parse()
 
 	stopProf := prof.Start(*cpuprofile, *memprofile)
@@ -76,6 +90,40 @@ func main() {
 		UseHairOrdering: *hairs,
 		CayleyFallback:  *fallback,
 		RatioBound:      *bound,
+		Telemetry:       *telemetryOn,
+	}
+	if *listen != "" {
+		// The registry outlives the campaign loop: metrics accumulate while
+		// runs execute and the endpoint stays readable until the process
+		// exits. pprof handlers are registered explicitly so the default
+		// mux (and anything else registered on it) is not exposed.
+		reg := telemetry.NewRegistry()
+		opt.Metrics = reg
+		mux := http.NewServeMux()
+		mux.Handle("/debug/metrics", reg)
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("serving metrics on http://%s/debug/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "campaign: metrics server:", err)
+			}
+		}()
+	}
+	if *timelinePath != "" {
+		f, err := os.Create(*timelinePath)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		opt.Timeline = f
 	}
 	if *jsonlPath != "" {
 		f, err := os.Create(*jsonlPath)
@@ -98,6 +146,9 @@ func main() {
 		fail(err)
 	}
 	fmt.Print(rep.Summary.Render())
+	if *timelinePath != "" {
+		fmt.Printf("timeline written to %s (open in Perfetto or chrome://tracing)\n", *timelinePath)
+	}
 
 	if *summaryPath != "" {
 		data, err := json.MarshalIndent(rep.Summary, "", "  ")

@@ -4,7 +4,12 @@
 // Usage:
 //
 //	elect -graph cycle -n 6 -homes 0,3 [-protocol elect|cayley|quantitative|petersen]
-//	      [-seed N] [-hairs] [-wake-all]
+//	      [-seed N] [-hairs] [-wake-all] [-trace] [-timeline out.json]
+//
+// With -timeline the run is collected by internal/telemetry and exported
+// as Chrome trace_event JSON: open the file in Perfetto (ui.perfetto.dev)
+// or chrome://tracing to see per-agent protocol phase spans and whiteboard
+// events on a common timeline, plus a per-phase cost breakdown on stdout.
 //
 // Graph families: path, cycle, complete, star, hypercube (n = dimension),
 // torus (n×n), petersen, wheel, prism, ccc (n = dimension), random.
@@ -19,6 +24,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -31,6 +37,7 @@ func main() {
 	wakeAll := flag.Bool("wake-all", false, "wake all agents at start (default: random nonempty subset)")
 	analyze := flag.Bool("analyze", true, "print the centralized solvability analysis")
 	trace := flag.Bool("trace", false, "print every runtime event (moves, sign writes, outcomes)")
+	timeline := flag.String("timeline", "", "write a Chrome trace_event timeline (open in Perfetto) to this file")
 	flag.Parse()
 
 	g, err := buildGraph(*family, *n)
@@ -64,12 +71,31 @@ func main() {
 	}
 
 	cfg := repro.RunConfig{Seed: *seed, WakeAll: *wakeAll, UseHairOrdering: *hairs}
-	// The print sink runs behind a buffered tracer so terminal I/O happens
-	// off the simulation's hot path (events are emitted under the board
-	// lock); Close after the run flushes whatever is still buffered.
+	var tele *repro.TelemetryRun
+	if *timeline != "" {
+		tele = repro.NewTelemetryRun()
+		cfg.Telemetry = tele
+	}
+	// The sink runs behind a buffered tracer so terminal I/O and timeline
+	// bookkeeping happen off the simulation's hot path (events are emitted
+	// under the board lock); Close after the run flushes whatever is still
+	// buffered. With -timeline the sink replays whiteboard events as instant
+	// marks on the exported timeline, using each event's own timestamp so
+	// buffering does not skew it.
 	var tracer *repro.BufferedTracer
-	if *trace {
+	if *trace || tele != nil {
+		printEvents := *trace
 		tracer = repro.NewBufferedTracer(func(e repro.TraceEvent) {
+			if tele != nil && e.Kind != repro.EvMove {
+				name := e.Kind.String()
+				if e.Tag != "" {
+					name += " " + e.Tag
+				}
+				tele.Instant(e.Agent, name, e.Phase, e.At)
+			}
+			if !printEvents {
+				return
+			}
 			switch e.Kind.String() {
 			case "move":
 				fmt.Printf("%12v agent %d -> node %d\n", e.At.Round(time.Microsecond), e.Agent, e.Node)
@@ -112,6 +138,28 @@ func main() {
 	}
 	fmt.Printf("total: %d moves, %d whiteboard accesses, %v wall clock\n",
 		res.TotalMoves(), res.TotalAccesses(), res.Elapsed)
+	if tele != nil {
+		tot := tele.Totals()
+		for p, name := range telemetry.PhaseNames() {
+			if tot.Moves[p] == 0 && tot.Accesses[p] == 0 && tot.Writes[p] == 0 && tot.Erases[p] == 0 {
+				continue
+			}
+			fmt.Printf("  phase %-12s moves=%d accesses=%d writes=%d erases=%d\n",
+				name, tot.Moves[p], tot.Accesses[p], tot.Writes[p], tot.Erases[p])
+		}
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fail(err)
+		}
+		if err := repro.WriteChromeTrace(f, tele); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("timeline written to %s (open in Perfetto or chrome://tracing)\n", *timeline)
+	}
 	switch {
 	case res.AgreedLeader():
 		fmt.Println("result: a unique leader was elected and acknowledged")

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	experiments [-e all|table1|fig2ab|fig2c|elect|cayley|petersen|anonymous|cost|ablation|shared|degradation|fig1] [-seed N]
+//	experiments [-e all|table1|fig2ab|fig2c|elect|cayley|petersen|anonymous|cost|ablation|shared|degradation|fig1] [-seed N] [-stats]
 package main
 
 import (
@@ -15,6 +15,8 @@ import (
 	"os"
 
 	"repro/internal/exp"
+	"repro/internal/iso"
+	"repro/internal/order"
 	"repro/internal/prof"
 )
 
@@ -23,10 +25,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "adversary seed for the simulated runs")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	stats := flag.Bool("stats", false, "print canonical-search and class-key counters after the experiments")
 	flag.Parse()
 
 	stopProf := prof.Start(*cpuprofile, *memprofile)
 	defer stopProf()
+	isoBefore, keysBefore := iso.Stats(), order.KeysComputed()
 
 	type experiment struct {
 		id, title string
@@ -90,6 +94,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *which)
 		stopProf()
 		os.Exit(2)
+	}
+	if *stats {
+		is := iso.Stats().Sub(isoBefore)
+		fmt.Printf("iso search: %d searches, %d nodes, %d leaves, prunes orbit=%d prefix=%d, budget exhaustions=%d\n",
+			is.Searches, is.Nodes, is.Leaves, is.OrbitPrunes, is.PrefixPrunes, is.BudgetExhaustions)
+		fmt.Printf("order: %d class keys computed\n", order.KeysComputed()-keysBefore)
 	}
 	if failed {
 		stopProf() // os.Exit skips defers; flush profiles first

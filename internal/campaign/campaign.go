@@ -24,13 +24,16 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/elect"
 	"repro/internal/graph"
+	"repro/internal/iso"
 	"repro/internal/order"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Options tunes campaign execution. The zero value is usable: GOMAXPROCS
@@ -66,6 +69,27 @@ type Options struct {
 	// JSONL, when set, receives one JSON record per completed run.
 	JSONL io.Writer
 
+	// Telemetry enables per-run collection: each run gets a telemetry.Run,
+	// its per-phase move/access/write/erase totals land in RunResult, the
+	// Summary aggregates phase percentiles and the campaign's iso
+	// search-tree counter delta. Setting Metrics or Timeline implies it.
+	Telemetry bool
+	// Metrics, when set, receives live campaign counters (runs, outcomes,
+	// retries, per-phase totals, a run-moves histogram) — serve it at
+	// /debug/metrics for a live view of a long campaign.
+	Metrics *telemetry.Registry
+	// Timeline, when set, receives the campaign's worker-span timeline as
+	// Chrome trace_event JSON (one track per worker, one span per run)
+	// after the campaign completes; open it in Perfetto.
+	Timeline io.Writer
+	// TraceSink, when set, receives every run's simulation events through
+	// a per-run buffered tracer (see sim.BufferedTracer); events dropped
+	// on a full buffer are counted in RunResult.TraceDropped.
+	TraceSink sim.Tracer
+	// TraceBuffer sizes the per-run trace buffer (default
+	// sim.DefaultTraceBuffer).
+	TraceBuffer int
+
 	// testProtocol, when set (tests only), overrides the protocol for each
 	// attempt — used to exercise the watchdog/retry path deterministically.
 	testProtocol func(run Run, attempt int) sim.Protocol
@@ -88,6 +112,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RatioBound == 0 {
 		o.RatioBound = 40
+	}
+	if o.Metrics != nil || o.Timeline != nil {
+		o.Telemetry = true
 	}
 	return o
 }
@@ -189,20 +216,37 @@ func ExecuteRuns(runs []Run, opt Options) (*Report, error) {
 	results := make([]RunResult, len(runs))
 	idx := make(chan int)
 	var wg sync.WaitGroup
+
+	// Campaign-level telemetry: the iso counter delta over the whole
+	// campaign, and (for the timeline) one span track per worker.
+	var isoBefore iso.SearchStats
+	if opt.Telemetry {
+		isoBefore = iso.Stats()
+	}
+	var camRun *telemetry.Run // nil-safe: no-op without a timeline
+	if opt.Timeline != nil {
+		camRun = telemetry.NewRun()
+	}
+
 	start := time.Now()
 	for w := 0; w < opt.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			camRun.SetTrackName(w, "worker "+strconv.Itoa(w))
 			for i := range idx {
 				kind := runs[i].Protocol
 				if kind == "" {
 					kind = ProtoElect
 				}
+				opt.Metrics.Gauge("campaign_inflight").Add(1)
+				sp := camRun.StartSpan(w, runs[i].Instance, telemetry.PhaseNone)
 				results[i] = executeOne(i, runs[i], kind, protos[kind], opt, cache)
+				sp.End()
+				opt.Metrics.Gauge("campaign_inflight").Add(-1)
 				jw.write(results[i])
 			}
-		}()
+		}(w)
 	}
 	for i := range runs {
 		idx <- i
@@ -215,19 +259,60 @@ func ExecuteRuns(runs []Run, opt Options) (*Report, error) {
 		Results: results,
 		Summary: summarize(results, opt.Workers, time.Since(start), opt.RatioBound, hits, misses, analysis),
 	}
+	if opt.Telemetry {
+		d := iso.Stats().Sub(isoBefore)
+		rep.Summary.IsoSearch = &d
+	}
 	if jw != nil && jw.err != nil {
 		return rep, fmt.Errorf("campaign: jsonl write: %w", jw.err)
+	}
+	if opt.Timeline != nil {
+		if err := telemetry.WriteChromeTrace(opt.Timeline, camRun); err != nil {
+			return rep, fmt.Errorf("campaign: timeline write: %w", err)
+		}
 	}
 	return rep, nil
 }
 
+// moveBuckets shapes the campaign_run_moves histogram: exponential from
+// 16 to ~260k moves per run.
+var moveBuckets = telemetry.ExpBuckets(16, 4, 8)
+
 // executeOne runs one unit of work: cached analysis, then the simulation
 // under the watchdog with bounded reseeded retries.
-func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options, cache *analysisCache) RunResult {
-	res := RunResult{
+func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options, cache *analysisCache) (res RunResult) {
+	res = RunResult{
 		Index: index, Instance: run.Instance, Protocol: string(kind),
 		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
 	}
+	// tRun collects the final attempt's per-phase counters (fresh per
+	// attempt so a retried run does not double-count); the deferred block
+	// folds them into the result and the live metrics on every exit path.
+	var tRun *telemetry.Run
+	defer func() {
+		if tRun != nil {
+			tot := tRun.Totals()
+			res.PhaseMoves = phaseMap(tot.Moves)
+			res.PhaseAccesses = phaseMap(tot.Accesses)
+			res.PhaseWrites = phaseMap(tot.Writes)
+			res.PhaseErases = phaseMap(tot.Erases)
+			for p := telemetry.Phase(0); p < telemetry.NumPhases; p++ {
+				if v := tot.Moves[p]; v != 0 {
+					opt.Metrics.Counter("campaign_phase_moves_" + p.String()).Add(v)
+				}
+				if v := tot.Accesses[p]; v != 0 {
+					opt.Metrics.Counter("campaign_phase_accesses_" + p.String()).Add(v)
+				}
+			}
+		}
+		opt.Metrics.Counter("campaign_runs_total").Inc()
+		opt.Metrics.Counter("campaign_outcome_" + res.Outcome).Inc()
+		opt.Metrics.Counter("campaign_retries_total").Add(int64(res.Attempts - 1))
+		opt.Metrics.Counter("campaign_trace_dropped_total").Add(res.TraceDropped)
+		if res.Err == "" {
+			opt.Metrics.Histogram("campaign_run_moves", moveBuckets).Observe(res.Moves)
+		}
+	}()
 	if !opt.NoAnalysis {
 		an, hit, err := cache.analyze(run.G, run.Homes)
 		if err == nil {
@@ -249,6 +334,15 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 		if opt.testProtocol != nil {
 			p = opt.testProtocol(run, attempt)
 		}
+		if opt.Telemetry {
+			tRun = telemetry.NewRun()
+		}
+		var bt *sim.BufferedTracer
+		var tracer sim.Tracer
+		if opt.TraceSink != nil {
+			bt = sim.NewBufferedTracer(opt.TraceSink, opt.TraceBuffer)
+			tracer = bt.Trace
+		}
 		simRes, runErr = sim.Run(sim.Config{
 			Graph: run.G, Homes: run.Homes,
 			Seed:             run.Seed + int64(attempt-1)*opt.RetrySeedOffset,
@@ -257,7 +351,13 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 			Timeout:          opt.RunTimeout,
 			QuantitativeIDs:  pi.quant,
 			AllowSharedHomes: opt.AllowSharedHomes,
+			Tracer:           tracer,
+			Telemetry:        tRun,
 		}, p)
+		if bt != nil {
+			bt.Close()
+			res.TraceDropped = bt.Dropped()
+		}
 		if runErr == nil || !errors.Is(runErr, sim.ErrAborted) || attempt > opt.MaxRetries {
 			break
 		}

@@ -7,6 +7,9 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/iso"
+	"repro/internal/telemetry"
 )
 
 // RunResult is the per-run record of a campaign, one JSONL line per run.
@@ -43,6 +46,31 @@ type RunResult struct {
 	Err       string  `json:"err,omitempty"`
 	// Aborted reports that the final attempt still hit the watchdog.
 	Aborted bool `json:"aborted,omitempty"`
+	// Per-phase counters of the final attempt, keyed by phase name, with
+	// zero phases omitted (present when Options.Telemetry; deterministic
+	// per seed, like Moves).
+	PhaseMoves    map[string]int64 `json:"phase_moves,omitempty"`
+	PhaseAccesses map[string]int64 `json:"phase_accesses,omitempty"`
+	PhaseWrites   map[string]int64 `json:"phase_writes,omitempty"`
+	PhaseErases   map[string]int64 `json:"phase_erases,omitempty"`
+	// TraceDropped counts simulation events the buffered tracer discarded
+	// on a full buffer (with Options.TraceSink; nondeterministic).
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
+}
+
+// phaseMap converts a per-phase counter array to its name-keyed JSON
+// form, omitting zero phases (nil when all are zero).
+func phaseMap(a [telemetry.NumPhases]int64) map[string]int64 {
+	var out map[string]int64
+	for p, v := range a {
+		if v != 0 {
+			if out == nil {
+				out = make(map[string]int64)
+			}
+			out[telemetry.Phase(p).String()] = v
+		}
+	}
+	return out
 }
 
 // Summary aggregates a campaign.
@@ -84,6 +112,28 @@ type Summary struct {
 	WallMS     float64 `json:"wall_ms"`
 	SerialMS   float64 `json:"serial_ms"`
 	SpeedupEst float64 `json:"speedup_est"`
+	// Phases aggregates the per-phase counters across non-error runs,
+	// keyed by phase name (present when Options.Telemetry).
+	Phases map[string]PhaseStat `json:"phases,omitempty"`
+	// IsoSearch is the delta of the process-global canonical-search
+	// counters over the campaign (present when Options.Telemetry;
+	// concurrent non-campaign iso work in the same process would be
+	// included).
+	IsoSearch *iso.SearchStats `json:"iso_search,omitempty"`
+	// TraceDropped sums the per-run buffered-tracer drop counts.
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
+}
+
+// PhaseStat aggregates one protocol phase across a campaign: counter
+// totals over all non-error runs, and move percentiles over the runs
+// that entered the phase.
+type PhaseStat struct {
+	Moves    int64 `json:"moves"`
+	Accesses int64 `json:"accesses"`
+	Writes   int64 `json:"writes"`
+	Erases   int64 `json:"erases"`
+	MovesP50 int64 `json:"moves_p50"`
+	MovesP90 int64 `json:"moves_p90"`
 }
 
 // Report is the full outcome of a campaign: per-run results in work-list
@@ -148,10 +198,20 @@ func summarize(results []RunResult, workers int, wall time.Duration, bound float
 	}
 	var moves, accesses []int64
 	var ratios []float64
+	phaseMoves := map[string][]int64{}
+	phaseTotals := map[string]PhaseStat{}
+	addPhase := func(m map[string]int64, pick func(*PhaseStat) *int64) {
+		for name, v := range m {
+			st := phaseTotals[name]
+			*pick(&st) += v
+			phaseTotals[name] = st
+		}
+	}
 	for _, r := range results {
 		s.Outcomes[r.Outcome]++
 		s.Retries += r.Attempts - 1
 		s.SerialMS += r.ElapsedMS
+		s.TraceDropped += r.TraceDropped
 		if r.Err != "" {
 			s.Errors++
 			if r.Aborted {
@@ -171,10 +231,25 @@ func summarize(results []RunResult, workers int, wall time.Duration, bound float
 		if r.Ratio > bound {
 			s.BoundViolations++
 		}
+		addPhase(r.PhaseMoves, func(st *PhaseStat) *int64 { return &st.Moves })
+		addPhase(r.PhaseAccesses, func(st *PhaseStat) *int64 { return &st.Accesses })
+		addPhase(r.PhaseWrites, func(st *PhaseStat) *int64 { return &st.Writes })
+		addPhase(r.PhaseErases, func(st *PhaseStat) *int64 { return &st.Erases })
+		for name, v := range r.PhaseMoves {
+			phaseMoves[name] = append(phaseMoves[name], v)
+		}
 	}
 	s.MovesP50, s.MovesP90, s.MovesP99 = pctInt(moves, 50), pctInt(moves, 90), pctInt(moves, 99)
 	s.AccessP50, s.AccessP90, s.AccessP99 = pctInt(accesses, 50), pctInt(accesses, 90), pctInt(accesses, 99)
 	s.RatioP50, s.RatioP90 = pctFloat(ratios, 50), pctFloat(ratios, 90)
+	if len(phaseTotals) > 0 {
+		s.Phases = make(map[string]PhaseStat, len(phaseTotals))
+		for name, st := range phaseTotals {
+			st.MovesP50 = pctInt(phaseMoves[name], 50)
+			st.MovesP90 = pctInt(phaseMoves[name], 90)
+			s.Phases[name] = st
+		}
+	}
 	if s.WallMS > 0 {
 		s.SpeedupEst = s.SerialMS / s.WallMS
 	}
@@ -232,5 +307,25 @@ func (s Summary) Render() string {
 		s.RatioP50, s.RatioP90, s.RatioMax, s.RatioBound, s.BoundViolations)
 	out += fmt.Sprintf("  analysis cache: %d hits / %d misses (hit rate %.1f%%), %.0fms analyzing\n",
 		s.CacheHits, s.CacheMisses, 100*s.CacheHitRate, s.AnalysisMS)
+	if len(s.Phases) > 0 {
+		// Phase taxonomy order (the order the protocol runs them), not
+		// alphabetical.
+		for _, name := range telemetry.PhaseNames() {
+			st, ok := s.Phases[name]
+			if !ok {
+				continue
+			}
+			out += fmt.Sprintf("  phase %-12s moves=%d (p50 %d, p90 %d) accesses=%d writes=%d erases=%d\n",
+				name, st.Moves, st.MovesP50, st.MovesP90, st.Accesses, st.Writes, st.Erases)
+		}
+	}
+	if s.IsoSearch != nil {
+		out += fmt.Sprintf("  iso search: %d searches, %d nodes, %d leaves, prunes orbit=%d prefix=%d, budget exhaustions=%d\n",
+			s.IsoSearch.Searches, s.IsoSearch.Nodes, s.IsoSearch.Leaves,
+			s.IsoSearch.OrbitPrunes, s.IsoSearch.PrefixPrunes, s.IsoSearch.BudgetExhaustions)
+	}
+	if s.TraceDropped > 0 {
+		out += fmt.Sprintf("  trace events dropped: %d\n", s.TraceDropped)
+	}
 	return out
 }

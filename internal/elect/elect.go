@@ -3,6 +3,7 @@ package elect
 import (
 	"repro/internal/order"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Options configures the ELECT protocol family.
@@ -87,6 +88,9 @@ func runReductionOpt(k *knowledge, noSkip bool) (sim.Outcome, error) {
 // home for one of the two proclamations.
 func announce(st *agentState, sc *schedule) (sim.Outcome, error) {
 	k := st.k
+	k.a.SetPhase(telemetry.PhaseAnnounce)
+	sp := k.a.Span("announce")
+	defer sp.End()
 	if st.inD {
 		if sc.finalD == 1 {
 			// I am the unique survivor: the leader.

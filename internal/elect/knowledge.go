@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/order"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // knowledge is everything an agent derives locally from its map after
@@ -23,9 +24,12 @@ type knowledge struct {
 
 // newKnowledge runs COMPUTE & ORDER on a drawn map.
 func newKnowledge(a *sim.Agent, m *Map, ord order.Ordering) *knowledge {
+	a.SetPhase(telemetry.PhaseOrder)
+	sp := a.Span("compute-and-order")
 	k := &knowledge{a: a, m: m, at: m.Home}
 	k.ord = order.ComputeAndOrder(m.G, m.Colors(), ord)
 	k.buildTour()
+	sp.End()
 	return k
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Map is the result of MAP-DRAWING from one agent's perspective: an
@@ -88,6 +89,9 @@ const tagMapNodePrefix = "map:"
 // at its home-base. Cost: every edge is traversed at most twice in each
 // direction, O(|E|) moves.
 func MapDraw(a *sim.Agent) (*Map, error) {
+	a.SetPhase(telemetry.PhaseMapDraw)
+	sp := a.Span("map-drawing")
+	defer sp.End()
 	type nodeRec struct {
 		syms   []sim.Symbol
 		twins  [][2]int // per local port: (node, port) of twin; -1 unset

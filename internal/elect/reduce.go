@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Whiteboard tags of the reduction machinery. All tags are colored by their
@@ -99,6 +100,9 @@ func runAgentReducePhase(st *agentState, phaseIdx int, plan *phasePlan) error {
 	if st.passive || (!st.inD && !inClass) {
 		return nil
 	}
+	k.a.SetPhase(telemetry.PhaseAgentReduce)
+	sp := phaseSpan(k.a, "agent-reduce", phaseIdx)
+	defer sp.End()
 	// Round-0 role: D searches iff plan.dSearches.
 	searcher := (st.inD && plan.dSearches) || (inClass && !plan.dSearches)
 	if len(plan.rounds) == 0 {
@@ -246,6 +250,9 @@ func runNodeReducePhase(st *agentState, phaseIdx int, plan *phasePlan) error {
 	if st.passive || !st.inD {
 		return nil
 	}
+	k.a.SetPhase(telemetry.PhaseNodeReduce)
+	sp := phaseSpan(k.a, "node-reduce", phaseIdx)
+	defer sp.End()
 	selected := make(map[int]bool)
 	for _, v := range k.classNodes(plan.classIdx) {
 		selected[v] = true

@@ -1,0 +1,18 @@
+package elect
+
+import (
+	"strconv"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// phaseSpan opens a span named "<base> p<idx>" on the agent's track. The
+// name is only formatted when telemetry is enabled, so the disabled path
+// stays allocation-free.
+func phaseSpan(a *sim.Agent, base string, idx int) telemetry.ActiveSpan {
+	if !a.TelemetryEnabled() {
+		return telemetry.ActiveSpan{}
+	}
+	return a.Span(base + " p" + strconv.Itoa(idx))
+}

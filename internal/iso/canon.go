@@ -39,6 +39,12 @@ type canonState struct {
 	maxLeaves int
 	budgetHit bool
 
+	// Search-shape counters, flushed to the package stats once per search
+	// (plain ints: the search runs on one goroutine).
+	nodes        int
+	orbitPrunes  int
+	prefixPrunes int
+
 	// Scratch reused by every refinement pass and leaf.
 	cellOf       []int32
 	sig          []int32
@@ -104,6 +110,7 @@ func (st *canonState) search(depth, fixed, cmp int) {
 	if st.budgetHit {
 		return
 	}
+	st.nodes++
 	lv := st.levels[depth]
 	st.refine(lv)
 
@@ -123,6 +130,7 @@ func (st *canonState) search(depth, fixed, cmp int) {
 				if st.prefix[i] < st.best[i] {
 					cmp = -1
 				} else {
+					st.prefixPrunes++
 					st.prefix = st.prefix[:st.n+fixed*fixed]
 					return // partial word already exceeds best: prune
 				}
@@ -152,6 +160,7 @@ func (st *canonState) search(depth, fixed, cmp int) {
 		// base-pointwise stabilizer of the discovered automorphism group
 		// lead to identical subtrees; explore one per orbit.
 		if st.inOrbitOfTried(lv, v) {
+			st.orbitPrunes++
 			continue
 		}
 		lv.tried = append(lv.tried, v)

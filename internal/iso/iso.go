@@ -230,6 +230,7 @@ func CanonicalBudget(c *Colored, maxLeaves int) (*Result, error) {
 	}
 	st := newCanonState(c, maxLeaves)
 	st.run()
+	st.flushStats()
 	if st.budgetHit {
 		return nil, ErrLeafBudget
 	}

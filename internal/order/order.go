@@ -23,10 +23,21 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/iso"
 )
+
+// keysComputed counts the surrounding keys computed process-wide — one
+// canonical-word computation per class keyed, across both the serial and
+// the parallel branch of classKeys. Monotonic; snapshot before/after a
+// workload for its delta (the same discipline as iso.Stats).
+var keysComputed atomic.Int64
+
+// KeysComputed returns the process-global count of surrounding keys
+// computed by COMPUTE & ORDER.
+func KeysComputed() int64 { return keysComputed.Load() }
 
 // Surrounding returns the surrounding S(u) of node u in the bicolored graph
 // (g, colors): the directed graph on V(g) with an arc (x, y) for every edge
@@ -234,6 +245,7 @@ func ComputeAndOrder(g *graph.Graph, colors []int, ord Ordering) *Ordered {
 // disjoint slots of an index-addressed slice, so the merged result is
 // deterministic — identical for any worker count or completion order.
 func classKeys(g *graph.Graph, colors []int, classes [][]int, ord Ordering) []Key {
+	keysComputed.Add(int64(len(classes)))
 	keys := make([]Key, len(classes))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(classes) {

@@ -31,11 +31,13 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/telemetry"
 )
 
 // Color is an agent color: distinct, but mutually incomparable. The zero
@@ -164,6 +166,7 @@ func (b *Board) Write(tag string) {
 	b.wb.signs = append(b.wb.signs, Sign{Color: b.color, Tag: tag})
 	b.wb.dirty = true
 	if b.agent != nil {
+		b.agent.eng.cfg.Telemetry.CountWrite(b.agent.phase)
 		b.agent.eng.trace(b.agent.index, EvWrite, b.node, tag)
 	}
 }
@@ -175,6 +178,7 @@ func (b *Board) Erase(tag string) {
 			b.wb.signs = append(b.wb.signs[:i], b.wb.signs[i+1:]...)
 			b.wb.dirty = true
 			if b.agent != nil {
+				b.agent.eng.cfg.Telemetry.CountErase(b.agent.phase)
 				b.agent.eng.trace(b.agent.index, EvErase, b.node, tag)
 			}
 			return
@@ -271,6 +275,12 @@ type Config struct {
 	// Tracer, when set, receives observer-side events (moves, sign writes,
 	// wake-ups, outcomes). See trace.go.
 	Tracer Tracer
+	// Telemetry, when set, receives per-phase move/access/write/erase
+	// counts and protocol spans (see Agent.SetPhase and Agent.Span). Nil
+	// disables collection; the instrumented hot path then costs one nil
+	// check per event and allocates nothing (guarded by an allocation
+	// test).
+	Telemetry *telemetry.Run
 }
 
 // TagHome marks home-bases: the engine writes this sign, colored by the
@@ -294,7 +304,37 @@ type Agent struct {
 	moves    int64
 	accesses int64
 
+	// phase is the protocol phase the agent last declared via SetPhase.
+	// Written and read only from the agent's own goroutine (trace and the
+	// telemetry counters run on it too), so no synchronization is needed.
+	phase telemetry.Phase
+	// board is scratch space reused across Access calls so granting a
+	// whiteboard access does not allocate (Board is invalid outside the
+	// Access callback, so reuse is safe).
+	board Board
+
 	id int // quantitative identity, only via ID()
+}
+
+// SetPhase declares the protocol phase the agent is entering. Subsequent
+// trace events and telemetry counts are attributed to it. Calling it with
+// telemetry disabled is free; protocols that never call it report
+// everything under PhaseNone.
+func (a *Agent) SetPhase(p telemetry.Phase) { a.phase = p }
+
+// Phase returns the agent's currently declared protocol phase.
+func (a *Agent) Phase() telemetry.Phase { return a.phase }
+
+// TelemetryEnabled reports whether the run collects telemetry. Protocol
+// code can gate span-name formatting behind it so the disabled path
+// stays allocation-free.
+func (a *Agent) TelemetryEnabled() bool { return a.eng.cfg.Telemetry != nil }
+
+// Span opens a telemetry span on this agent's track, tagged with the
+// current phase. The returned span is a no-op when telemetry is
+// disabled; call End when the interval completes.
+func (a *Agent) Span(name string) telemetry.ActiveSpan {
+	return a.eng.cfg.Telemetry.StartSpan(a.index, name, a.phase)
 }
 
 // Color returns the agent's own color.
@@ -343,6 +383,7 @@ func (a *Agent) Move(s Symbol) (Symbol, error) {
 	a.node = h.To
 	a.entry = Symbol{node: h.To, port: h.Twin, ok: true}
 	atomic.AddInt64(&a.moves, 1)
+	a.eng.cfg.Telemetry.CountMove(a.phase)
 	a.eng.trace(a.index, EvMove, a.node, "")
 	return a.entry, nil
 }
@@ -358,8 +399,10 @@ func (a *Agent) Access(f func(b *Board)) error {
 	wb.mu.Lock()
 	defer wb.mu.Unlock()
 	atomic.AddInt64(&a.accesses, 1)
-	b := &Board{wb: wb, color: a.color, agent: a, node: a.node}
-	f(b)
+	a.eng.cfg.Telemetry.CountAccess(a.phase)
+	a.board = Board{wb: wb, color: a.color, agent: a, node: a.node}
+	f(&a.board)
+	a.board = Board{} // a retained *Board fails fast instead of racing
 	if wb.dirty {
 		wb.dirty = false
 		wb.cond.Broadcast()
@@ -378,6 +421,7 @@ func (a *Agent) Wait(pred func(Signs) bool) (Signs, error) {
 	wb.mu.Lock()
 	defer wb.mu.Unlock()
 	atomic.AddInt64(&a.accesses, 1)
+	a.eng.cfg.Telemetry.CountAccess(a.phase)
 	for {
 		snapshot := make(Signs, len(wb.signs))
 		copy(snapshot, wb.signs)
@@ -577,6 +621,13 @@ func Run(cfg Config, protocol Protocol) (*Result, error) {
 			node:  h,
 			rng:   rand.New(rand.NewSource(rng.Int63())),
 			id:    i + 1,
+		}
+	}
+
+	// Label telemetry tracks so timeline exports name each agent's row.
+	if cfg.Telemetry != nil {
+		for i := range e.agents {
+			cfg.Telemetry.SetTrackName(i, "agent "+strconv.Itoa(i))
 		}
 	}
 

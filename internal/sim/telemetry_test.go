@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/telemetry"
+)
+
+// bounceSymbols returns the two precomputed symbols for a home<->neighbor
+// round trip: sOut (a port of home) and sBack (the entry port at the
+// neighbor, which leads back through the same edge). Precomputing keeps
+// Symbols() — which allocates — out of measured loops.
+func bounceSymbols(t testing.TB, a *Agent) (sOut, sBack Symbol) {
+	t.Helper()
+	sOut = a.Symbols()[0]
+	sBack, err := a.Move(sOut)
+	if err != nil {
+		t.Fatalf("warm-up move: %v", err)
+	}
+	if _, err := a.Move(sBack); err != nil {
+		t.Fatalf("warm-up move back: %v", err)
+	}
+	return sOut, sBack
+}
+
+// TestTelemetryDisabledHotPathAllocationFree guards the tentpole
+// guarantee of the telemetry layer: with Config.Telemetry nil, an
+// instrumented Move/Access/Write/Erase cycle allocates zero bytes. It
+// mirrors iso's TestRefineHotPathAllocationFree. The measurement runs
+// inside the protocol goroutine; a single agent with MaxDelay 0 (yields
+// only) keeps other goroutines quiet during the window.
+func TestTelemetryDisabledHotPathAllocationFree(t *testing.T) {
+	cfg := Config{Graph: graph.Cycle(3), Homes: []int{0}, Seed: 7, WakeAll: true}
+	var allocs float64
+	_, err := Run(cfg, func(a *Agent) (Outcome, error) {
+		sOut, sBack := bounceSymbols(t, a)
+		// Warm the sign slice's capacity so measured appends reuse it.
+		if err := a.Access(func(b *Board) { b.Write("t"); b.Erase("t") }); err != nil {
+			return Outcome{}, err
+		}
+		allocs = testing.AllocsPerRun(100, func() {
+			if _, err := a.Move(sOut); err != nil {
+				t.Error(err)
+			}
+			if _, err := a.Move(sBack); err != nil {
+				t.Error(err)
+			}
+			if err := a.Access(func(b *Board) { b.Write("t"); b.Erase("t") }); err != nil {
+				t.Error(err)
+			}
+			a.SetPhase(telemetry.PhaseMapDraw)
+			sp := a.Span("noop") // no-op span: telemetry disabled
+			sp.End()
+			a.SetPhase(telemetry.PhaseNone)
+		})
+		return Outcome{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("instrumented hot path allocated %.1f times per cycle with telemetry disabled, want 0", allocs)
+	}
+}
+
+// TestTelemetryPhaseAttribution checks that counters and trace events
+// land in the phase the agent declared at the time of the operation.
+func TestTelemetryPhaseAttribution(t *testing.T) {
+	run := telemetry.NewRun()
+	var events []Event
+	cfg := Config{
+		Graph: graph.Cycle(4), Homes: []int{0}, Seed: 3, WakeAll: true,
+		Telemetry: run,
+		Tracer:    func(e Event) { events = append(events, e) },
+	}
+	_, err := Run(cfg, func(a *Agent) (Outcome, error) {
+		a.SetPhase(telemetry.PhaseMapDraw)
+		sp := a.Span("draw")
+		sOut, sBack := bounceSymbols(t, a)
+		sp.End()
+		a.SetPhase(telemetry.PhaseOrder)
+		if err := a.Access(func(b *Board) { b.Write("k") }); err != nil {
+			return Outcome{}, err
+		}
+		a.SetPhase(telemetry.PhaseAnnounce)
+		if _, err := a.Move(sOut); err != nil {
+			return Outcome{}, err
+		}
+		if _, err := a.Move(sBack); err != nil {
+			return Outcome{}, err
+		}
+		if err := a.Access(func(b *Board) { b.Erase("k") }); err != nil {
+			return Outcome{}, err
+		}
+		return Outcome{Role: RoleLeader, Leader: a.Color()}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := run.Totals()
+	if tot.Moves[telemetry.PhaseMapDraw] != 2 || tot.Moves[telemetry.PhaseAnnounce] != 2 {
+		t.Errorf("move attribution wrong: %+v", tot.Moves)
+	}
+	if tot.Writes[telemetry.PhaseOrder] != 1 || tot.Erases[telemetry.PhaseAnnounce] != 1 {
+		t.Errorf("write/erase attribution wrong: writes %+v erases %+v", tot.Writes, tot.Erases)
+	}
+	if tot.Accesses[telemetry.PhaseOrder] != 1 {
+		t.Errorf("access attribution wrong: %+v", tot.Accesses)
+	}
+	spans := run.Spans()
+	if len(spans) != 1 || spans[0].Name != "draw" || spans[0].Phase != telemetry.PhaseMapDraw {
+		t.Errorf("spans wrong: %+v", spans)
+	}
+	phaseOf := map[EventKind]telemetry.Phase{}
+	for _, e := range events {
+		phaseOf[e.Kind] = e.Phase
+	}
+	if phaseOf[EvWake] != telemetry.PhaseNone {
+		t.Errorf("wake event phase = %v, want none", phaseOf[EvWake])
+	}
+	if phaseOf[EvWrite] != telemetry.PhaseOrder {
+		t.Errorf("write event phase = %v, want order", phaseOf[EvWrite])
+	}
+	if phaseOf[EvErase] != telemetry.PhaseAnnounce {
+		t.Errorf("erase event phase = %v, want announce", phaseOf[EvErase])
+	}
+	if phaseOf[EvOutcome] != telemetry.PhaseAnnounce {
+		t.Errorf("outcome event phase = %v, want announce", phaseOf[EvOutcome])
+	}
+}
+
+// benchBounce measures a move round trip plus one whiteboard access with
+// the given telemetry collector (nil = disabled overhead baseline).
+func benchBounce(b *testing.B, run *telemetry.Run) {
+	cfg := Config{
+		Graph: graph.Cycle(3), Homes: []int{0}, Seed: 7, WakeAll: true,
+		Timeout: 5 * time.Minute, Telemetry: run,
+	}
+	_, err := Run(cfg, func(a *Agent) (Outcome, error) {
+		sOut, sBack := bounceSymbols(b, a)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := a.Move(sOut); err != nil {
+				return Outcome{}, err
+			}
+			if _, err := a.Move(sBack); err != nil {
+				return Outcome{}, err
+			}
+			if err := a.Access(func(bd *Board) { bd.Write("t"); bd.Erase("t") }); err != nil {
+				return Outcome{}, err
+			}
+		}
+		b.StopTimer()
+		return Outcome{}, nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTelemetryDisabled(b *testing.B) { benchBounce(b, nil) }
+
+func BenchmarkTelemetryEnabled(b *testing.B) { benchBounce(b, telemetry.NewRun()) }

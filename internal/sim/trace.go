@@ -1,6 +1,10 @@
 package sim
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
 
 // EventKind classifies a trace event.
 type EventKind int
@@ -47,6 +51,10 @@ type Event struct {
 	Kind  EventKind
 	Node  int    // physical node where the event happened (destination for moves)
 	Tag   string // sign tag for EvWrite/EvErase; role string for EvOutcome
+	// Phase is the protocol phase the emitting agent had declared via
+	// Agent.SetPhase at the time of the event (PhaseNone before the first
+	// declaration and for protocols that declare none).
+	Phase telemetry.Phase
 }
 
 // Tracer receives trace events. Nil disables tracing.
@@ -56,11 +64,16 @@ func (e *engine) trace(agent int, kind EventKind, node int, tag string) {
 	if e.cfg.Tracer == nil {
 		return
 	}
+	// Reading the agent's phase without synchronization is safe: every
+	// event kind is emitted from the owning agent's goroutine (moves and
+	// whiteboard events from protocol calls, wake/outcome from the agent's
+	// run loop), the same goroutine that calls SetPhase.
 	e.cfg.Tracer(Event{
 		At:    time.Since(e.started),
 		Agent: agent,
 		Kind:  kind,
 		Node:  node,
 		Tag:   tag,
+		Phase: e.agents[agent].phase,
 	})
 }

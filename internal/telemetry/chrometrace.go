@@ -1,0 +1,90 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one record of the Chrome trace_event JSON format
+// (docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the format Perfetto and chrome://tracing ingest. Timestamps and
+// durations are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Ph    string         `json:"ph"`
+	Ts    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+const chromePid = 1
+
+// tid maps a Run track to a Chrome thread id. Track -1 (engine/observer
+// events) becomes tid 0; agent/worker track i becomes tid i+1.
+func tid(track int) int { return track + 1 }
+
+// WriteChromeTrace serializes the run's spans and instants as a Chrome
+// trace_event JSON object ({"traceEvents": [...]}) that Perfetto's UI and
+// chrome://tracing open directly. Spans become complete ("X") events and
+// instants thread-scoped instant ("i") events; tracks named via
+// SetTrackName become thread_name metadata. Phase names are emitted as
+// event categories, so Perfetto can filter the timeline by protocol
+// phase.
+func WriteChromeTrace(w io.Writer, r *Run) error {
+	var events []chromeEvent
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]any{"name": "repro"},
+	})
+	if r != nil {
+		r.mu.Lock()
+		tracks := make([]int, 0, len(r.trackNames))
+		for t := range r.trackNames {
+			tracks = append(tracks, t)
+		}
+		sort.Ints(tracks)
+		for _, t := range tracks {
+			events = append(events, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: chromePid, Tid: tid(t),
+				Args: map[string]any{"name": r.trackNames[t]},
+			})
+		}
+		for _, s := range r.spans {
+			dur := float64(s.End-s.Start) / 1e3
+			if dur < 0 {
+				dur = 0
+			}
+			events = append(events, chromeEvent{
+				Name: s.Name, Cat: s.Phase.String(), Ph: "X",
+				Ts: float64(s.Start) / 1e3, Dur: dur,
+				Pid: chromePid, Tid: tid(s.Track),
+			})
+		}
+		for _, ev := range r.instants {
+			events = append(events, chromeEvent{
+				Name: ev.Name, Cat: ev.Phase.String(), Ph: "i",
+				Ts:  float64(ev.At) / 1e3,
+				Pid: chromePid, Tid: tid(ev.Track), Scope: "t",
+			})
+		}
+		r.mu.Unlock()
+	}
+	// Stable output: order by timestamp, metadata first (ts 0).
+	sort.SliceStable(events, func(i, j int) bool {
+		mi, mj := events[i].Ph == "M", events[j].Ph == "M"
+		if mi != mj {
+			return mi
+		}
+		return events[i].Ts < events[j].Ts
+	})
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

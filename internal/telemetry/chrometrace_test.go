@@ -1,0 +1,103 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// decodeTrace unmarshals WriteChromeTrace output back into generic
+// records so tests can validate the trace_event shape Perfetto expects.
+func decodeTrace(t *testing.T, buf []byte) []map[string]any {
+	t.Helper()
+	var doc struct {
+		TraceEvents     []map[string]any `json:"traceEvents"`
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	return doc.TraceEvents
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	r := NewRun()
+	r.SetTrackName(0, "agent 0")
+	r.SetTrackName(-1, "engine")
+	sp := r.StartSpan(0, "map-drawing", PhaseMapDraw)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	r.Instant(0, "move", PhaseMapDraw, r.Since())
+	r.Instant(-1, "wake", PhaseNone, r.Since())
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+
+	var meta, complete, instant int
+	names := map[string]bool{}
+	for i, ev := range events {
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "M":
+			meta++
+			if i >= 4 {
+				t.Errorf("metadata event at index %d, want all metadata first", i)
+			}
+			if args, ok := ev["args"].(map[string]any); ok {
+				if n, ok := args["name"].(string); ok {
+					names[n] = true
+				}
+			}
+		case "X":
+			complete++
+			if dur, _ := ev["dur"].(float64); dur <= 0 {
+				t.Errorf("complete event %q has non-positive dur %v", ev["name"], ev["dur"])
+			}
+			if cat, _ := ev["cat"].(string); cat != "mapdraw" {
+				t.Errorf("span category = %q, want mapdraw", cat)
+			}
+		case "i":
+			instant++
+			if s, _ := ev["s"].(string); s != "t" {
+				t.Errorf("instant scope = %q, want t", ev["s"])
+			}
+		default:
+			t.Errorf("unexpected ph %q in event %v", ph, ev)
+		}
+		if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+			t.Errorf("event %v has bad ts", ev)
+		}
+		if pid, _ := ev["pid"].(float64); pid != chromePid {
+			t.Errorf("event %v has pid %v, want %d", ev["name"], ev["pid"], chromePid)
+		}
+	}
+	if meta != 3 { // process_name + two thread_names
+		t.Errorf("metadata events: %d, want 3", meta)
+	}
+	if complete != 1 || instant != 2 {
+		t.Errorf("complete/instant events: %d/%d, want 1/2", complete, instant)
+	}
+	for _, want := range []string{"repro", "agent 0", "engine"} {
+		if !names[want] {
+			t.Errorf("missing metadata name %q (have %v)", want, names)
+		}
+	}
+}
+
+func TestWriteChromeTraceNilRun(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatalf("WriteChromeTrace(nil): %v", err)
+	}
+	events := decodeTrace(t, buf.Bytes())
+	if len(events) != 1 || events[0]["ph"] != "M" {
+		t.Errorf("nil run should emit only process metadata, got %v", events)
+	}
+}

@@ -1,0 +1,201 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PhaseCounters is a fixed set of per-phase event counters. Updates are
+// single atomic adds into arrays indexed by Phase — the enabled hot path
+// allocates nothing and takes no locks.
+type PhaseCounters struct {
+	Moves    [NumPhases]atomic.Int64
+	Accesses [NumPhases]atomic.Int64
+	Writes   [NumPhases]atomic.Int64
+	Erases   [NumPhases]atomic.Int64
+}
+
+// PhaseTotals is a plain snapshot of PhaseCounters.
+type PhaseTotals struct {
+	Moves    [NumPhases]int64
+	Accesses [NumPhases]int64
+	Writes   [NumPhases]int64
+	Erases   [NumPhases]int64
+}
+
+// SpanRecord is one completed named interval on a track (a per-agent or
+// per-worker timeline). Times are offsets from the Run's start.
+type SpanRecord struct {
+	Track int
+	Name  string
+	Phase Phase
+	Start time.Duration
+	End   time.Duration
+}
+
+// InstantRecord is one point event on a track.
+type InstantRecord struct {
+	Track int
+	Name  string
+	Phase Phase
+	At    time.Duration
+}
+
+// Run collects the telemetry of one run: per-phase counters, completed
+// spans, and instant events, all against a common start time. All methods
+// are safe for concurrent use and are no-ops on a nil *Run, so
+// instrumented code can hold a possibly-nil collector and call it
+// unconditionally.
+type Run struct {
+	start    time.Time
+	counters PhaseCounters
+
+	mu         sync.Mutex
+	spans      []SpanRecord
+	instants   []InstantRecord
+	trackNames map[int]string
+}
+
+// NewRun starts a collector; offsets are measured from now.
+func NewRun() *Run {
+	return &Run{start: time.Now()}
+}
+
+// Since returns the offset of now from the run's start (0 on nil).
+func (r *Run) Since() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.start)
+}
+
+func clampPhase(p Phase) Phase {
+	if p >= NumPhases {
+		return PhaseNone
+	}
+	return p
+}
+
+// CountMove attributes one edge traversal to the phase.
+func (r *Run) CountMove(p Phase) {
+	if r == nil {
+		return
+	}
+	r.counters.Moves[clampPhase(p)].Add(1)
+}
+
+// CountAccess attributes one whiteboard access to the phase.
+func (r *Run) CountAccess(p Phase) {
+	if r == nil {
+		return
+	}
+	r.counters.Accesses[clampPhase(p)].Add(1)
+}
+
+// CountWrite attributes one sign write to the phase.
+func (r *Run) CountWrite(p Phase) {
+	if r == nil {
+		return
+	}
+	r.counters.Writes[clampPhase(p)].Add(1)
+}
+
+// CountErase attributes one sign erase to the phase.
+func (r *Run) CountErase(p Phase) {
+	if r == nil {
+		return
+	}
+	r.counters.Erases[clampPhase(p)].Add(1)
+}
+
+// Totals snapshots the per-phase counters.
+func (r *Run) Totals() PhaseTotals {
+	var t PhaseTotals
+	if r == nil {
+		return t
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		t.Moves[p] = r.counters.Moves[p].Load()
+		t.Accesses[p] = r.counters.Accesses[p].Load()
+		t.Writes[p] = r.counters.Writes[p].Load()
+		t.Erases[p] = r.counters.Erases[p].Load()
+	}
+	return t
+}
+
+// ActiveSpan is an open interval returned by StartSpan; call End exactly
+// once when the interval completes. The zero ActiveSpan (and any span
+// from a nil *Run) is a no-op.
+type ActiveSpan struct {
+	r     *Run
+	track int
+	name  string
+	phase Phase
+	start time.Duration
+}
+
+// StartSpan opens a named interval on the track, tagged with the phase.
+func (r *Run) StartSpan(track int, name string, p Phase) ActiveSpan {
+	if r == nil {
+		return ActiveSpan{}
+	}
+	return ActiveSpan{r: r, track: track, name: name, phase: clampPhase(p), start: r.Since()}
+}
+
+// End records the completed span. Calling End on a zero span is a no-op.
+func (s ActiveSpan) End() {
+	if s.r == nil {
+		return
+	}
+	rec := SpanRecord{Track: s.track, Name: s.name, Phase: s.phase, Start: s.start, End: s.r.Since()}
+	s.r.mu.Lock()
+	s.r.spans = append(s.r.spans, rec)
+	s.r.mu.Unlock()
+}
+
+// Instant records a point event on the track at offset at (use Since()
+// for "now"; trace sinks replaying sim events pass the event's own
+// timestamp so buffering does not skew the timeline).
+func (r *Run) Instant(track int, name string, p Phase, at time.Duration) {
+	if r == nil {
+		return
+	}
+	rec := InstantRecord{Track: track, Name: name, Phase: clampPhase(p), At: at}
+	r.mu.Lock()
+	r.instants = append(r.instants, rec)
+	r.mu.Unlock()
+}
+
+// SetTrackName labels a track for exporters ("agent 0", "worker 3").
+func (r *Run) SetTrackName(track int, name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	if r.trackNames == nil {
+		r.trackNames = make(map[int]string)
+	}
+	r.trackNames[track] = name
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the completed spans, in completion order.
+func (r *Run) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]SpanRecord(nil), r.spans...)
+}
+
+// Instants returns a copy of the recorded instants, in recording order.
+func (r *Run) Instants() []InstantRecord {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]InstantRecord(nil), r.instants...)
+}

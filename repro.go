@@ -35,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/order"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Graph is an anonymous undirected multigraph (see internal/graph).
@@ -101,13 +102,37 @@ type RunConfig struct {
 	// Trace, when set, receives observer-side runtime events (moves, sign
 	// writes, wake-ups, outcomes).
 	Trace Tracer
+	// Telemetry, when set, collects phase-scoped counters and protocol
+	// spans for the run (see NewTelemetryRun and WriteChromeTrace). Nil
+	// disables collection at zero cost.
+	Telemetry *TelemetryRun
 }
+
+// TelemetryRun collects one run's phase-scoped counters, spans and
+// instants (see internal/telemetry).
+type TelemetryRun = telemetry.Run
+
+// NewTelemetryRun starts a telemetry collector for RunConfig.Telemetry.
+func NewTelemetryRun() *TelemetryRun { return telemetry.NewRun() }
+
+// WriteChromeTrace exports a collected run as Chrome trace_event JSON —
+// open the file in Perfetto (ui.perfetto.dev) or chrome://tracing.
+var WriteChromeTrace = telemetry.WriteChromeTrace
 
 // Tracer receives observer-side simulation events.
 type Tracer = sim.Tracer
 
 // TraceEvent is one observer-side runtime event.
 type TraceEvent = sim.Event
+
+// Trace event kinds (see TraceEvent.Kind).
+const (
+	EvMove    = sim.EvMove
+	EvWrite   = sim.EvWrite
+	EvErase   = sim.EvErase
+	EvWake    = sim.EvWake
+	EvOutcome = sim.EvOutcome
+)
 
 // BufferedTracer decouples a slow trace sink (printing, file I/O) from the
 // simulation: events buffer through a channel drained off the hot path, and
@@ -180,6 +205,7 @@ func simConfig(g *Graph, homes []int, cfg RunConfig, quant bool) sim.Config {
 		QuantitativeIDs:  quant,
 		AllowSharedHomes: cfg.AllowSharedHomes,
 		Tracer:           cfg.Trace,
+		Telemetry:        cfg.Telemetry,
 	}
 }
 
