@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-iso campaign experiments examples vet fmt cover
+.PHONY: all build test race bench bench-iso campaign experiments examples vet fmt cover fuzz adversary
 
 all: build vet test
 
@@ -40,6 +40,18 @@ campaign:
 		-families "cycle:6,9,12,15,18,24;hypercube:3,4" \
 		-placement spread -r 3 -seeds 1..25 \
 		-jsonl campaign_runs.jsonl -summary BENCH_campaign.json
+
+# Native fuzzing smoke: 30s per target (same invocation as CI).
+fuzz:
+	$(GO) test -fuzz FuzzElectSchedule -fuzztime 30s -run '^$$' ./internal/adversary
+	$(GO) test -fuzz FuzzCanonical -fuzztime 30s -run '^$$' ./internal/iso
+	$(GO) test -fuzz FuzzFromTwins -fuzztime 30s -run '^$$' ./internal/graph
+
+# Adversarial schedule sweep of a representative instance: every strategy
+# across seeds, protocol invariants checked per run (see DESIGN.md §10).
+adversary:
+	$(GO) run ./cmd/adversary -graph cycle -n 12 -homes 0,4,8 \
+		-seeds 1..8 -report adversary_report.json -save adversary_violations
 
 # Regenerate every table and figure of the paper (E1-E12).
 experiments:

@@ -1,0 +1,148 @@
+// Command adversary sweeps one election instance across adversarial
+// scheduling strategies and seeds, checking the protocol invariants of
+// Theorem 3.1 after every run: at most one leader, all agents agree on the
+// leader or unanimously report failure, verdict equal to the independently
+// computed gcd of the class sizes, and moves within the O(r·|E|) envelope.
+//
+// Usage:
+//
+//	adversary -graph cycle -n 12 -homes 0,4,8 \
+//	          [-strategies all|name,name,...] [-seeds 1..8] [-wake-all] \
+//	          [-bound 40] [-run-timeout 60s] [-workers N] \
+//	          [-report report.json] [-save dir] [-q]
+//
+// Every run executes under the deterministic serializing scheduler, so each
+// run's decision log pins its execution down exactly. The command exits
+// nonzero if any run violates an invariant; with -save each violating run's
+// schedule is written as a self-contained replay file that cmd/elect
+// -replay re-executes bit-for-bit (add -timeline there to inspect the
+// violating execution in Perfetto).
+//
+// Graph families and the -homes syntax match cmd/elect.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/campaign"
+)
+
+func main() {
+	family := flag.String("graph", "cycle", "graph family: path, cycle, complete, star, hypercube, torus, grid, petersen, wheel, prism, ccc, random")
+	n := flag.Int("n", 6, "size parameter (nodes, or dimension for hypercube/ccc, or side for torus/grid)")
+	homesArg := flag.String("homes", "0", "comma-separated home-base nodes")
+	strategiesArg := flag.String("strategies", "all", "comma-separated strategy names, or \"all\": "+strings.Join(adversary.Strategies(), ", "))
+	seedsArg := flag.String("seeds", "1..4", "inclusive seed range a..b (or a single seed) per strategy")
+	wakeAll := flag.Bool("wake-all", false, "wake all agents at start (default: a seed-driven random nonempty subset)")
+	bound := flag.Float64("bound", 40, "Theorem 3.1 ratio bound c: flag runs with moves > c·r·|E|")
+	runTimeout := flag.Duration("run-timeout", 60*time.Second, "per-run watchdog timeout")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	reportPath := flag.String("report", "", "write the full sweep report as JSON to this file")
+	saveDir := flag.String("save", "", "write each violating run's schedule as a replay file into this directory")
+	keep := flag.Bool("keep-schedules", false, "retain every run's decision log in the report (default: violating runs only)")
+	quiet := flag.Bool("q", false, "suppress the per-violation listing (summary only)")
+	flag.Parse()
+
+	g, err := campaign.BuildGraph(*family, *n)
+	if err != nil {
+		fail(err)
+	}
+	homes, err := parseHomes(*homesArg)
+	if err != nil {
+		fail(err)
+	}
+	strategies, err := campaign.ParseStrategies(*strategiesArg)
+	if err != nil {
+		fail(err)
+	}
+	seedRange, err := campaign.ParseSeedRange(*seedsArg)
+	if err != nil {
+		fail(err)
+	}
+	var seeds []int64
+	for s := seedRange.From; s <= seedRange.To; s++ {
+		seeds = append(seeds, s)
+	}
+
+	rep, err := adversary.Explore(adversary.Config{
+		Instance:      fmt.Sprintf("%s%d%v", *family, *n, homes),
+		G:             g,
+		Homes:         homes,
+		Strategies:    strategies,
+		Seeds:         seeds,
+		WakeAll:       *wakeAll,
+		RatioBound:    *bound,
+		Timeout:       *runTimeout,
+		Workers:       *workers,
+		KeepSchedules: *keep,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *quiet {
+		fmt.Printf("adversary: %s, %d runs, %d violating (%d deadlocks)\n",
+			rep.Instance, len(rep.Runs), rep.Violating, rep.Deadlocks)
+	} else {
+		fmt.Print(rep.Render())
+	}
+
+	if *reportPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*reportPath, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
+	}
+
+	if *saveDir != "" && rep.Violating > 0 {
+		if err := os.MkdirAll(*saveDir, 0o755); err != nil {
+			fail(err)
+		}
+		for _, run := range rep.Violations() {
+			sf := &adversary.ScheduleFile{
+				Family: *family, Size: *n, Homes: homes,
+				Seed: run.Seed, Protocol: "elect", WakeAll: *wakeAll,
+				Strategy: run.Strategy,
+				Schedule: run.Schedule,
+			}
+			name := fmt.Sprintf("violation-%s-seed%d.json", run.Strategy, run.Seed)
+			path := filepath.Join(*saveDir, name)
+			if err := sf.WriteFile(path); err != nil {
+				fail(err)
+			}
+			fmt.Printf("violating schedule written to %s (replay: elect -replay %s)\n", path, path)
+		}
+	}
+
+	if rep.Violating > 0 {
+		os.Exit(1)
+	}
+}
+
+func parseHomes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad home %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "adversary:", err)
+	os.Exit(1)
+}

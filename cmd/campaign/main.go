@@ -8,10 +8,16 @@
 //
 //	campaign -families "cycle:9,12,15;hypercube:3" -placement spread -r 3 \
 //	         -seeds 1..25 [-protocol elect|cayley|quantitative|petersen|gather] \
+//	         [-strategies all|name,name,...] \
 //	         [-workers N] [-run-timeout 60s] [-retries 2] [-max-delay 0] \
 //	         [-wake-all] [-hairs] [-bound 40] \
 //	         [-jsonl runs.jsonl] [-summary summary.json] [-q] \
 //	         [-telemetry] [-timeline timeline.json] [-listen :8080]
+//
+// With -strategies every (instance, seed) additionally runs once per named
+// adversary scheduling strategy (internal/adversary) under the serializing
+// scheduler, with protocol invariants checked per run; violations fail the
+// campaign. Use cmd/adversary for a focused sweep of one instance.
 //
 // Per-run results stream to the -jsonl file as they complete; the aggregate
 // summary prints to stdout and, with -summary, is written as JSON (the CI
@@ -46,6 +52,7 @@ func main() {
 	placement := flag.String("placement", "spread", "home placement strategy: spread, adjacent, antipodal, single")
 	r := flag.Int("r", 2, "number of agents for the placement strategy")
 	seeds := flag.String("seeds", "1..10", "inclusive seed range a..b (or a single seed)")
+	strategies := flag.String("strategies", "", "comma-separated adversary scheduling strategies to cross with every run (\"all\" = every built-in; empty = free-running)")
 	protocol := flag.String("protocol", "elect", "protocol: elect, cayley, quantitative, petersen, gather")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 60*time.Second, "per-run watchdog timeout")
@@ -76,10 +83,15 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	strats, err := campaign.ParseStrategies(*strategies)
+	if err != nil {
+		fail(err)
+	}
 	spec := campaign.Spec{
-		Families: fams,
-		Seeds:    seedRange,
-		Protocol: campaign.ProtocolKind(*protocol),
+		Families:   fams,
+		Seeds:      seedRange,
+		Protocol:   campaign.ProtocolKind(*protocol),
+		Strategies: strats,
 	}
 	opt := campaign.Options{
 		Workers:         *workers,
@@ -166,8 +178,15 @@ func main() {
 	if bad {
 		if !*quiet {
 			for _, f := range failures {
-				fmt.Fprintf(os.Stderr, "FAIL run %d %s seed %d: outcome %s (expected %s) err=%q\n",
+				line := fmt.Sprintf("FAIL run %d %s seed %d: outcome %s (expected %s) err=%q",
 					f.Index, f.Instance, f.Seed, f.Outcome, f.Expected, f.Err)
+				if f.Strategy != "" {
+					line += " strategy=" + f.Strategy
+				}
+				for _, v := range f.Violations {
+					line += fmt.Sprintf(" [%s]", v)
+				}
+				fmt.Fprintln(os.Stderr, line)
 			}
 			if rep.Summary.BoundViolations > 0 {
 				fmt.Fprintf(os.Stderr, "FAIL: %d runs exceed the moves ≤ %.0f·r·|E| bound (max ratio %.1f)\n",

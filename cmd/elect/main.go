@@ -5,11 +5,18 @@
 //
 //	elect -graph cycle -n 6 -homes 0,3 [-protocol elect|cayley|quantitative|petersen]
 //	      [-seed N] [-hairs] [-wake-all] [-trace] [-timeline out.json]
+//	      [-strategy name [-record sched.json]] [-replay sched.json]
 //
 // With -timeline the run is collected by internal/telemetry and exported
 // as Chrome trace_event JSON: open the file in Perfetto (ui.perfetto.dev)
 // or chrome://tracing to see per-agent protocol phase spans and whiteboard
 // events on a common timeline, plus a per-phase cost breakdown on stdout.
+//
+// With -strategy the run is serialized through the deterministic adversary
+// scheduler (see internal/adversary); -record saves its decision log as a
+// self-contained replay file, and -replay re-executes such a file (as
+// written here or by cmd/adversary -save) bit-for-bit — combine with
+// -timeline to inspect a violating schedule in Perfetto.
 //
 // Graph families: path, cycle, complete, star, hypercube (n = dimension),
 // torus (n×n), petersen, wheel, prism, ccc (n = dimension), random.
@@ -24,6 +31,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/adversary"
 	"repro/internal/telemetry"
 )
 
@@ -38,7 +46,26 @@ func main() {
 	analyze := flag.Bool("analyze", true, "print the centralized solvability analysis")
 	trace := flag.Bool("trace", false, "print every runtime event (moves, sign writes, outcomes)")
 	timeline := flag.String("timeline", "", "write a Chrome trace_event timeline (open in Perfetto) to this file")
+	strategyName := flag.String("strategy", "", "adversary scheduling strategy (deterministic serialized run): "+strings.Join(adversary.Strategies(), ", "))
+	recordPath := flag.String("record", "", "write the scheduled run's decision log as a replay file (requires -strategy)")
+	replayPath := flag.String("replay", "", "replay a recorded schedule file (overrides -graph/-n/-homes/-seed/-wake-all/-strategy)")
 	flag.Parse()
+
+	var replayFile *adversary.ScheduleFile
+	if *replayPath != "" {
+		var err error
+		replayFile, err = adversary.LoadScheduleFile(*replayPath)
+		if err != nil {
+			fail(err)
+		}
+		*family, *n = replayFile.Family, replayFile.Size
+		*seed, *wakeAll = replayFile.Seed, replayFile.WakeAll
+		if replayFile.Protocol != "" {
+			*protocol = replayFile.Protocol
+		}
+		fmt.Printf("replaying %s: %s%d%v seed %d (recorded under strategy %q)\n",
+			*replayPath, replayFile.Family, replayFile.Size, replayFile.Homes, replayFile.Seed, replayFile.Strategy)
+	}
 
 	g, err := buildGraph(*family, *n)
 	if err != nil {
@@ -47,6 +74,9 @@ func main() {
 	homes, err := parseHomes(*homesArg)
 	if err != nil {
 		fail(err)
+	}
+	if replayFile != nil {
+		homes = replayFile.Homes
 	}
 	fmt.Printf("graph: %s (n=%d, |E|=%d), homes: %v, protocol: %s, seed: %d\n",
 		*family, g.N(), g.M(), homes, *protocol, *seed)
@@ -71,6 +101,28 @@ func main() {
 	}
 
 	cfg := repro.RunConfig{Seed: *seed, WakeAll: *wakeAll, UseHairOrdering: *hairs}
+	var replayStrat *repro.ReplayStrategy
+	var recorded repro.Schedule
+	switch {
+	case replayFile != nil:
+		sched, err := replayFile.Decode()
+		if err != nil {
+			fail(err)
+		}
+		replayStrat = repro.Replay(sched)
+		cfg.Scheduler = replayStrat
+	case *strategyName != "":
+		strat, err := adversary.NewStrategy(*strategyName, *seed, adversary.AgentClasses(g, homes))
+		if err != nil {
+			fail(err)
+		}
+		cfg.Scheduler = strat
+		if *recordPath != "" {
+			cfg.RecordSchedule = &recorded
+		}
+	case *recordPath != "":
+		fail(fmt.Errorf("-record requires -strategy"))
+	}
 	var tele *repro.TelemetryRun
 	if *timeline != "" {
 		tele = repro.NewTelemetryRun()
@@ -138,6 +190,26 @@ func main() {
 	}
 	fmt.Printf("total: %d moves, %d whiteboard accesses, %v wall clock\n",
 		res.TotalMoves(), res.TotalAccesses(), res.Elapsed)
+	if replayStrat != nil {
+		if d := replayStrat.Divergences(); d > 0 {
+			fmt.Printf("replay: %d scheduling divergences (log did not match this build/run)\n", d)
+		} else {
+			fmt.Println("replay: schedule followed exactly (0 divergences)")
+		}
+	}
+	if cfg.RecordSchedule != nil {
+		sf := &adversary.ScheduleFile{
+			Family: *family, Size: *n, Homes: homes,
+			Seed: *seed, Protocol: *protocol, WakeAll: *wakeAll,
+			Strategy: *strategyName,
+			Schedule: adversary.EncodeScheduleString(&recorded),
+		}
+		if err := sf.WriteFile(*recordPath); err != nil {
+			fail(err)
+		}
+		fmt.Printf("schedule (%d decisions) written to %s (replay with -replay)\n",
+			recorded.Len(), *recordPath)
+	}
 	if tele != nil {
 		tot := tele.Totals()
 		for p, name := range telemetry.PhaseNames() {

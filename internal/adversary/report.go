@@ -1,0 +1,165 @@
+package adversary
+
+import (
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/elect"
+	"repro/internal/sim"
+)
+
+// RunRecord is the outcome of one (strategy, seed) run of an exploration.
+type RunRecord struct {
+	Strategy string `json:"strategy"`
+	Seed     int64  `json:"seed"`
+	// Outcome is "leader", "unsolvable", or "mixed" ("" when the run
+	// errored before producing outcomes).
+	Outcome  string `json:"outcome,omitempty"`
+	Moves    int64  `json:"moves"`
+	Accesses int64  `json:"accesses"`
+	// Decisions is the length of the run's decision log (scheduling grants).
+	Decisions int `json:"decisions"`
+	// Deadlock reports that the schedule wedged (itself a violation).
+	Deadlock bool `json:"deadlock,omitempty"`
+	// Violations lists every invariant breach (empty for a clean run).
+	Violations []elect.Violation `json:"violations,omitempty"`
+	// Schedule is the base64 decision log, present for violating runs (or
+	// all runs under Config.KeepSchedules) — feed it to sim.Replay via
+	// DecodeScheduleString or cmd/elect -replay.
+	Schedule  string  `json:"schedule,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// Report aggregates one exploration sweep.
+type Report struct {
+	Instance string `json:"instance"`
+	N        int    `json:"n"`
+	M        int    `json:"m"`
+	R        int    `json:"r"`
+	// Oracle facts: ordered class sizes, their gcd, and the verdict every
+	// run is held to.
+	Sizes    []int  `json:"sizes"`
+	GCD      int    `json:"gcd"`
+	Expected string `json:"expected"`
+	// The swept axes.
+	Strategies []string `json:"strategies"`
+	Seeds      []int64  `json:"seeds"`
+	// Runs holds one record per (strategy, seed), in sweep order.
+	Runs []RunRecord `json:"runs"`
+	// Violating counts runs with at least one violation; Deadlocks counts
+	// wedged schedules; Decisions sums all decision-log lengths.
+	Violating int   `json:"violating"`
+	Deadlocks int   `json:"deadlocks"`
+	Decisions int64 `json:"decisions"`
+}
+
+// Violations returns the violating run records.
+func (r *Report) Violations() []RunRecord {
+	var out []RunRecord
+	for _, run := range r.Runs {
+		if len(run.Violations) > 0 {
+			out = append(out, run)
+		}
+	}
+	return out
+}
+
+// Render prints the report as a human-readable block.
+func (r *Report) Render() string {
+	out := fmt.Sprintf("adversary: %s (n=%d |E|=%d r=%d), classes %v gcd %d, expected %s\n",
+		r.Instance, r.N, r.M, r.R, r.Sizes, r.GCD, r.Expected)
+	out += fmt.Sprintf("  %d runs (%d strategies × %d seeds), %d scheduling decisions\n",
+		len(r.Runs), len(r.Strategies), len(r.Seeds), r.Decisions)
+	perStrategy := map[string]int{}
+	for _, run := range r.Runs {
+		if len(run.Violations) > 0 {
+			perStrategy[run.Strategy]++
+		}
+	}
+	if r.Violating == 0 {
+		out += "  invariants: all hold (zero violations)\n"
+		return out
+	}
+	out += fmt.Sprintf("  INVARIANT VIOLATIONS: %d runs (%d deadlocks)\n", r.Violating, r.Deadlocks)
+	names := make([]string, 0, len(perStrategy))
+	for s := range perStrategy {
+		names = append(names, s)
+	}
+	sort.Strings(names)
+	for _, s := range names {
+		out += fmt.Sprintf("    %-12s %d violating runs\n", s, perStrategy[s])
+	}
+	for _, run := range r.Violations() {
+		for _, v := range run.Violations {
+			out += fmt.Sprintf("    [%s seed %d] %s\n", run.Strategy, run.Seed, v)
+		}
+	}
+	return out
+}
+
+// EncodeScheduleString renders a decision log as base64 (the JSON-friendly
+// form of Schedule.Encode).
+func EncodeScheduleString(s *sim.Schedule) string {
+	return base64.StdEncoding.EncodeToString(s.Encode())
+}
+
+// DecodeScheduleString parses EncodeScheduleString output.
+func DecodeScheduleString(s string) (*sim.Schedule, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("adversary: bad schedule base64: %w", err)
+	}
+	return sim.DecodeSchedule(raw)
+}
+
+// ScheduleFile is a self-contained replay artifact: everything needed to
+// re-execute one recorded run deterministically. cmd/adversary writes one
+// per violating run; cmd/elect -replay consumes them.
+type ScheduleFile struct {
+	// Family and Size name the graph generator (campaign.BuildGraph
+	// vocabulary) so the replayer can reconstruct the instance.
+	Family string `json:"family"`
+	Size   int    `json:"size"`
+	Homes  []int  `json:"homes"`
+	// Seed is the simulation seed of the recorded run (colors,
+	// presentations, wake set); Protocol names the protocol that ran.
+	Seed     int64  `json:"seed"`
+	Protocol string `json:"protocol"`
+	// WakeAll records the wake-up mode of the run (the wake set is part of
+	// the execution, so replay must match it).
+	WakeAll bool `json:"wake_all,omitempty"`
+	// Strategy names the strategy that produced the log (informational).
+	Strategy string `json:"strategy"`
+	// Schedule is the base64 decision log.
+	Schedule string `json:"schedule"`
+}
+
+// Decode returns the decision log carried by the file.
+func (f *ScheduleFile) Decode() (*sim.Schedule, error) {
+	return DecodeScheduleString(f.Schedule)
+}
+
+// WriteFile saves the artifact as indented JSON.
+func (f *ScheduleFile) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadScheduleFile reads a ScheduleFile written by WriteFile.
+func LoadScheduleFile(path string) (*ScheduleFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f ScheduleFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("adversary: %s: %w", path, err)
+	}
+	return &f, nil
+}

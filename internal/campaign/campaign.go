@@ -28,6 +28,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/adversary"
 	"repro/internal/elect"
 	"repro/internal/graph"
 	"repro/internal/iso"
@@ -284,6 +285,13 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 	res = RunResult{
 		Index: index, Instance: run.Instance, Protocol: string(kind),
 		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
+		Strategy: run.Strategy,
+	}
+	// Strategy runs are serialized through the adversary turnstile; the
+	// class map is schedule-independent, so compute it once per run.
+	var classOf []int
+	if run.Strategy != "" {
+		classOf = adversary.AgentClasses(run.G, run.Homes)
 	}
 	// tRun collects the final attempt's per-phase counters (fresh per
 	// attempt so a retried run does not double-count); the deferred block
@@ -309,6 +317,9 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 		opt.Metrics.Counter("campaign_outcome_" + res.Outcome).Inc()
 		opt.Metrics.Counter("campaign_retries_total").Add(int64(res.Attempts - 1))
 		opt.Metrics.Counter("campaign_trace_dropped_total").Add(res.TraceDropped)
+		if len(res.Violations) > 0 {
+			opt.Metrics.Counter("campaign_invariant_violations_total").Inc()
+		}
 		if res.Err == "" {
 			opt.Metrics.Histogram("campaign_run_moves", moveBuckets).Observe(res.Moves)
 		}
@@ -343,9 +354,17 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 			bt = sim.NewBufferedTracer(opt.TraceSink, opt.TraceBuffer)
 			tracer = bt.Trace
 		}
+		seed := run.Seed + int64(attempt-1)*opt.RetrySeedOffset
+		var scheduler sim.Strategy
+		if run.Strategy != "" {
+			scheduler, runErr = adversary.NewStrategy(run.Strategy, seed, classOf)
+			if runErr != nil {
+				break
+			}
+		}
 		simRes, runErr = sim.Run(sim.Config{
 			Graph: run.G, Homes: run.Homes,
-			Seed:             run.Seed + int64(attempt-1)*opt.RetrySeedOffset,
+			Seed:             seed,
 			MaxDelay:         opt.MaxDelay,
 			WakeAll:          opt.WakeAll,
 			Timeout:          opt.RunTimeout,
@@ -353,6 +372,7 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 			AllowSharedHomes: opt.AllowSharedHomes,
 			Tracer:           tracer,
 			Telemetry:        tRun,
+			Scheduler:        scheduler,
 		}, p)
 		if bt != nil {
 			bt.Close()
@@ -363,6 +383,15 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 		}
 	}
 	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+
+	// Strategy-scheduled runs are held to the protocol invariants — the
+	// campaign doubles as a coarse adversary sweep (see internal/adversary
+	// for the focused explorer).
+	if run.Strategy != "" {
+		res.Violations = elect.CheckInvariants(simRes, runErr, elect.InvariantSpec{
+			Expected: res.Expected, M: res.M, RatioBound: opt.RatioBound,
+		})
+	}
 
 	if runErr != nil {
 		res.Outcome = "error"

@@ -419,3 +419,113 @@ func TestExpandErrors(t *testing.T) {
 		t.Error("out-of-range home should fail")
 	}
 }
+
+// TestStrategyAxis crosses a small campaign with adversary scheduling
+// strategies: every run executes under the serializing scheduler, invariants
+// are checked per run, and the seed instances stay clean.
+func TestStrategyAxis(t *testing.T) {
+	spec := Spec{
+		Families: []FamilySpec{
+			{Family: "cycle", Sizes: []int{6}, Placement: "spread", R: 2},
+			{Family: "path", Sizes: []int{5}, Placement: "adjacent", R: 2},
+		},
+		Seeds:      SeedRange{From: 1, To: 2},
+		Protocol:   ProtoElect,
+		Strategies: []string{"round-robin", "same-class", "starve"},
+	}
+	runs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 3; len(runs) != want {
+		t.Fatalf("expanded to %d runs, want %d", len(runs), want)
+	}
+	var jsonl bytes.Buffer
+	rep, err := ExecuteRuns(runs, Options{JSONL: &jsonl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.InvariantViolations != 0 {
+		t.Fatalf("violations on seed instances:\n%s", rep.Summary.Render())
+	}
+	for _, r := range rep.Results {
+		if r.Strategy == "" {
+			t.Fatalf("run %d lost its strategy", r.Index)
+		}
+		if !r.OK || r.Err != "" {
+			t.Fatalf("run %+v not clean", r)
+		}
+	}
+	// The strategy must round-trip through the JSONL stream.
+	var rec RunResult
+	if err := json.Unmarshal(jsonl.Bytes()[:bytes.IndexByte(jsonl.Bytes(), '\n')], &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Strategy == "" {
+		t.Fatal("JSONL record lost the strategy field")
+	}
+}
+
+// TestStrategyAxisCatchesViolations drives the broken test protocol through
+// the strategy axis and expects the per-run invariant checker to flag it.
+func TestStrategyAxisCatchesViolations(t *testing.T) {
+	spec := Spec{
+		Families:   []FamilySpec{{Family: "cycle", Sizes: []int{6}, Placement: "spread", R: 2}},
+		Seeds:      SeedRange{From: 1, To: 2},
+		Protocol:   ProtoElect,
+		Strategies: []string{"round-robin"},
+	}
+	runs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{
+		testProtocol: func(Run, int) sim.Protocol {
+			return func(a *sim.Agent) (sim.Outcome, error) {
+				return sim.Outcome{Role: sim.RoleLeader, Leader: a.Color()}, nil
+			}
+		},
+	}
+	rep, err := ExecuteRuns(runs, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.InvariantViolations != len(runs) {
+		t.Fatalf("want %d violating runs, got %d", len(runs), rep.Summary.InvariantViolations)
+	}
+	if len(rep.Failures()) != len(runs) {
+		t.Fatalf("Failures() missed violating runs: %d", len(rep.Failures()))
+	}
+	if !strings.Contains(rep.Summary.Render(), "INVARIANT VIOLATIONS") {
+		t.Fatal("summary does not surface the violations")
+	}
+}
+
+// TestExpandRejectsUnknownStrategy keeps CLI typos at expansion time.
+func TestExpandRejectsUnknownStrategy(t *testing.T) {
+	spec := Spec{
+		Families:   []FamilySpec{{Family: "cycle", Sizes: []int{6}}},
+		Seeds:      SeedRange{From: 1, To: 1},
+		Strategies: []string{"nope"},
+	}
+	if _, err := spec.Expand(); err == nil {
+		t.Fatal("want error for unknown strategy")
+	}
+}
+
+// TestParseStrategies covers the CLI syntax.
+func TestParseStrategies(t *testing.T) {
+	if got, err := ParseStrategies(""); err != nil || got != nil {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	got, err := ParseStrategies("all")
+	if err != nil || len(got) < 5 {
+		t.Fatalf("all: %v %v", got, err)
+	}
+	if got, err := ParseStrategies("random, lockstep"); err != nil || len(got) != 2 {
+		t.Fatalf("pair: %v %v", got, err)
+	}
+	if _, err := ParseStrategies("random,bogus"); err == nil {
+		t.Fatal("want error for bogus strategy")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/elect"
 	"repro/internal/iso"
 	"repro/internal/telemetry"
 )
@@ -24,6 +25,9 @@ type RunResult struct {
 	M        int    `json:"m"`
 	R        int    `json:"r"`
 	Seed     int64  `json:"seed"`
+	// Strategy is the adversary scheduling strategy that drove the run
+	// (empty for free-running simulation).
+	Strategy string `json:"strategy,omitempty"`
 	// Attempts counts executions including watchdog retries (1 = no retry).
 	Attempts int `json:"attempts"`
 	// Outcome is "leader", "unsolvable", "mixed", or "error".
@@ -41,6 +45,9 @@ type RunResult struct {
 	// apply to the protocol); OK reports Outcome == Expected.
 	Expected string `json:"expected,omitempty"`
 	OK       bool   `json:"ok"`
+	// Violations lists protocol-invariant breaches found by
+	// elect.CheckInvariants (strategy-scheduled runs only; empty = clean).
+	Violations []elect.Violation `json:"violations,omitempty"`
 	// ElapsedMS is the run's wall-clock time (nondeterministic).
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Err       string  `json:"err,omitempty"`
@@ -86,6 +93,9 @@ type Summary struct {
 	// Aborted counts runs whose final attempt still hit the watchdog.
 	Retries int `json:"retries"`
 	Aborted int `json:"aborted"`
+	// InvariantViolations counts strategy-scheduled runs with at least one
+	// protocol-invariant breach (see RunResult.Violations).
+	InvariantViolations int `json:"invariant_violations"`
 	// Move statistics and the Theorem 3.1 ratio envelope.
 	MovesP50 int64 `json:"moves_p50"`
 	MovesP90 int64 `json:"moves_p90"`
@@ -143,11 +153,12 @@ type Report struct {
 	Summary Summary     `json:"summary"`
 }
 
-// Failures returns the results that errored or contradicted the oracle.
+// Failures returns the results that errored, contradicted the oracle, or
+// broke a protocol invariant.
 func (r *Report) Failures() []RunResult {
 	var out []RunResult
 	for _, res := range r.Results {
-		if res.Err != "" || !res.OK {
+		if res.Err != "" || !res.OK || len(res.Violations) > 0 {
 			out = append(out, res)
 		}
 	}
@@ -212,6 +223,9 @@ func summarize(results []RunResult, workers int, wall time.Duration, bound float
 		s.Retries += r.Attempts - 1
 		s.SerialMS += r.ElapsedMS
 		s.TraceDropped += r.TraceDropped
+		if len(r.Violations) > 0 {
+			s.InvariantViolations++
+		}
 		if r.Err != "" {
 			s.Errors++
 			if r.Aborted {
@@ -301,6 +315,9 @@ func (s Summary) Render() string {
 	}
 	out += fmt.Sprintf("\n  oracle mismatches: %d, errors: %d, retries: %d, watchdog-aborted: %d\n",
 		s.Mismatches, s.Errors, s.Retries, s.Aborted)
+	if s.InvariantViolations > 0 {
+		out += fmt.Sprintf("  INVARIANT VIOLATIONS: %d runs\n", s.InvariantViolations)
+	}
 	out += fmt.Sprintf("  moves p50/p90/p99: %d/%d/%d, accesses p50/p90/p99: %d/%d/%d\n",
 		s.MovesP50, s.MovesP90, s.MovesP99, s.AccessP50, s.AccessP90, s.AccessP99)
 	out += fmt.Sprintf("  moves/(r·|E|) p50/p90/max: %.1f/%.1f/%.1f (bound %.0f, violations %d)\n",

@@ -6,6 +6,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/adversary"
 	"repro/internal/graph"
 )
 
@@ -57,16 +58,24 @@ type FamilySpec struct {
 	Homes [][]int
 }
 
-// Spec is a declarative campaign: families × sizes × placements × seeds,
-// executed under one protocol. Expansion is deterministic — the same spec
-// always yields the same work list in the same order.
+// Spec is a declarative campaign: families × sizes × placements × seeds
+// (× adversary strategies), executed under one protocol. Expansion is
+// deterministic — the same spec always yields the same work list in the
+// same order.
 type Spec struct {
 	Families []FamilySpec
 	Seeds    SeedRange
 	Protocol ProtocolKind
+	// Strategies, when non-empty, crosses every run with the named adversary
+	// scheduling strategies (see internal/adversary): each (instance, seed)
+	// pair executes once per strategy under the serializing scheduler, with
+	// protocol invariants checked after each run. Empty means one free-running
+	// (goroutine-timing) run per seed, the classic campaign.
+	Strategies []string
 }
 
-// Run is one unit of campaign work: a named instance plus an adversary seed.
+// Run is one unit of campaign work: a named instance plus an adversary seed
+// and, optionally, an adversary scheduling strategy.
 type Run struct {
 	// Instance names the (graph, homes) pair, e.g. "cycle12[0 4 8]".
 	Instance string
@@ -74,6 +83,9 @@ type Run struct {
 	Homes    []int
 	Seed     int64
 	Protocol ProtocolKind
+	// Strategy names the adversary scheduling strategy driving the run
+	// ("" = free-running simulator).
+	Strategy string
 }
 
 // Expand turns the spec into its deterministic work list. Each (family,
@@ -90,6 +102,18 @@ func (s Spec) Expand() ([]Run, error) {
 	}
 	if _, err := protocolFor(proto, Options{}); err != nil {
 		return nil, err
+	}
+	strategies := s.Strategies
+	if len(strategies) == 0 {
+		strategies = []string{""}
+	}
+	for _, st := range strategies {
+		if st == "" {
+			continue
+		}
+		if _, err := adversary.NewStrategy(st, 0, nil); err != nil {
+			return nil, err
+		}
 	}
 	var runs []Run
 	for _, f := range s.Families {
@@ -116,10 +140,13 @@ func (s Spec) Expand() ([]Run, error) {
 					}
 				}
 				name := instanceName(f.Family, size, homes)
-				for seed := s.Seeds.From; seed <= s.Seeds.To; seed++ {
-					runs = append(runs, Run{
-						Instance: name, G: g, Homes: homes, Seed: seed, Protocol: proto,
-					})
+				for _, strat := range strategies {
+					for seed := s.Seeds.From; seed <= s.Seeds.To; seed++ {
+						runs = append(runs, Run{
+							Instance: name, G: g, Homes: homes, Seed: seed,
+							Protocol: proto, Strategy: strat,
+						})
+					}
 				}
 			}
 		}
@@ -231,6 +258,31 @@ func ParseFamilies(s string, placement string, r int) ([]FamilySpec, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("campaign: no families in %q", s)
+	}
+	return out, nil
+}
+
+// ParseStrategies parses the CLI strategy syntax: comma-separated adversary
+// strategy names, with "all" expanding to every built-in and "" meaning no
+// strategy axis (free-running runs).
+func ParseStrategies(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if s == "all" {
+		return adversary.Strategies(), nil
+	}
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if _, err := adversary.NewStrategy(tok, 0, nil); err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
 	}
 	return out, nil
 }

@@ -1,0 +1,133 @@
+package elect
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// ViolationCode classifies a protocol-invariant violation found by
+// CheckInvariants. The first three are safety violations that Theorem 3.1
+// rules out on every asynchronous execution; the move bound is the theorem's
+// cost claim; run-error covers executions that did not complete at all
+// (including schedule deadlocks, which a correct protocol never reaches).
+type ViolationCode string
+
+// The invariant-violation codes.
+const (
+	// VioMultipleLeaders: more than one agent ended in RoleLeader.
+	VioMultipleLeaders ViolationCode = "multiple-leaders"
+	// VioNoAgreement: the run is neither a clean election (one leader,
+	// everyone else defeated and naming the same leader color) nor a
+	// unanimous failure report.
+	VioNoAgreement ViolationCode = "no-agreement"
+	// VioWrongVerdict: the collective verdict contradicts the oracle —
+	// the protocol elected although gcd(|C_1|,…,|C_k|) > 1, or reported
+	// failure although the gcd is 1.
+	VioWrongVerdict ViolationCode = "wrong-verdict"
+	// VioMoveBound: total moves exceed the O(r·|E|) envelope of
+	// Theorem 3.1 (moves > c·r·|E| for the configured constant c).
+	VioMoveBound ViolationCode = "move-bound"
+	// VioRunError: the run ended with an error (protocol failure, watchdog
+	// abort, or a scheduling deadlock).
+	VioRunError ViolationCode = "run-error"
+)
+
+// Violation is one invariant breach, with a human-readable detail line.
+type Violation struct {
+	Code   ViolationCode `json:"code"`
+	Detail string        `json:"detail"`
+}
+
+// String renders the violation as "code: detail".
+func (v Violation) String() string { return string(v.Code) + ": " + v.Detail }
+
+// InvariantSpec parameterizes CheckInvariants with what the oracle knows
+// about the instance.
+type InvariantSpec struct {
+	// Expected is the oracle verdict: "leader", "unsolvable", or "" when no
+	// prediction applies (then only the schedule-independent safety
+	// invariants are checked).
+	Expected string
+	// M is the instance's edge count |E|; RatioBound is the constant c of
+	// the moves ≤ c·r·|E| assertion. Either being 0 disables the bound.
+	M          int
+	RatioBound float64
+}
+
+// SpecFromAnalysis builds the InvariantSpec for Protocol ELECT from the
+// centralized analysis (Theorem 3.1: elect iff the class-size gcd is 1).
+func SpecFromAnalysis(an *Analysis, m int, ratioBound float64) InvariantSpec {
+	spec := InvariantSpec{M: m, RatioBound: ratioBound}
+	if an != nil {
+		if an.GCD == 1 {
+			spec.Expected = "leader"
+		} else {
+			spec.Expected = "unsolvable"
+		}
+	}
+	return spec
+}
+
+// CheckInvariants validates a completed run against the protocol's contract:
+// at most one leader, all-agree-on-the-leader-or-all-report-failure, verdict
+// matching the independently computed gcd, and the Theorem 3.1 move bound.
+// It returns nil when every invariant holds. The checks are pure observer
+// logic over the Result — they never look inside the protocol — so they
+// apply equally to live runs, adversary-scheduled runs, and replays.
+func CheckInvariants(res *sim.Result, runErr error, spec InvariantSpec) []Violation {
+	if runErr != nil {
+		return []Violation{{Code: VioRunError, Detail: runErr.Error()}}
+	}
+	var out []Violation
+	if n := res.LeaderCount(); n > 1 {
+		out = append(out, Violation{
+			Code:   VioMultipleLeaders,
+			Detail: fmt.Sprintf("%d agents ended in RoleLeader", n),
+		})
+	}
+	agreed, failed := res.AgreedLeader(), res.AllUnsolvable()
+	if !agreed && !failed {
+		out = append(out, Violation{
+			Code:   VioNoAgreement,
+			Detail: fmt.Sprintf("outcomes are neither a clean election nor a unanimous failure: %s", describeOutcomes(res)),
+		})
+	}
+	switch spec.Expected {
+	case "leader":
+		if !agreed {
+			out = append(out, Violation{
+				Code:   VioWrongVerdict,
+				Detail: "gcd of class sizes is 1 but no agreed leader emerged",
+			})
+		}
+	case "unsolvable":
+		if !failed {
+			out = append(out, Violation{
+				Code:   VioWrongVerdict,
+				Detail: "gcd of class sizes is > 1 but the protocol did not report failure unanimously",
+			})
+		}
+	}
+	r := len(res.Outcomes)
+	if spec.M > 0 && spec.RatioBound > 0 {
+		if limit := spec.RatioBound * float64(r*spec.M); float64(res.TotalMoves()) > limit {
+			out = append(out, Violation{
+				Code: VioMoveBound,
+				Detail: fmt.Sprintf("total moves %d exceed %.0f·r·|E| = %.0f",
+					res.TotalMoves(), spec.RatioBound, limit),
+			})
+		}
+	}
+	return out
+}
+
+func describeOutcomes(res *sim.Result) string {
+	counts := map[sim.Role]int{}
+	for _, o := range res.Outcomes {
+		counts[o.Role]++
+	}
+	return fmt.Sprintf("leader=%d defeated=%d unsolvable=%d unknown=%d",
+		counts[sim.RoleLeader], counts[sim.RoleDefeated],
+		counts[sim.RoleUnsolvable], counts[sim.RoleUnknown])
+}

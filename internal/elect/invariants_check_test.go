@@ -1,0 +1,146 @@
+package elect
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// fakeResult fabricates an observer-side Result: roles[i] paired with the
+// leader index each agent acknowledges (-1 for none).
+func fakeResult(roles []sim.Role, acks []int, moves int64) *sim.Result {
+	colors := sim.ColorPalette(len(roles))
+	res := &sim.Result{
+		Outcomes: make([]sim.Outcome, len(roles)),
+		Colors:   colors,
+		Moves:    make([]int64, len(roles)),
+		Accesses: make([]int64, len(roles)),
+	}
+	for i, r := range roles {
+		res.Outcomes[i] = sim.Outcome{Role: r}
+		if acks[i] >= 0 {
+			res.Outcomes[i].Leader = colors[acks[i]]
+		}
+		res.Moves[i] = moves
+	}
+	return res
+}
+
+func codes(vs []Violation) []ViolationCode {
+	out := make([]ViolationCode, len(vs))
+	for i, v := range vs {
+		out[i] = v.Code
+	}
+	return out
+}
+
+func hasCode(vs []Violation, c ViolationCode) bool {
+	for _, v := range vs {
+		if v.Code == c {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCheckInvariantsTable proves the checker fires on hand-crafted
+// violating runs — including the two-leader trace it exists to catch — and
+// stays silent on clean ones.
+func TestCheckInvariantsTable(t *testing.T) {
+	leaderSpec := InvariantSpec{Expected: "leader", M: 6, RatioBound: 40}
+	failSpec := InvariantSpec{Expected: "unsolvable", M: 6, RatioBound: 40}
+	cases := []struct {
+		name string
+		res  *sim.Result
+		err  error
+		spec InvariantSpec
+		want []ViolationCode
+	}{
+		{
+			name: "clean election",
+			res:  fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated, sim.RoleDefeated}, []int{0, 0, 0}, 10),
+			spec: leaderSpec,
+		},
+		{
+			name: "clean unanimous failure",
+			res:  fakeResult([]sim.Role{sim.RoleUnsolvable, sim.RoleUnsolvable}, []int{-1, -1}, 10),
+			spec: failSpec,
+		},
+		{
+			name: "two leaders",
+			res:  fakeResult([]sim.Role{sim.RoleLeader, sim.RoleLeader}, []int{0, 1}, 10),
+			spec: leaderSpec,
+			want: []ViolationCode{VioMultipleLeaders, VioNoAgreement, VioWrongVerdict},
+		},
+		{
+			name: "split brain: leader plus failure reporters",
+			res:  fakeResult([]sim.Role{sim.RoleLeader, sim.RoleUnsolvable}, []int{0, -1}, 10),
+			spec: leaderSpec,
+			want: []ViolationCode{VioNoAgreement, VioWrongVerdict},
+		},
+		{
+			name: "defeated agents disagree on the leader color",
+			res:  fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated, sim.RoleDefeated}, []int{0, 0, 1}, 10),
+			spec: leaderSpec,
+			want: []ViolationCode{VioNoAgreement, VioWrongVerdict},
+		},
+		{
+			name: "elected although gcd > 1",
+			res:  fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated}, []int{0, 0}, 10),
+			spec: failSpec,
+			want: []ViolationCode{VioWrongVerdict},
+		},
+		{
+			name: "reported failure although gcd = 1",
+			res:  fakeResult([]sim.Role{sim.RoleUnsolvable, sim.RoleUnsolvable}, []int{-1, -1}, 10),
+			spec: leaderSpec,
+			want: []ViolationCode{VioWrongVerdict},
+		},
+		{
+			name: "move bound blown",
+			res:  fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated}, []int{0, 0}, 10_000),
+			spec: leaderSpec,
+			want: []ViolationCode{VioMoveBound},
+		},
+		{
+			name: "run error trumps everything",
+			res:  fakeResult([]sim.Role{sim.RoleUnknown, sim.RoleUnknown}, []int{-1, -1}, 0),
+			err:  errors.New("sim: agent 0: boom"),
+			spec: leaderSpec,
+			want: []ViolationCode{VioRunError},
+		},
+		{
+			name: "no oracle: safety only",
+			res:  fakeResult([]sim.Role{sim.RoleLeader, sim.RoleLeader}, []int{0, 1}, 10),
+			spec: InvariantSpec{},
+			want: []ViolationCode{VioMultipleLeaders, VioNoAgreement},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CheckInvariants(tc.res, tc.err, tc.spec)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want codes %v", got, tc.want)
+			}
+			for _, w := range tc.want {
+				if !hasCode(got, w) {
+					t.Fatalf("missing %s in %v", w, codes(got))
+				}
+			}
+		})
+	}
+}
+
+// TestSpecFromAnalysis maps the gcd to the expected verdict.
+func TestSpecFromAnalysis(t *testing.T) {
+	if s := SpecFromAnalysis(&Analysis{GCD: 1}, 9, 40); s.Expected != "leader" || s.M != 9 {
+		t.Fatalf("gcd 1: %+v", s)
+	}
+	if s := SpecFromAnalysis(&Analysis{GCD: 3}, 9, 40); s.Expected != "unsolvable" {
+		t.Fatalf("gcd 3: %+v", s)
+	}
+	if s := SpecFromAnalysis(nil, 9, 40); s.Expected != "" {
+		t.Fatalf("nil analysis: %+v", s)
+	}
+}

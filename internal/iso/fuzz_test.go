@@ -1,0 +1,60 @@
+package iso
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/perm"
+)
+
+// FuzzCanonical drives random bi-colored digraphs through the canonical
+// engine and checks the defining property of a canonical form: the word is
+// invariant under arbitrary relabelings of the instance, and distinct words
+// imply non-isomorphic graphs (exercised here by a recolor probe).
+func FuzzCanonical(f *testing.F) {
+	f.Add(int64(1), uint8(5), uint8(9), uint8(0))
+	f.Add(int64(7), uint8(3), uint8(4), uint8(2))
+	f.Add(int64(42), uint8(8), uint8(20), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, n8, m8, colors8 uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(n8%8) + 1
+		m := int(m8 % 24)
+		palette := int(colors8%3) + 1
+		c := NewColored(n)
+		for v := 0; v < n; v++ {
+			c.Color[v] = rng.Intn(palette)
+		}
+		for e := 0; e < m; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			c.Adj[u][v]++
+		}
+		word := CanonicalWord(c)
+
+		// Relabel by a uniform random permutation: the word must not move.
+		images := rng.Perm(n)
+		p, err := perm.FromImages(images)
+		if err != nil {
+			t.Fatalf("FromImages(%v): %v", images, err)
+		}
+		if got := CanonicalWord(c.Permuted(p)); !bytes.Equal(got, word) {
+			t.Fatalf("canonical word changed under relabeling %v", images)
+		}
+
+		// Recoloring one vertex into a fresh color class yields a
+		// non-isomorphic graph, so the word must change.
+		mut := c.Clone()
+		mut.Color[rng.Intn(n)] = palette
+		if bytes.Equal(CanonicalWord(mut), word) {
+			t.Fatal("canonical word blind to a color change")
+		}
+
+		// And the words must agree with the isomorphism test.
+		if !Isomorphic(c, c.Permuted(p)) {
+			t.Fatal("graph not isomorphic to its own relabeling")
+		}
+		if Isomorphic(c, mut) {
+			t.Fatal("recolored graph reported isomorphic")
+		}
+	})
+}

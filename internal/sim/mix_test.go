@@ -1,0 +1,42 @@
+package sim
+
+import "testing"
+
+// oldPresentationSeed is the pre-fix seeding scheme, kept here as the
+// regression baseline: xor of prime multiples is far from injective.
+func oldPresentationSeed(seedLo int64, agent, node int) int64 {
+	return seedLo ^ int64(agent)*7919 ^ int64(node)*104729
+}
+
+// TestPresentationSeedCollisionRegression documents the collision that
+// motivated the splitmix mixer: under the old scheme the pair
+// (agent, node) = (104729, 7919) lands on the same RNG stream as (0, 0) —
+// the products cancel under xor — so both presentations shuffled
+// identically. The mixer must keep them apart.
+func TestPresentationSeedCollisionRegression(t *testing.T) {
+	const seedLo = 12345
+	if oldPresentationSeed(seedLo, 104729, 7919) != oldPresentationSeed(seedLo, 0, 0) {
+		t.Fatal("regression baseline changed: old scheme no longer collides")
+	}
+	if presentationSeed(seedLo, 104729, 7919) == presentationSeed(seedLo, 0, 0) {
+		t.Fatal("splitmix mixer reproduces the old collision")
+	}
+}
+
+// TestPresentationSeedDistinct sweeps a realistic (agent, node) grid and
+// requires all-new distinct seeds, across several engine seeds.
+func TestPresentationSeedDistinct(t *testing.T) {
+	for _, seedLo := range []int64{0, 1, -7, 1 << 40} {
+		seen := make(map[int64][2]int)
+		for agent := 0; agent < 64; agent++ {
+			for node := 0; node < 512; node++ {
+				s := presentationSeed(seedLo, agent, node)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seedLo=%d: (%d,%d) and (%d,%d) share presentation seed %d",
+						seedLo, prev[0], prev[1], agent, node, s)
+				}
+				seen[s] = [2]int{agent, node}
+			}
+		}
+	}
+}

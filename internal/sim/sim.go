@@ -52,6 +52,18 @@ func (c Color) Equal(d Color) bool { return c.id == d.id }
 // IsZero reports whether c is the invalid zero Color.
 func (c Color) IsZero() bool { return c.id == 0 }
 
+// ColorPalette mints n distinct colors for observer-side tooling — checker
+// tests fabricating Results, trace analyzers — which legitimately handle
+// colors outside a run. Protocol code must never call it: agents only ever
+// see the colors the engine dealt, and those stay incomparable.
+func ColorPalette(n int) []Color {
+	out := make([]Color, n)
+	for i := range out {
+		out[i] = Color{id: i + 1}
+	}
+	return out
+}
+
 // String renders an arbitrary stable name for diagnostics. The name carries
 // no protocol-usable order (it reflects the seed-shuffled internal id).
 func (c Color) String() string { return fmt.Sprintf("color#%d", c.id) }
@@ -281,6 +293,15 @@ type Config struct {
 	// check per event and allocates nothing (guarded by an allocation
 	// test).
 	Telemetry *telemetry.Run
+	// Scheduler, when set, replaces the timing adversary (random delays,
+	// goroutine interleaving) with a deterministic serializing scheduler:
+	// agents step one at a time and the strategy picks who goes next at
+	// every sequence point. MaxDelay is ignored in this mode. See Strategy.
+	Scheduler Strategy
+	// Record, when set together with Scheduler, receives the grant sequence
+	// of the run — a decision log that Replay can re-issue to reproduce the
+	// execution exactly.
+	Record *Schedule
 }
 
 // TagHome marks home-bases: the engine writes this sign, colored by the
@@ -406,6 +427,12 @@ func (a *Agent) Access(f func(b *Board)) error {
 	if wb.dirty {
 		wb.dirty = false
 		wb.cond.Broadcast()
+		if a.eng.ts != nil {
+			// Ready the agents parked on this board while the writer still
+			// holds its turn, so the next scheduling decision already sees
+			// them (keeps the ready set — and thus replay — deterministic).
+			a.eng.ts.notifyBoard(a.node)
+		}
 	}
 	return nil
 }
@@ -418,6 +445,26 @@ func (a *Agent) Wait(pred func(Signs) bool) (Signs, error) {
 		return nil, err
 	}
 	wb := a.eng.boards[a.node]
+	if ts := a.eng.ts; ts != nil {
+		// Turnstile mode: the agent holds the turn here, so the board cannot
+		// change between the predicate check and block — no lost wakeups.
+		// Blocking hands the turn back; a write readies the agent, and it
+		// re-checks once the strategy grants it again.
+		atomic.AddInt64(&a.accesses, 1)
+		a.eng.cfg.Telemetry.CountAccess(a.phase)
+		for {
+			wb.mu.Lock()
+			snapshot := make(Signs, len(wb.signs))
+			copy(snapshot, wb.signs)
+			wb.mu.Unlock()
+			if pred(snapshot) {
+				return snapshot, nil
+			}
+			if err := ts.block(a.index, a.node); err != nil {
+				return nil, err
+			}
+		}
+	}
 	wb.mu.Lock()
 	defer wb.mu.Unlock()
 	atomic.AddInt64(&a.accesses, 1)
@@ -533,12 +580,35 @@ type engine struct {
 	cfg     Config
 	boards  []*whiteboard
 	agents  []*Agent
+	ts      *turnstile // non-nil when cfg.Scheduler drives the run
 	aborted int32
 	started time.Time
 
 	presMu sync.Mutex
 	pres   map[[2]int][]int // (agent, node) -> presentation permutation
 	seedLo int64
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche mixer, so two
+// distinct inputs never collide and close inputs map to unrelated outputs.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// presentationSeed derives the RNG seed of the (agent, node) symbol
+// presentation. Chained splitmix rounds keep distinct (agent, node) pairs on
+// distinct seed streams — the earlier xor-of-prime-multiples scheme collided
+// (e.g. agent·7919 ^ node·104729 is 0 for both (0,0) and (104729, 7919)),
+// silently giving two pairs the same shuffle. Regression-tested in
+// mix_test.go.
+func presentationSeed(seedLo int64, agent, node int) int64 {
+	h := mix64(uint64(seedLo))
+	h = mix64(h ^ uint64(uint32(agent)))
+	h = mix64(h ^ uint64(uint32(node)))
+	return int64(h)
 }
 
 func (e *engine) presentation(agent, node, deg int) []int {
@@ -548,16 +618,21 @@ func (e *engine) presentation(agent, node, deg int) []int {
 	if p, ok := e.pres[key]; ok {
 		return p
 	}
-	rng := rand.New(rand.NewSource(e.seedLo ^ int64(agent)*7919 ^ int64(node)*104729))
+	rng := rand.New(rand.NewSource(presentationSeed(e.seedLo, agent, node)))
 	p := rng.Perm(deg)
 	e.pres[key] = p
 	return p
 }
 
-// delay injects the adversarial asynchrony before each operation.
+// delay injects the adversarial asynchrony before each operation: a seeded
+// random sleep (or a bare yield) in the default mode, or a turnstile step
+// when a scheduling strategy drives the run.
 func (e *engine) delay(a *Agent) error {
 	if atomic.LoadInt32(&e.aborted) != 0 {
 		return ErrAborted
+	}
+	if e.ts != nil {
+		return e.ts.step(a.index)
 	}
 	if e.cfg.MaxDelay > 0 {
 		d := time.Duration(a.rng.Int63n(int64(e.cfg.MaxDelay) + 1))
@@ -604,6 +679,9 @@ func Run(cfg Config, protocol Protocol) (*Result, error) {
 		boards: make([]*whiteboard, cfg.Graph.N()),
 		pres:   make(map[[2]int][]int),
 		seedLo: rng.Int63(),
+	}
+	if cfg.Scheduler != nil {
+		e.ts = newTurnstile(len(cfg.Homes), cfg.Scheduler, cfg.Record)
 	}
 	for i := range e.boards {
 		e.boards[i] = newWhiteboard()
@@ -676,6 +754,11 @@ func Run(cfg Config, protocol Protocol) (*Result, error) {
 		wg.Add(1)
 		go func(a *Agent, i int) {
 			defer wg.Done()
+			if e.ts != nil {
+				// Retiring through the turnstile passes the turn on every
+				// exit path, including protocol errors.
+				defer e.ts.exit(i)
+			}
 			// Sleep until woken: a sleeping agent's first action is to wait
 			// for a wake sign on its home whiteboard.
 			_, err := a.Wait(func(ss Signs) bool { return ss.Has(TagWake) })
@@ -701,6 +784,9 @@ func Run(cfg Config, protocol Protocol) (*Result, error) {
 	case <-done:
 	case <-time.After(cfg.Timeout):
 		atomic.StoreInt32(&e.aborted, 1)
+		if e.ts != nil {
+			e.ts.abort()
+		}
 		// Wake all waiters so they observe the abort.
 		for {
 			for _, wb := range e.boards {
@@ -721,6 +807,9 @@ func Run(cfg Config, protocol Protocol) (*Result, error) {
 	for i := range e.agents {
 		res.Moves[i] = e.agents[i].Moves()
 		res.Accesses[i] = e.agents[i].Accesses()
+	}
+	if e.ts != nil && e.ts.deadlocked() && runErr == nil {
+		runErr = ErrDeadlock
 	}
 	for i, err := range res.Errors {
 		if err != nil && runErr == nil {

@@ -106,7 +106,40 @@ type RunConfig struct {
 	// spans for the run (see NewTelemetryRun and WriteChromeTrace). Nil
 	// disables collection at zero cost.
 	Telemetry *TelemetryRun
+	// Scheduler, when set, replaces the free-running goroutine timing with
+	// the deterministic serializing scheduler: agents execute one at a time
+	// and Scheduler picks who runs at every sequence point (MaxDelay is then
+	// ignored). Built-in adversarial strategies live in internal/adversary;
+	// Replay reconstructs a recorded run. The execution becomes a pure
+	// function of (Seed, grant sequence).
+	Scheduler Strategy
+	// RecordSchedule, when set, captures a scheduled run's grant sequence —
+	// the compact decision log that replays the run bit-for-bit.
+	RecordSchedule *Schedule
 }
+
+// Strategy decides which ready agent runs at each sequence point of a
+// scheduled (serialized) run.
+type Strategy = sim.Strategy
+
+// Schedule is a recorded decision log: the sequence of agent indices
+// granted by a scheduled run, encodable to bytes and replayable.
+type Schedule = sim.Schedule
+
+// ReplayStrategy is the strategy returned by Replay; it counts divergences
+// when the log disagrees with the execution it drives.
+type ReplayStrategy = sim.ReplayStrategy
+
+// Replay returns a strategy that re-issues a recorded decision log.
+func Replay(s *Schedule) *ReplayStrategy { return sim.Replay(s) }
+
+// DecodeSchedule parses a Schedule.Encode byte stream.
+var DecodeSchedule = sim.DecodeSchedule
+
+// ErrDeadlock reports that a scheduled run wedged: no agent was ready and
+// at least one was still blocked. A correct protocol never deadlocks under
+// any legal schedule.
+var ErrDeadlock = sim.ErrDeadlock
 
 // TelemetryRun collects one run's phase-scoped counters, spans and
 // instants (see internal/telemetry).
@@ -206,8 +239,22 @@ func simConfig(g *Graph, homes []int, cfg RunConfig, quant bool) sim.Config {
 		AllowSharedHomes: cfg.AllowSharedHomes,
 		Tracer:           cfg.Trace,
 		Telemetry:        cfg.Telemetry,
+		Scheduler:        cfg.Scheduler,
+		Record:           cfg.RecordSchedule,
 	}
 }
+
+// Violation is one protocol-invariant breach found by CheckInvariants.
+type Violation = elect.Violation
+
+// InvariantSpec parameterizes CheckInvariants with the oracle's verdict and
+// the Theorem 3.1 move-bound constants.
+type InvariantSpec = elect.InvariantSpec
+
+// CheckInvariants validates a completed run against the protocol contract:
+// at most one leader, all-agree-or-all-fail, verdict matching the gcd
+// oracle, and the move bound (see internal/elect and internal/adversary).
+var CheckInvariants = elect.CheckInvariants
 
 // Analysis is the centralized solvability analysis of an input (see
 // internal/elect.Analyze): ordered class sizes and gcd (Theorem 3.1),
