@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-iso campaign experiments examples vet fmt cover fuzz adversary
+.PHONY: all build test race bench bench-iso campaign experiments examples vet fmt cover cover-gate fuzz adversary faults
 
 all: build vet test
 
@@ -34,6 +34,20 @@ bench-iso:
 cover:
 	$(GO) test -cover ./...
 
+# CI's coverage gate: the protocol core, the engine, and the fault plane
+# must each keep statement coverage at or above 70%.
+cover-gate:
+	@fail=0; \
+	for pkg in ./internal/elect ./internal/sim ./internal/faults; do \
+		$(GO) test -coverprofile=cover.out $$pkg >/dev/null || exit 1; \
+		pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+		echo "$$pkg coverage: $$pct%"; \
+		if awk -v p=$$pct 'BEGIN{exit !(p < 70)}'; then \
+			echo "$$pkg coverage $$pct% is below the 70% gate"; fail=1; \
+		fi; \
+	done; \
+	rm -f cover.out; exit $$fail
+
 # The acceptance campaign: cycles + hypercubes across 25 seeds, all cores.
 campaign:
 	$(GO) run ./cmd/campaign \
@@ -52,6 +66,13 @@ fuzz:
 adversary:
 	$(GO) run ./cmd/adversary -graph cycle -n 12 -homes 0,4,8 \
 		-seeds 1..8 -report adversary_report.json -save adversary_violations
+
+# Fault-plane sweep: crash-stops, torn writes and read staleness crossed
+# with the scheduling adversary, fault-aware invariants checked per run
+# (see DESIGN.md §11). Exits nonzero on any violation.
+faults:
+	$(GO) run ./cmd/faults -graph star -n 4 -homes 1,2 \
+		-seeds 1..8 -report faults_report.json -save fault_violations
 
 # Regenerate every table and figure of the paper (E1-E12).
 experiments:

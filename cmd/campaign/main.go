@@ -8,7 +8,7 @@
 //
 //	campaign -families "cycle:9,12,15;hypercube:3" -placement spread -r 3 \
 //	         -seeds 1..25 [-protocol elect|cayley|quantitative|petersen|gather] \
-//	         [-strategies all|name,name,...] \
+//	         [-strategies all|name,name,...] [-faults all|name,name,...] \
 //	         [-workers N] [-run-timeout 60s] [-retries 2] [-max-delay 0] \
 //	         [-wake-all] [-hairs] [-bound 40] \
 //	         [-jsonl runs.jsonl] [-summary summary.json] [-q] \
@@ -18,6 +18,12 @@
 // adversary scheduling strategy (internal/adversary) under the serializing
 // scheduler, with protocol invariants checked per run; violations fail the
 // campaign. Use cmd/adversary for a focused sweep of one instance.
+//
+// With -faults every run additionally injects a fault plan (internal/faults:
+// crash-stops, torn writes, read staleness) and is checked against the
+// fault-aware survivor-scoped invariants; per-run fault manifests land in
+// the JSONL stream and crash percentiles in the summary. Use cmd/faults for
+// a focused fault sweep of one instance.
 //
 // Per-run results stream to the -jsonl file as they complete; the aggregate
 // summary prints to stdout and, with -summary, is written as JSON (the CI
@@ -53,6 +59,7 @@ func main() {
 	r := flag.Int("r", 2, "number of agents for the placement strategy")
 	seeds := flag.String("seeds", "1..10", "inclusive seed range a..b (or a single seed)")
 	strategies := flag.String("strategies", "", "comma-separated adversary scheduling strategies to cross with every run (\"all\" = every built-in; empty = free-running)")
+	faultsArg := flag.String("faults", "", "comma-separated fault strategies to cross with every run (\"all\" = every built-in; implies -strategies random if none set)")
 	protocol := flag.String("protocol", "elect", "protocol: elect, cayley, quantitative, petersen, gather")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 60*time.Second, "per-run watchdog timeout")
@@ -87,11 +94,16 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	faultNames, err := campaign.ParseFaults(*faultsArg)
+	if err != nil {
+		fail(err)
+	}
 	spec := campaign.Spec{
 		Families:   fams,
 		Seeds:      seedRange,
 		Protocol:   campaign.ProtocolKind(*protocol),
 		Strategies: strats,
+		Faults:     faultNames,
 	}
 	opt := campaign.Options{
 		Workers:         *workers,

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// Regenerate the golden files with: go test ./cmd/elect -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// wallClock matches the only nondeterministic token of the output — the
+// elapsed-time figure on the totals line.
+var wallClock = regexp.MustCompile(`, [0-9][^,]* wall clock`)
+
+func normalize(out string) string {
+	return wallClock.ReplaceAllString(out, ", 0s wall clock")
+}
+
+// TestRunGolden pins the full human-facing output of cmd/elect for one
+// elected, one unsolvable, and two fault-injected runs (one surviving, one
+// crash-deadlocked). Everything except the wall-clock figure is
+// deterministic under a serialized strategy, so any drift — outcome lines,
+// cost counters, fault manifests, verdict phrasing — fails the diff.
+func TestRunGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"cycle6-elected", []string{"-graph", "cycle", "-n", "6", "-homes", "0,2", "-wake-all", "-strategy", "random", "-seed", "1"}},
+		{"cycle6-unsolvable", []string{"-graph", "cycle", "-n", "6", "-homes", "0,3", "-wake-all", "-strategy", "random", "-seed", "1"}},
+		{"star4-stale-reads", []string{"-graph", "star", "-n", "4", "-homes", "1,2", "-wake-all", "-faults", "stale-reads", "-seed", "3"}},
+		{"star4-crash-deadlock", []string{"-graph", "star", "-n", "4", "-homes", "1,2", "-wake-all", "-faults", "crash-frontrunner", "-seed", "2"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(tc.args, &buf)
+			got := normalize(buf.String())
+			if err != nil {
+				// The error text is part of the pinned behavior (the
+				// crash-deadlock case must keep failing the same way).
+				got += "error: " + err.Error() + "\n"
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with -update)", err)
+			}
+			if got != string(want) {
+				t.Errorf("output drifted from %s (regenerate with -update if intended)\n--- want ---\n%s--- got ---\n%s",
+					path, want, got)
+			}
+		})
+	}
+}

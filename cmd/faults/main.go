@@ -1,0 +1,158 @@
+// Command faults sweeps one election instance across fault strategies ×
+// scheduling strategies × seeds, injecting crash-stops, torn whiteboard
+// writes, and bounded read staleness into the deterministic simulator and
+// checking the fault-aware invariants after every run: with agents crashed
+// the protocol may fail (deadlock, no verdict among survivors), but it must
+// never produce two leaders, never disagree on a named leader, and never
+// elect on an instance whose class-size gcd exceeds 1.
+//
+// Usage:
+//
+//	faults -graph star -n 4 -homes 1,2 \
+//	       [-faults all|name,name,...] [-strategies all|name,...] \
+//	       [-seeds 1..8] [-wake-all] [-bound 40] [-run-timeout 60s] \
+//	       [-workers N] [-report report.json] [-save dir] [-q]
+//
+// Every run records both its scheduling decision log and its fault plan;
+// a violating run's replay file carries both, and cmd/elect -replay
+// re-executes it bit-for-bit, faults included. The command exits nonzero if
+// any run violates a fault-aware invariant.
+//
+// Graph families and the -homes syntax match cmd/elect.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/campaign"
+	"repro/internal/faults"
+)
+
+func main() {
+	family := flag.String("graph", "star", "graph family: path, cycle, complete, star, hypercube, torus, grid, petersen, wheel, prism, ccc, random")
+	n := flag.Int("n", 4, "size parameter (nodes, or dimension for hypercube/ccc, or side for torus/grid)")
+	homesArg := flag.String("homes", "1,2", "comma-separated home-base nodes")
+	faultsArg := flag.String("faults", "all", "comma-separated fault strategy names, or \"all\": "+strings.Join(faults.Strategies(), ", "))
+	strategiesArg := flag.String("strategies", "random", "comma-separated scheduling strategy names, or \"all\": "+strings.Join(adversary.Strategies(), ", "))
+	seedsArg := flag.String("seeds", "1..8", "inclusive seed range a..b (or a single seed) per combination")
+	wakeAll := flag.Bool("wake-all", true, "wake all agents at start")
+	bound := flag.Float64("bound", 40, "Theorem 3.1 ratio bound c, re-scoped to survivors: flag runs with survivor moves > c·r_surv·|E|")
+	runTimeout := flag.Duration("run-timeout", 60*time.Second, "per-run watchdog timeout")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	reportPath := flag.String("report", "", "write the full sweep report as JSON to this file")
+	saveDir := flag.String("save", "", "write each violating run's schedule + fault plan as a replay file into this directory")
+	quiet := flag.Bool("q", false, "suppress the per-violation listing (summary only)")
+	flag.Parse()
+
+	g, err := campaign.BuildGraph(*family, *n)
+	if err != nil {
+		fail(err)
+	}
+	homes, err := parseHomes(*homesArg)
+	if err != nil {
+		fail(err)
+	}
+	strategies, err := campaign.ParseStrategies(*strategiesArg)
+	if err != nil {
+		fail(err)
+	}
+	faultNames, err := campaign.ParseFaults(*faultsArg)
+	if err != nil {
+		fail(err)
+	}
+	if len(faultNames) == 0 {
+		fail(fmt.Errorf("no fault strategies selected (have %s)", strings.Join(faults.Strategies(), ", ")))
+	}
+	seedRange, err := campaign.ParseSeedRange(*seedsArg)
+	if err != nil {
+		fail(err)
+	}
+	var seeds []int64
+	for s := seedRange.From; s <= seedRange.To; s++ {
+		seeds = append(seeds, s)
+	}
+
+	rep, err := adversary.Explore(adversary.Config{
+		Instance:   fmt.Sprintf("%s%d%v", *family, *n, homes),
+		G:          g,
+		Homes:      homes,
+		Strategies: strategies,
+		Faults:     faultNames,
+		Seeds:      seeds,
+		WakeAll:    *wakeAll,
+		RatioBound: *bound,
+		Timeout:    *runTimeout,
+		Workers:    *workers,
+	})
+	if err != nil {
+		fail(err)
+	}
+	if *quiet {
+		fmt.Printf("faults: %s, %d runs, %d violating (%d deadlocks, %d crashed, %d takeovers)\n",
+			rep.Instance, len(rep.Runs), rep.Violating, rep.Deadlocks, rep.CrashedAgents, rep.Takeovers)
+	} else {
+		fmt.Print(rep.Render())
+	}
+
+	if *reportPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fail(err)
+		}
+		if err := os.WriteFile(*reportPath, append(data, '\n'), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Printf("report written to %s\n", *reportPath)
+	}
+
+	if *saveDir != "" && rep.Violating > 0 {
+		if err := os.MkdirAll(*saveDir, 0o755); err != nil {
+			fail(err)
+		}
+		for _, run := range rep.Violations() {
+			sf := &adversary.ScheduleFile{
+				Family: *family, Size: *n, Homes: homes,
+				Seed: run.Seed, Protocol: "elect", WakeAll: *wakeAll,
+				Strategy:  run.Strategy,
+				Schedule:  run.Schedule,
+				Fault:     run.Fault,
+				FaultPlan: run.FaultPlan,
+			}
+			name := fmt.Sprintf("violation-%s-%s-seed%d.json", run.Strategy, run.Fault, run.Seed)
+			path := filepath.Join(*saveDir, name)
+			if err := sf.WriteFile(path); err != nil {
+				fail(err)
+			}
+			fmt.Printf("violating run written to %s (replay: elect -replay %s)\n", path, path)
+		}
+	}
+
+	if rep.Violating > 0 {
+		os.Exit(1)
+	}
+}
+
+func parseHomes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad home %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "faults:", err)
+	os.Exit(1)
+}

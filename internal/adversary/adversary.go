@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/elect"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/order"
 	"repro/internal/sim"
@@ -47,6 +48,12 @@ type Config struct {
 	Protocol sim.Protocol
 	// Strategies lists strategy names to sweep (default: all built-ins).
 	Strategies []string
+	// Faults lists fault strategy names (faults.Strategies vocabulary) to
+	// cross with the scheduling strategies; the empty name "" is the
+	// fault-free baseline. Empty means fault-free only. Runs with a fault
+	// strategy are checked against the fault-aware invariant spec: crashes
+	// may stall the run, but never two leaders and never a wrong leader.
+	Faults []string
 	// Seeds lists the seeds swept per strategy; each seed drives both the
 	// simulation (colors, presentations, wake set) and the strategy's own
 	// randomness (default 1..4).
@@ -128,16 +135,23 @@ func Explore(cfg Config) (*Report, error) {
 		Instance: cfg.Instance,
 		N:        cfg.G.N(), M: cfg.G.M(), R: len(cfg.Homes),
 		Sizes: an.Sizes, GCD: an.GCD, Expected: spec.Expected,
-		Strategies: cfg.Strategies, Seeds: cfg.Seeds,
+		Strategies: cfg.Strategies, Seeds: cfg.Seeds, Faults: cfg.Faults,
+	}
+	faultAxis := cfg.Faults
+	if len(faultAxis) == 0 {
+		faultAxis = []string{""} // fault-free baseline only
 	}
 	type job struct {
 		strat string
+		fault string
 		seed  int64
 	}
 	var jobs []job
 	for _, s := range cfg.Strategies {
-		for _, seed := range cfg.Seeds {
-			jobs = append(jobs, job{s, seed})
+		for _, f := range faultAxis {
+			for _, seed := range cfg.Seeds {
+				jobs = append(jobs, job{s, f, seed})
+			}
 		}
 	}
 	rep.Runs = make([]RunRecord, len(jobs))
@@ -149,7 +163,7 @@ func Explore(cfg Config) (*Report, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				rep.Runs[i] = exploreOne(cfg, jobs[i].strat, jobs[i].seed, spec, classOf)
+				rep.Runs[i] = exploreOne(cfg, jobs[i].strat, jobs[i].fault, jobs[i].seed, spec, classOf)
 			}
 		}()
 	}
@@ -167,22 +181,34 @@ func Explore(cfg Config) (*Report, error) {
 			rep.Deadlocks++
 		}
 		rep.Decisions += int64(rep.Runs[i].Decisions)
+		rep.CrashedAgents += rep.Runs[i].Crashed
+		rep.Takeovers += rep.Runs[i].Takeovers
 	}
 	return rep, nil
 }
 
-// exploreOne runs one (strategy, seed) combination under recording and
-// checks the invariants.
-func exploreOne(cfg Config, strat string, seed int64, spec elect.InvariantSpec, classOf []int) RunRecord {
-	rec := RunRecord{Strategy: strat, Seed: seed}
+// exploreOne runs one (strategy, fault, seed) combination under recording
+// and checks the invariants (the fault-aware spec when a fault strategy is
+// set).
+func exploreOne(cfg Config, strat, fault string, seed int64, spec elect.InvariantSpec, classOf []int) RunRecord {
+	rec := RunRecord{Strategy: strat, Fault: fault, Seed: seed}
 	strategy, err := NewStrategy(strat, seed, classOf)
 	if err != nil {
 		rec.Violations = []elect.Violation{{Code: elect.VioRunError, Detail: err.Error()}}
 		return rec
 	}
+	var inj *faults.Injector
+	if fault != "" {
+		inj, err = faults.New(fault, seed, len(cfg.Homes), cfg.Homes)
+		if err != nil {
+			rec.Violations = []elect.Violation{{Code: elect.VioRunError, Detail: err.Error()}}
+			return rec
+		}
+		spec.FaultsInjected = true
+	}
 	var log sim.Schedule
 	start := time.Now()
-	res, runErr := sim.Run(sim.Config{
+	simCfg := sim.Config{
 		Graph:     cfg.G,
 		Homes:     cfg.Homes,
 		Seed:      seed,
@@ -190,13 +216,19 @@ func exploreOne(cfg Config, strat string, seed int64, spec elect.InvariantSpec, 
 		Timeout:   cfg.Timeout,
 		Scheduler: strategy,
 		Record:    &log,
-	}, cfg.Protocol)
+	}
+	if inj != nil {
+		simCfg.Faults = inj
+	}
+	res, runErr := sim.Run(simCfg, cfg.Protocol)
 	rec.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	rec.Decisions = log.Len()
 	rec.Deadlock = runErr != nil && runErr == sim.ErrDeadlock
 	if res != nil {
 		rec.Moves = res.TotalMoves()
 		rec.Accesses = res.TotalAccesses()
+		rec.Crashed = res.CrashedCount()
+		rec.Takeovers = res.Takeovers
 		switch {
 		case res.AgreedLeader():
 			rec.Outcome = "leader"
@@ -207,6 +239,13 @@ func exploreOne(cfg Config, strat string, seed int64, spec elect.InvariantSpec, 
 		}
 	}
 	rec.Violations = elect.CheckInvariants(res, runErr, spec)
+	if inj != nil {
+		// The fault manifest: what was actually injected. Plans are tiny,
+		// so every fault run carries its own (that is what makes a
+		// violating run replayable without re-deriving the strategy).
+		rec.FaultEvents = len(inj.Recorded().Events)
+		rec.FaultPlan = inj.Recorded().EncodeString()
+	}
 	if len(rec.Violations) > 0 || cfg.KeepSchedules {
 		rec.Schedule = EncodeScheduleString(&log)
 	}

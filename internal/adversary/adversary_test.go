@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/elect"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/order"
 	"repro/internal/sim"
@@ -209,4 +210,61 @@ func TestNewStrategyUnknown(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
+}
+
+// TestExploreFaultAxis crosses scheduling strategies with fault strategies:
+// the sweep must stay safety-clean (fault-aware spec), every fault run must
+// carry its fault manifest, and at least one run must actually crash an
+// agent so the axis is known to be live.
+func TestExploreFaultAxis(t *testing.T) {
+	rep, err := Explore(Config{
+		Instance:   "star4-fault",
+		G:          graph.Star(4),
+		Homes:      []int{1, 2},
+		Strategies: []string{"random", "same-class"},
+		Faults:     []string{"crash-frontrunner", "crash-lockholder"},
+		Seeds:      []int64{1, 2, 3},
+		Timeout:    30 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Explore: %v", err)
+	}
+	if want := 2 * 2 * 3; len(rep.Runs) != want {
+		t.Fatalf("got %d runs, want %d", len(rep.Runs), want)
+	}
+	if rep.Violating != 0 {
+		t.Fatalf("fault sweep violated safety:\n%s", rep.Render())
+	}
+	if rep.CrashedAgents == 0 {
+		t.Fatal("no agent ever crashed — fault axis not wired through")
+	}
+	for _, run := range rep.Runs {
+		if run.Fault == "" {
+			t.Fatalf("[%s seed %d] missing fault name", run.Strategy, run.Seed)
+		}
+		if run.FaultPlan == "" {
+			t.Fatalf("[%s+%s seed %d] missing fault plan", run.Strategy, run.Fault, run.Seed)
+		}
+		if run.Crashed != run.FaultEvents-countStale(t, run.FaultPlan) {
+			t.Fatalf("[%s+%s seed %d] crashed=%d but plan has %d non-stale events",
+				run.Strategy, run.Fault, run.Seed, run.Crashed, run.FaultEvents-countStale(t, run.FaultPlan))
+		}
+	}
+}
+
+// countStale decodes a manifest and counts its stale-read events (the only
+// kind that does not crash its target).
+func countStale(t *testing.T, planB64 string) int {
+	t.Helper()
+	p, err := faults.DecodePlanString(planB64)
+	if err != nil {
+		t.Fatalf("bad fault plan: %v", err)
+	}
+	n := 0
+	for _, e := range p.Events {
+		if e.Kind == faults.KindStale {
+			n++
+		}
+	}
+	return n
 }

@@ -11,10 +11,14 @@ import (
 	"repro/internal/sim"
 )
 
-// RunRecord is the outcome of one (strategy, seed) run of an exploration.
+// RunRecord is the outcome of one (strategy, fault, seed) run of an
+// exploration.
 type RunRecord struct {
 	Strategy string `json:"strategy"`
-	Seed     int64  `json:"seed"`
+	// Fault names the fault strategy crossed into this run ("" for the
+	// fault-free baseline).
+	Fault string `json:"fault,omitempty"`
+	Seed  int64  `json:"seed"`
 	// Outcome is "leader", "unsolvable", or "mixed" ("" when the run
 	// errored before producing outcomes).
 	Outcome  string `json:"outcome,omitempty"`
@@ -22,15 +26,25 @@ type RunRecord struct {
 	Accesses int64  `json:"accesses"`
 	// Decisions is the length of the run's decision log (scheduling grants).
 	Decisions int `json:"decisions"`
-	// Deadlock reports that the schedule wedged (itself a violation).
+	// Deadlock reports that the schedule wedged (a violation only when no
+	// faults were injected; crash-induced deadlocks are expected losses).
 	Deadlock bool `json:"deadlock,omitempty"`
+	// Crashed counts agents crash-stopped by the fault plan; Takeovers
+	// counts abandoned node locks broken by surviving agents.
+	Crashed   int   `json:"crashed,omitempty"`
+	Takeovers int64 `json:"takeovers,omitempty"`
 	// Violations lists every invariant breach (empty for a clean run).
 	Violations []elect.Violation `json:"violations,omitempty"`
 	// Schedule is the base64 decision log, present for violating runs (or
 	// all runs under Config.KeepSchedules) — feed it to sim.Replay via
 	// DecodeScheduleString or cmd/elect -replay.
-	Schedule  string  `json:"schedule,omitempty"`
-	ElapsedMS float64 `json:"elapsed_ms"`
+	Schedule string `json:"schedule,omitempty"`
+	// FaultEvents counts the injected fault events; FaultPlan is the base64
+	// fault plan (faults.DecodePlanString), carried by every fault run so a
+	// violating run replays without re-deriving the strategy.
+	FaultEvents int     `json:"fault_events,omitempty"`
+	FaultPlan   string  `json:"fault_plan,omitempty"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
 }
 
 // Report aggregates one exploration sweep.
@@ -44,16 +58,21 @@ type Report struct {
 	Sizes    []int  `json:"sizes"`
 	GCD      int    `json:"gcd"`
 	Expected string `json:"expected"`
-	// The swept axes.
+	// The swept axes. Faults is empty for a fault-free sweep.
 	Strategies []string `json:"strategies"`
+	Faults     []string `json:"faults,omitempty"`
 	Seeds      []int64  `json:"seeds"`
-	// Runs holds one record per (strategy, seed), in sweep order.
+	// Runs holds one record per (strategy, fault, seed), in sweep order.
 	Runs []RunRecord `json:"runs"`
 	// Violating counts runs with at least one violation; Deadlocks counts
 	// wedged schedules; Decisions sums all decision-log lengths.
 	Violating int   `json:"violating"`
 	Deadlocks int   `json:"deadlocks"`
 	Decisions int64 `json:"decisions"`
+	// CrashedAgents and Takeovers aggregate the fault plane across all runs:
+	// total crash-stopped agents and total abandoned-lock takeovers.
+	CrashedAgents int   `json:"crashed_agents,omitempty"`
+	Takeovers     int64 `json:"takeovers,omitempty"`
 }
 
 // Violations returns the violating run records.
@@ -71,8 +90,15 @@ func (r *Report) Violations() []RunRecord {
 func (r *Report) Render() string {
 	out := fmt.Sprintf("adversary: %s (n=%d |E|=%d r=%d), classes %v gcd %d, expected %s\n",
 		r.Instance, r.N, r.M, r.R, r.Sizes, r.GCD, r.Expected)
-	out += fmt.Sprintf("  %d runs (%d strategies × %d seeds), %d scheduling decisions\n",
-		len(r.Runs), len(r.Strategies), len(r.Seeds), r.Decisions)
+	if len(r.Faults) > 0 {
+		out += fmt.Sprintf("  %d runs (%d strategies × %d faults × %d seeds), %d scheduling decisions\n",
+			len(r.Runs), len(r.Strategies), len(r.Faults), len(r.Seeds), r.Decisions)
+		out += fmt.Sprintf("  fault plane: %v — %d agents crashed, %d lock takeovers\n",
+			r.Faults, r.CrashedAgents, r.Takeovers)
+	} else {
+		out += fmt.Sprintf("  %d runs (%d strategies × %d seeds), %d scheduling decisions\n",
+			len(r.Runs), len(r.Strategies), len(r.Seeds), r.Decisions)
+	}
 	perStrategy := map[string]int{}
 	for _, run := range r.Runs {
 		if len(run.Violations) > 0 {
@@ -93,8 +119,12 @@ func (r *Report) Render() string {
 		out += fmt.Sprintf("    %-12s %d violating runs\n", s, perStrategy[s])
 	}
 	for _, run := range r.Violations() {
+		tag := run.Strategy
+		if run.Fault != "" {
+			tag += "+" + run.Fault
+		}
 		for _, v := range run.Violations {
-			out += fmt.Sprintf("    [%s seed %d] %s\n", run.Strategy, run.Seed, v)
+			out += fmt.Sprintf("    [%s seed %d] %s\n", tag, run.Seed, v)
 		}
 	}
 	return out
@@ -135,6 +165,11 @@ type ScheduleFile struct {
 	Strategy string `json:"strategy"`
 	// Schedule is the base64 decision log.
 	Schedule string `json:"schedule"`
+	// Fault names the fault strategy of the recorded run and FaultPlan
+	// carries its base64 fault plan (faults.DecodePlanString); both empty
+	// for fault-free runs. Replays must re-inject the plan to match.
+	Fault     string `json:"fault,omitempty"`
+	FaultPlan string `json:"fault_plan,omitempty"`
 }
 
 // Decode returns the decision log carried by the file.

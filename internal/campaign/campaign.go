@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/adversary"
 	"repro/internal/elect"
+	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/iso"
 	"repro/internal/order"
@@ -285,7 +286,7 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 	res = RunResult{
 		Index: index, Instance: run.Instance, Protocol: string(kind),
 		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
-		Strategy: run.Strategy,
+		Strategy: run.Strategy, Fault: run.Fault,
 	}
 	// Strategy runs are serialized through the adversary turnstile; the
 	// class map is schedule-independent, so compute it once per run.
@@ -339,6 +340,7 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 	start := time.Now()
 	var simRes *sim.Result
 	var runErr error
+	var injector *faults.Injector
 	for attempt := 1; ; attempt++ {
 		res.Attempts = attempt
 		p := pi.p
@@ -362,7 +364,16 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 				break
 			}
 		}
-		simRes, runErr = sim.Run(sim.Config{
+		injector = nil
+		if run.Fault != "" {
+			// A fresh injector per attempt: a retried run re-derives its fault
+			// plan from the retry seed, like the scheduler.
+			injector, runErr = faults.New(run.Fault, seed, len(run.Homes), run.Homes)
+			if runErr != nil {
+				break
+			}
+		}
+		simCfg := sim.Config{
 			Graph: run.G, Homes: run.Homes,
 			Seed:             seed,
 			MaxDelay:         opt.MaxDelay,
@@ -373,7 +384,11 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 			Tracer:           tracer,
 			Telemetry:        tRun,
 			Scheduler:        scheduler,
-		}, p)
+		}
+		if injector != nil {
+			simCfg.Faults = injector
+		}
+		simRes, runErr = sim.Run(simCfg, p)
 		if bt != nil {
 			bt.Close()
 			res.TraceDropped = bt.Dropped()
@@ -384,12 +399,26 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 	}
 	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 
+	// The per-run fault manifest: what the plan actually injected, plus the
+	// base64 plan bytes for replay (recorded even on error — crash-induced
+	// deadlocks are the interesting runs).
+	if injector != nil {
+		res.FaultEvents = len(injector.Recorded().Events)
+		res.FaultPlan = injector.Recorded().EncodeString()
+	}
+	if simRes != nil {
+		res.Crashed = simRes.CrashedCount()
+		res.Takeovers = simRes.Takeovers
+	}
+
 	// Strategy-scheduled runs are held to the protocol invariants — the
 	// campaign doubles as a coarse adversary sweep (see internal/adversary
-	// for the focused explorer).
+	// for the focused explorer). Fault runs use the relaxed fault-aware
+	// contract: failing is allowed, electing wrongly is not.
 	if run.Strategy != "" {
 		res.Violations = elect.CheckInvariants(simRes, runErr, elect.InvariantSpec{
 			Expected: res.Expected, M: res.M, RatioBound: opt.RatioBound,
+			FaultsInjected: run.Fault != "",
 		})
 	}
 
@@ -397,6 +426,10 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 		res.Outcome = "error"
 		res.Err = runErr.Error()
 		res.Aborted = errors.Is(runErr, sim.ErrAborted)
+		// Under injected faults a run error (crash-induced deadlock) is an
+		// expected liveness loss: the run still passes if the survivor-scoped
+		// invariants held. Fault-free runs never pass on error.
+		res.OK = run.Fault != "" && len(res.Violations) == 0
 		return res
 	}
 	res.Moves = simRes.TotalMoves()
@@ -412,7 +445,13 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 	default:
 		res.Outcome = "mixed"
 	}
-	res.OK = res.Expected == "" || res.Outcome == res.Expected
+	if run.Fault != "" {
+		// Under injected faults the oracle verdict is not owed (survivors may
+		// legitimately fail); a fault run is OK iff safety held.
+		res.OK = len(res.Violations) == 0
+	} else {
+		res.OK = res.Expected == "" || res.Outcome == res.Expected
+	}
 	return res
 }
 

@@ -529,3 +529,93 @@ func TestParseStrategies(t *testing.T) {
 		t.Fatal("want error for bogus strategy")
 	}
 }
+
+// TestFaultAxis crosses the campaign with fault strategies: the expansion
+// defaults to the random scheduler (fault injection needs the turnstile),
+// every fault run carries its manifest through the JSONL stream, the
+// fault-aware invariants stay clean, and the summary aggregates the plane.
+func TestFaultAxis(t *testing.T) {
+	spec := Spec{
+		Families: []FamilySpec{
+			{Family: "star", Sizes: []int{4}, Homes: [][]int{{1, 2}}},
+			{Family: "cycle", Sizes: []int{6}, Placement: "spread", R: 3},
+		},
+		Seeds:    SeedRange{From: 1, To: 3},
+		Protocol: ProtoElect,
+		Faults:   []string{"crash-frontrunner", "stale-reads"},
+	}
+	runs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * 2 * 3; len(runs) != want {
+		t.Fatalf("expanded to %d runs, want %d", len(runs), want)
+	}
+	for _, r := range runs {
+		if r.Strategy != "random" {
+			t.Fatalf("fault run did not default to the random scheduler: %+v", r)
+		}
+		if r.Fault == "" {
+			t.Fatalf("run lost its fault strategy: %+v", r)
+		}
+	}
+	var jsonl bytes.Buffer
+	rep, err := ExecuteRuns(runs, Options{JSONL: &jsonl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.InvariantViolations != 0 {
+		t.Fatalf("fault sweep broke safety:\n%s", rep.Summary.Render())
+	}
+	if rep.Summary.FaultRuns != len(runs) {
+		t.Fatalf("FaultRuns = %d, want %d", rep.Summary.FaultRuns, len(runs))
+	}
+	if rep.Summary.CrashedAgents == 0 {
+		t.Fatal("no crashes across the whole fault sweep — injection not wired")
+	}
+	for _, r := range rep.Results {
+		if r.Fault != "" && r.FaultPlan == "" {
+			t.Fatalf("run %d (%s) lost its fault plan", r.Index, r.Fault)
+		}
+	}
+	if !strings.Contains(rep.Summary.Render(), "fault plane:") {
+		t.Fatal("summary does not surface the fault plane")
+	}
+	// The manifest must round-trip through JSONL.
+	var rec RunResult
+	if err := json.Unmarshal(jsonl.Bytes()[:bytes.IndexByte(jsonl.Bytes(), '\n')], &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Fault == "" {
+		t.Fatal("JSONL record lost the fault field")
+	}
+}
+
+// TestExpandRejectsUnknownFault keeps CLI typos at expansion time.
+func TestExpandRejectsUnknownFault(t *testing.T) {
+	spec := Spec{
+		Families: []FamilySpec{{Family: "cycle", Sizes: []int{6}}},
+		Seeds:    SeedRange{From: 1, To: 1},
+		Faults:   []string{"meteor-strike"},
+	}
+	if _, err := spec.Expand(); err == nil {
+		t.Fatal("want error for unknown fault strategy")
+	}
+}
+
+// TestParseFaults covers the CLI fault syntax.
+func TestParseFaults(t *testing.T) {
+	if got, err := ParseFaults(""); err != nil || got != nil {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	got, err := ParseFaults("all")
+	if err != nil || len(got) != 5 {
+		t.Fatalf("all: %v %v", got, err)
+	}
+	if got, err := ParseFaults("stale-reads, crash-lockholder"); err != nil || len(got) != 2 {
+		t.Fatalf("pair: %v %v", got, err)
+	}
+	if _, err := ParseFaults("crash-frontrunner,bogus"); err == nil {
+		t.Fatal("want error for bogus fault")
+	}
+}

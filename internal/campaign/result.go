@@ -28,6 +28,8 @@ type RunResult struct {
 	// Strategy is the adversary scheduling strategy that drove the run
 	// (empty for free-running simulation).
 	Strategy string `json:"strategy,omitempty"`
+	// Fault names the injected fault strategy (empty for fault-free runs).
+	Fault string `json:"fault,omitempty"`
 	// Attempts counts executions including watchdog retries (1 = no retry).
 	Attempts int `json:"attempts"`
 	// Outcome is "leader", "unsolvable", "mixed", or "error".
@@ -47,7 +49,15 @@ type RunResult struct {
 	OK       bool   `json:"ok"`
 	// Violations lists protocol-invariant breaches found by
 	// elect.CheckInvariants (strategy-scheduled runs only; empty = clean).
+	// Fault runs are checked against the fault-aware contract.
 	Violations []elect.Violation `json:"violations,omitempty"`
+	// Fault manifest of the final attempt: crashed agents, abandoned-lock
+	// takeovers, injected events, and the base64 fault plan
+	// (faults.DecodePlanString) for deterministic replay.
+	Crashed     int    `json:"crashed,omitempty"`
+	Takeovers   int64  `json:"takeovers,omitempty"`
+	FaultEvents int    `json:"fault_events,omitempty"`
+	FaultPlan   string `json:"fault_plan,omitempty"`
 	// ElapsedMS is the run's wall-clock time (nondeterministic).
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Err       string  `json:"err,omitempty"`
@@ -96,6 +106,20 @@ type Summary struct {
 	// InvariantViolations counts strategy-scheduled runs with at least one
 	// protocol-invariant breach (see RunResult.Violations).
 	InvariantViolations int `json:"invariant_violations"`
+	// Fault-plane aggregates over the runs that had a fault strategy:
+	// run count, total crashed agents, total lock takeovers, total injected
+	// events, and percentiles of per-run crash counts.
+	FaultRuns     int   `json:"fault_runs,omitempty"`
+	CrashedAgents int   `json:"crashed_agents,omitempty"`
+	Takeovers     int64 `json:"takeovers,omitempty"`
+	FaultEvents   int   `json:"fault_events,omitempty"`
+	CrashedP50    int64 `json:"crashed_p50,omitempty"`
+	CrashedP90    int64 `json:"crashed_p90,omitempty"`
+	// FaultErrors counts fault runs that ended in a run error (typically a
+	// crash-induced schedule deadlock). With faults injected these are
+	// expected liveness losses, reported separately and excluded from
+	// Errors — only invariant violations fail a fault run.
+	FaultErrors int `json:"fault_errors,omitempty"`
 	// Move statistics and the Theorem 3.1 ratio envelope.
 	MovesP50 int64 `json:"moves_p50"`
 	MovesP90 int64 `json:"moves_p90"`
@@ -154,10 +178,18 @@ type Report struct {
 }
 
 // Failures returns the results that errored, contradicted the oracle, or
-// broke a protocol invariant.
+// broke a protocol invariant. Fault-injected runs are judged by the
+// fault-aware invariants alone: a crash-induced run error (deadlock,
+// no verdict among survivors) is an expected liveness loss, not a failure.
 func (r *Report) Failures() []RunResult {
 	var out []RunResult
 	for _, res := range r.Results {
+		if res.Fault != "" {
+			if !res.OK || len(res.Violations) > 0 {
+				out = append(out, res)
+			}
+			continue
+		}
 		if res.Err != "" || !res.OK || len(res.Violations) > 0 {
 			out = append(out, res)
 		}
@@ -218,6 +250,7 @@ func summarize(results []RunResult, workers int, wall time.Duration, bound float
 			phaseTotals[name] = st
 		}
 	}
+	var crashedPerRun []int64
 	for _, r := range results {
 		s.Outcomes[r.Outcome]++
 		s.Retries += r.Attempts - 1
@@ -226,8 +259,19 @@ func summarize(results []RunResult, workers int, wall time.Duration, bound float
 		if len(r.Violations) > 0 {
 			s.InvariantViolations++
 		}
+		if r.Fault != "" {
+			s.FaultRuns++
+			s.CrashedAgents += r.Crashed
+			s.Takeovers += r.Takeovers
+			s.FaultEvents += r.FaultEvents
+			crashedPerRun = append(crashedPerRun, int64(r.Crashed))
+		}
 		if r.Err != "" {
-			s.Errors++
+			if r.Fault != "" {
+				s.FaultErrors++
+			} else {
+				s.Errors++
+			}
 			if r.Aborted {
 				s.Aborted++
 			}
@@ -253,6 +297,7 @@ func summarize(results []RunResult, workers int, wall time.Duration, bound float
 			phaseMoves[name] = append(phaseMoves[name], v)
 		}
 	}
+	s.CrashedP50, s.CrashedP90 = pctInt(crashedPerRun, 50), pctInt(crashedPerRun, 90)
 	s.MovesP50, s.MovesP90, s.MovesP99 = pctInt(moves, 50), pctInt(moves, 90), pctInt(moves, 99)
 	s.AccessP50, s.AccessP90, s.AccessP99 = pctInt(accesses, 50), pctInt(accesses, 90), pctInt(accesses, 99)
 	s.RatioP50, s.RatioP90 = pctFloat(ratios, 50), pctFloat(ratios, 90)
@@ -317,6 +362,10 @@ func (s Summary) Render() string {
 		s.Mismatches, s.Errors, s.Retries, s.Aborted)
 	if s.InvariantViolations > 0 {
 		out += fmt.Sprintf("  INVARIANT VIOLATIONS: %d runs\n", s.InvariantViolations)
+	}
+	if s.FaultRuns > 0 {
+		out += fmt.Sprintf("  fault plane: %d fault runs, %d events injected, %d agents crashed (p50 %d, p90 %d), %d lock takeovers, %d crash-induced run errors\n",
+			s.FaultRuns, s.FaultEvents, s.CrashedAgents, s.CrashedP50, s.CrashedP90, s.Takeovers, s.FaultErrors)
 	}
 	out += fmt.Sprintf("  moves p50/p90/p99: %d/%d/%d, accesses p50/p90/p99: %d/%d/%d\n",
 		s.MovesP50, s.MovesP90, s.MovesP99, s.AccessP50, s.AccessP90, s.AccessP99)

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/adversary"
+	"repro/internal/faults"
 	"repro/internal/graph"
 )
 
@@ -72,6 +73,12 @@ type Spec struct {
 	// protocol invariants checked after each run. Empty means one free-running
 	// (goroutine-timing) run per seed, the classic campaign.
 	Strategies []string
+	// Faults, when non-empty, further crosses every run with the named fault
+	// strategies (see internal/faults). Fault injection needs the serializing
+	// scheduler, so an empty Strategies list defaults to ["random"] when
+	// Faults is set. Fault runs are checked against the fault-aware invariant
+	// spec and carry their fault manifest in the JSONL record.
+	Faults []string
 }
 
 // Run is one unit of campaign work: a named instance plus an adversary seed
@@ -86,6 +93,8 @@ type Run struct {
 	// Strategy names the adversary scheduling strategy driving the run
 	// ("" = free-running simulator).
 	Strategy string
+	// Fault names the fault strategy injected into the run ("" = fault-free).
+	Fault string
 }
 
 // Expand turns the spec into its deterministic work list. Each (family,
@@ -105,13 +114,31 @@ func (s Spec) Expand() ([]Run, error) {
 	}
 	strategies := s.Strategies
 	if len(strategies) == 0 {
-		strategies = []string{""}
+		if len(s.Faults) > 0 {
+			// Fault injection rides on the serializing scheduler; give fault
+			// sweeps a deterministic default rather than rejecting them.
+			strategies = []string{"random"}
+		} else {
+			strategies = []string{""}
+		}
 	}
 	for _, st := range strategies {
 		if st == "" {
 			continue
 		}
 		if _, err := adversary.NewStrategy(st, 0, nil); err != nil {
+			return nil, err
+		}
+	}
+	faultAxis := s.Faults
+	if len(faultAxis) == 0 {
+		faultAxis = []string{""}
+	}
+	for _, fs := range faultAxis {
+		if fs == "" {
+			continue
+		}
+		if _, err := faults.New(fs, 0, 1, nil); err != nil {
 			return nil, err
 		}
 	}
@@ -141,11 +168,13 @@ func (s Spec) Expand() ([]Run, error) {
 				}
 				name := instanceName(f.Family, size, homes)
 				for _, strat := range strategies {
-					for seed := s.Seeds.From; seed <= s.Seeds.To; seed++ {
-						runs = append(runs, Run{
-							Instance: name, G: g, Homes: homes, Seed: seed,
-							Protocol: proto, Strategy: strat,
-						})
+					for _, fs := range faultAxis {
+						for seed := s.Seeds.From; seed <= s.Seeds.To; seed++ {
+							runs = append(runs, Run{
+								Instance: name, G: g, Homes: homes, Seed: seed,
+								Protocol: proto, Strategy: strat, Fault: fs,
+							})
+						}
 					}
 				}
 			}
@@ -283,6 +312,29 @@ func ParseStrategies(s string) ([]string, error) {
 			return nil, err
 		}
 		out = append(out, tok)
+	}
+	return out, nil
+}
+
+// ParseFaults parses the CLI fault syntax: comma-separated fault strategy
+// names (see internal/faults), with "all" expanding to every built-in and ""
+// meaning no fault axis.
+func ParseFaults(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var names []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			names = append(names, tok)
+		}
+	}
+	out := faults.ParseNames(names)
+	for _, n := range out {
+		if _, err := faults.New(n, 0, 1, nil); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

@@ -53,6 +53,13 @@ type InvariantSpec struct {
 	// the moves ≤ c·r·|E| assertion. Either being 0 disables the bound.
 	M          int
 	RatioBound float64
+	// FaultsInjected relaxes the contract to the fault-aware spec: with
+	// crash-stopped agents the run may legitimately fail (deadlock, abort,
+	// no unanimous verdict among survivors), but safety must still hold —
+	// never two leaders, never disagreement among surviving committed
+	// agents, never an election on an unsolvable instance — and the
+	// Theorem 3.1 move bound is re-scoped to the surviving agents.
+	FaultsInjected bool
 }
 
 // SpecFromAnalysis builds the InvariantSpec for Protocol ELECT from the
@@ -76,6 +83,9 @@ func SpecFromAnalysis(an *Analysis, m int, ratioBound float64) InvariantSpec {
 // logic over the Result — they never look inside the protocol — so they
 // apply equally to live runs, adversary-scheduled runs, and replays.
 func CheckInvariants(res *sim.Result, runErr error, spec InvariantSpec) []Violation {
+	if spec.FaultsInjected {
+		return checkFaultAware(res, runErr, spec)
+	}
 	if runErr != nil {
 		return []Violation{{Code: VioRunError, Detail: runErr.Error()}}
 	}
@@ -109,6 +119,9 @@ func CheckInvariants(res *sim.Result, runErr error, spec InvariantSpec) []Violat
 			})
 		}
 	}
+	// Fault-free runs bound the moves by the INITIAL agent count: r is
+	// len(res.Outcomes), never a survivor count — the fault-aware re-scope
+	// below must not loosen this case (pinned by a regression test).
 	r := len(res.Outcomes)
 	if spec.M > 0 && spec.RatioBound > 0 {
 		if limit := spec.RatioBound * float64(r*spec.M); float64(res.TotalMoves()) > limit {
@@ -116,6 +129,109 @@ func CheckInvariants(res *sim.Result, runErr error, spec InvariantSpec) []Violat
 				Code: VioMoveBound,
 				Detail: fmt.Sprintf("total moves %d exceed %.0f·r·|E| = %.0f",
 					res.TotalMoves(), spec.RatioBound, limit),
+			})
+		}
+	}
+	return out
+}
+
+// checkFaultAware is the relaxed contract for runs with injected faults.
+// Liveness is forfeit — a crash may stall the protocol into deadlock or
+// leave survivors without a verdict, and a run error is not by itself a
+// violation — but safety is not: among the agents that survived, there must
+// never be two leaders, never two different named leaders, never a mix of
+// "elected" and "unsolvable" verdicts, and never an election on an instance
+// the oracle calls unsolvable (crash-stops cannot turn a gcd > 1 into 1).
+// The Theorem 3.1 move envelope is re-scoped to the survivors: the moves of
+// the agents that lived to the end must fit c·r_surv·|E|.
+func checkFaultAware(res *sim.Result, runErr error, spec InvariantSpec) []Violation {
+	if res == nil {
+		if runErr != nil {
+			return []Violation{{Code: VioRunError, Detail: runErr.Error()}}
+		}
+		return []Violation{{Code: VioRunError, Detail: "no result"}}
+	}
+	var out []Violation
+	var named []sim.Color
+	addNamed := func(c sim.Color) {
+		if c.IsZero() {
+			return
+		}
+		for _, d := range named {
+			if d.Equal(c) {
+				return
+			}
+		}
+		named = append(named, c)
+	}
+	leaders, unsolvable, survivors := 0, 0, 0
+	var survMoves int64
+	for i, o := range res.Outcomes {
+		if !res.Survived(i) {
+			continue
+		}
+		survivors++
+		if i < len(res.Moves) {
+			survMoves += res.Moves[i]
+		}
+		switch o.Role {
+		case sim.RoleLeader:
+			leaders++
+			if i < len(res.Colors) {
+				addNamed(res.Colors[i])
+			}
+			addNamed(o.Leader)
+		case sim.RoleDefeated:
+			addNamed(o.Leader)
+		case sim.RoleUnsolvable:
+			unsolvable++
+		}
+	}
+	if leaders > 1 {
+		out = append(out, Violation{
+			Code:   VioMultipleLeaders,
+			Detail: fmt.Sprintf("%d surviving agents ended in RoleLeader", leaders),
+		})
+	}
+	if len(named) > 1 {
+		out = append(out, Violation{
+			Code:   VioNoAgreement,
+			Detail: fmt.Sprintf("surviving agents name %d different leaders: %s", len(named), describeOutcomes(res)),
+		})
+	}
+	if leaders > 0 && unsolvable > 0 {
+		out = append(out, Violation{
+			Code:   VioNoAgreement,
+			Detail: fmt.Sprintf("survivors mix election and failure verdicts: %s", describeOutcomes(res)),
+		})
+	}
+	if len(named) == 1 {
+		// A surviving agent whose color is the named leader must not have
+		// denied the crown itself.
+		for i, o := range res.Outcomes {
+			if !res.Survived(i) || i >= len(res.Colors) || !res.Colors[i].Equal(named[0]) {
+				continue
+			}
+			if o.Role == sim.RoleDefeated || o.Role == sim.RoleUnsolvable {
+				out = append(out, Violation{
+					Code:   VioNoAgreement,
+					Detail: fmt.Sprintf("named leader is a survivor that reported %s", o.Role),
+				})
+			}
+		}
+	}
+	if spec.Expected == "unsolvable" && len(named) > 0 {
+		out = append(out, Violation{
+			Code:   VioWrongVerdict,
+			Detail: "a leader emerged although gcd of class sizes is > 1 (crashes cannot make election solvable)",
+		})
+	}
+	if spec.M > 0 && spec.RatioBound > 0 && survivors > 0 {
+		if limit := spec.RatioBound * float64(survivors*spec.M); float64(survMoves) > limit {
+			out = append(out, Violation{
+				Code: VioMoveBound,
+				Detail: fmt.Sprintf("survivor moves %d exceed %.0f·r_surv·|E| = %.0f (r_surv=%d)",
+					survMoves, spec.RatioBound, limit, survivors),
 			})
 		}
 	}

@@ -1,0 +1,151 @@
+package elect
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// crashSome marks the given agents crashed on a fabricated Result.
+func crashSome(res *sim.Result, crashed ...int) *sim.Result {
+	res.Crashed = make([]bool, len(res.Outcomes))
+	for _, i := range crashed {
+		res.Crashed[i] = true
+		res.Outcomes[i] = sim.Outcome{} // a crashed agent reports nothing
+	}
+	return res
+}
+
+// TestMoveBoundUsesInitialAgentCount is the regression pin for the bound's
+// inputs: the FAULT-FREE checker must derive r from the initial agent count
+// (len(Outcomes)), and the fault-aware re-scope to survivors must not
+// loosen it. With 3 agents, M=10, c=2 the fault-free limit is exactly
+// 2·3·10 = 60 total moves.
+func TestMoveBoundUsesInitialAgentCount(t *testing.T) {
+	spec := InvariantSpec{Expected: "leader", M: 10, RatioBound: 2}
+
+	// 20 moves per agent → 60 total: exactly at the limit, no violation.
+	at := fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated, sim.RoleDefeated}, []int{0, 0, 0}, 20)
+	if vs := CheckInvariants(at, nil, spec); hasCode(vs, VioMoveBound) {
+		t.Fatalf("at-limit run flagged: %v", vs)
+	}
+	// 21 moves per agent → 63 total: over. If the checker ever switched to
+	// a survivor count or dropped an agent, 63 ≤ 2·r'·10 for r' ≥ 4 would
+	// hide this; equally a smaller r' would false-positive the case above.
+	over := fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated, sim.RoleDefeated}, []int{0, 0, 0}, 21)
+	if vs := CheckInvariants(over, nil, spec); !hasCode(vs, VioMoveBound) {
+		t.Fatalf("over-limit run not flagged: %v", vs)
+	}
+}
+
+// TestFaultAwareMoveBoundScopesToSurvivors: with one of three agents
+// crashed, the envelope is c·r_surv·|E| = 2·2·10 = 40 over the SURVIVORS'
+// moves only — the dead agent's moves are not charged against the theorem.
+func TestFaultAwareMoveBoundScopesToSurvivors(t *testing.T) {
+	spec := InvariantSpec{Expected: "leader", M: 10, RatioBound: 2, FaultsInjected: true}
+
+	res := crashSome(fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated, sim.RoleUnknown}, []int{0, 0, -1}, 20), 2)
+	res.Moves[2] = 1000 // the crashed agent's moves must not count
+	if vs := CheckInvariants(res, nil, spec); hasCode(vs, VioMoveBound) {
+		t.Fatalf("survivors within bound flagged: %v", vs)
+	}
+
+	res = crashSome(fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated, sim.RoleUnknown}, []int{0, 0, -1}, 21), 2)
+	if vs := CheckInvariants(res, nil, spec); !hasCode(vs, VioMoveBound) {
+		t.Fatalf("survivors over re-scoped bound not flagged: %v", vs)
+	}
+}
+
+// TestFaultAwareSafety spells out the relaxed contract: failure is allowed,
+// wrong answers are not.
+func TestFaultAwareSafety(t *testing.T) {
+	spec := func(expected string) InvariantSpec {
+		return InvariantSpec{Expected: expected, M: 6, RatioBound: 40, FaultsInjected: true}
+	}
+	cases := []struct {
+		name string
+		res  *sim.Result
+		err  error
+		exp  string
+		want []ViolationCode
+	}{
+		{
+			name: "crash-induced deadlock is not a violation",
+			res:  crashSome(fakeResult([]sim.Role{sim.RoleUnknown, sim.RoleUnknown, sim.RoleUnknown}, []int{-1, -1, -1}, 1), 0),
+			err:  sim.ErrDeadlock,
+			exp:  "leader",
+			want: nil,
+		},
+		{
+			name: "survivors electing without the crashed agent is fine",
+			res:  crashSome(fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated, sim.RoleUnknown}, []int{0, 0, -1}, 1), 2),
+			exp:  "leader",
+			want: nil,
+		},
+		{
+			name: "two surviving leaders is still fatal",
+			res:  crashSome(fakeResult([]sim.Role{sim.RoleLeader, sim.RoleLeader, sim.RoleUnknown}, []int{0, 1, -1}, 1), 2),
+			exp:  "leader",
+			want: []ViolationCode{VioMultipleLeaders, VioNoAgreement},
+		},
+		{
+			name: "survivors naming different leaders is fatal",
+			res:  crashSome(fakeResult([]sim.Role{sim.RoleDefeated, sim.RoleDefeated, sim.RoleUnknown}, []int{0, 1, -1}, 1), 2),
+			exp:  "",
+			want: []ViolationCode{VioNoAgreement},
+		},
+		{
+			name: "mixed election and failure among survivors is fatal",
+			res:  fakeResult([]sim.Role{sim.RoleLeader, sim.RoleUnsolvable, sim.RoleDefeated}, []int{0, -1, 0}, 1),
+			exp:  "",
+			want: []ViolationCode{VioNoAgreement},
+		},
+		{
+			name: "named leader that itself reported defeat is fatal",
+			res:  fakeResult([]sim.Role{sim.RoleDefeated, sim.RoleDefeated, sim.RoleDefeated}, []int{0, 0, 0}, 1),
+			exp:  "",
+			want: []ViolationCode{VioNoAgreement},
+		},
+		{
+			name: "electing on an unsolvable instance is fatal even with crashes",
+			res:  crashSome(fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated, sim.RoleUnknown}, []int{0, 0, -1}, 1), 2),
+			err:  nil,
+			exp:  "unsolvable",
+			want: []ViolationCode{VioWrongVerdict},
+		},
+		{
+			name: "unanimous failure among survivors on unsolvable is fine",
+			res:  crashSome(fakeResult([]sim.Role{sim.RoleUnsolvable, sim.RoleUnsolvable, sim.RoleUnknown}, []int{-1, -1, -1}, 1), 2),
+			exp:  "unsolvable",
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CheckInvariants(tc.res, tc.err, spec(tc.exp))
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want codes %v", got, tc.want)
+			}
+			for i, w := range tc.want {
+				if got[i].Code != w {
+					t.Fatalf("violation %d: got %v, want %v (all: %v)", i, got[i].Code, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultAwareNilResult: a run that produced no Result at all is still a
+// run error, faults or not.
+func TestFaultAwareNilResult(t *testing.T) {
+	spec := InvariantSpec{FaultsInjected: true}
+	vs := CheckInvariants(nil, errors.New("config rejected"), spec)
+	if !hasCode(vs, VioRunError) {
+		t.Fatalf("nil result not reported: %v", vs)
+	}
+	vs = CheckInvariants(nil, nil, spec)
+	if !hasCode(vs, VioRunError) {
+		t.Fatalf("nil result with nil error not reported: %v", vs)
+	}
+}

@@ -1,0 +1,100 @@
+package faults
+
+import "repro/internal/sim"
+
+// Injector implements sim.FaultInjector by delegating each point to a
+// decision function and recording every nonzero decision into a Plan. The
+// engine serializes Inject calls (fault injection requires the serializing
+// Scheduler), so no locking is needed.
+type Injector struct {
+	name    string
+	decide  func(p sim.FaultPoint) sim.FaultAction
+	plan    Plan
+	pending int // replay events not yet re-issued
+}
+
+// Name returns the strategy name ("replay" for plan re-issuers).
+func (in *Injector) Name() string { return in.name }
+
+// Inject consults the decision function and records what was injected.
+func (in *Injector) Inject(p sim.FaultPoint) sim.FaultAction {
+	act := in.decide(p)
+	switch {
+	case act.Torn:
+		kind := KindTorn
+		if act.HoldLock {
+			kind = KindTornHold
+		}
+		keep := act.Keep
+		if keep > len(p.Tag)-1 {
+			keep = len(p.Tag) - 1
+		}
+		if keep < 0 {
+			keep = 0
+		}
+		in.plan.Events = append(in.plan.Events, Event{Kind: kind, Agent: p.Agent, Index: p.Index, Node: p.Node, Arg: keep})
+	case act.Crash:
+		kind := KindCrash
+		if act.HoldLock {
+			kind = KindCrashHold
+		}
+		in.plan.Events = append(in.plan.Events, Event{Kind: kind, Agent: p.Agent, Index: p.Index, Node: p.Node})
+	case act.StallReads > 0:
+		in.plan.Events = append(in.plan.Events, Event{Kind: KindStale, Agent: p.Agent, Index: p.Index, Node: p.Node, Arg: act.StallReads})
+	}
+	return act
+}
+
+// Recorded returns the plan of faults injected so far. For a Replay
+// injector this re-records the events actually re-issued, so after a
+// faithful replay Recorded equals the input plan byte for byte.
+func (in *Injector) Recorded() *Plan {
+	return &Plan{Events: in.plan.Events}
+}
+
+// Unapplied returns how many events of a replayed plan were never
+// re-issued. A faithful replay — same protocol, same schedule, same plan —
+// leaves it at 0; a nonzero count means the execution diverged from the one
+// the plan was recorded against. Always 0 for strategy injectors.
+func (in *Injector) Unapplied() int { return in.pending }
+
+// replayKey addresses an injection point the way plans do.
+type replayKey struct {
+	op    sim.FaultOp
+	agent int
+	index int
+}
+
+// Replay returns an injector that re-issues exactly the plan's events, each
+// at the injection point (operation class, agent, per-agent index) where it
+// was recorded, and nothing anywhere else. Combined with sim.Replay of the
+// matching schedule this reproduces a faulty run bit for bit.
+func Replay(p *Plan) *Injector {
+	byPoint := make(map[replayKey]Event, len(p.Events))
+	for _, ev := range p.Events {
+		byPoint[replayKey{ev.Kind.op(), ev.Agent, ev.Index}] = ev
+	}
+	in := &Injector{name: "replay", pending: len(byPoint)}
+	in.decide = func(pt sim.FaultPoint) sim.FaultAction {
+		ev, ok := byPoint[replayKey{pt.Op, pt.Agent, pt.Index}]
+		if !ok {
+			return sim.FaultAction{}
+		}
+		delete(byPoint, replayKey{pt.Op, pt.Agent, pt.Index})
+		in.pending--
+		switch ev.Kind {
+		case KindCrash:
+			return sim.FaultAction{Crash: true}
+		case KindCrashHold:
+			return sim.FaultAction{Crash: true, HoldLock: true}
+		case KindTorn:
+			return sim.FaultAction{Torn: true, Keep: ev.Arg}
+		case KindTornHold:
+			return sim.FaultAction{Torn: true, Keep: ev.Arg, HoldLock: true}
+		case KindStale:
+			return sim.FaultAction{StallReads: ev.Arg}
+		}
+		return sim.FaultAction{}
+	}
+	return in
+}

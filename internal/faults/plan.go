@@ -1,0 +1,203 @@
+// Package faults is the deterministic fault plane of the simulator: it
+// decides, from a seed, where to crash-stop agents, tear whiteboard writes,
+// and stall reads, and it records every injected fault into a Plan that is
+// byte-replayable exactly like a sim.Schedule. Composing a recorded Plan
+// with the recorded Schedule of the same run pins a faulty execution down
+// completely: replaying both reproduces the run bit for bit.
+//
+// The package implements sim.FaultInjector twice — once as a family of
+// seed-driven strategies (New) and once as a plan re-issuer (Replay) — so a
+// fault found by sweeping can be attached to a bug report and re-executed
+// anywhere.
+package faults
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Kind classifies one injected fault event in a Plan.
+type Kind uint8
+
+// The fault-event kinds. The *Hold variants abandon the node's whiteboard
+// lock as part of the crash, exercising the takeover recovery path.
+const (
+	// KindCrash crash-stops the agent at a sequence point.
+	KindCrash Kind = iota
+	// KindCrashHold crash-stops the agent while it holds the node lock.
+	KindCrashHold
+	// KindTorn tears a whiteboard write (Arg = kept prefix length) and
+	// crash-stops the writer when its access ends.
+	KindTorn
+	// KindTornHold is KindTorn with the board lock left abandoned.
+	KindTornHold
+	// KindStale stalls a Wait predicate check by Arg extra sequence points
+	// (bounded transient read staleness; the agent survives).
+	KindStale
+
+	numKinds
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCrash:
+		return "crash"
+	case KindCrashHold:
+		return "crash-hold"
+	case KindTorn:
+		return "torn"
+	case KindTornHold:
+		return "torn-hold"
+	case KindStale:
+		return "stale"
+	default:
+		return "unknown"
+	}
+}
+
+// op maps the kind to the sim operation class whose per-agent counter
+// addresses it.
+func (k Kind) op() sim.FaultOp {
+	switch k {
+	case KindTorn, KindTornHold:
+		return sim.FaultWrite
+	case KindStale:
+		return sim.FaultRead
+	default:
+		return sim.FaultStep
+	}
+}
+
+// Event is one injected fault, addressed by the (operation class, agent,
+// per-agent operation index) coordinates of its injection point — the same
+// coordinates sim presents in FaultPoint, which is what makes replay exact.
+type Event struct {
+	// Kind is what was injected.
+	Kind Kind `json:"kind"`
+	// Agent is the victim agent's index.
+	Agent int `json:"agent"`
+	// Index is the victim's per-operation-class point counter at injection.
+	Index int `json:"index"`
+	// Node is the node where the injection happened (manifest information;
+	// not needed to re-issue the event).
+	Node int `json:"node"`
+	// Arg is the kept prefix length for torn writes and the stall length
+	// for staleness events; 0 otherwise.
+	Arg int `json:"arg,omitempty"`
+}
+
+// String renders the event compactly, e.g. "crash-hold a2 step#17 @n3".
+func (ev Event) String() string {
+	s := fmt.Sprintf("%s a%d %s#%d @n%d", ev.Kind, ev.Agent, ev.Kind.op(), ev.Index, ev.Node)
+	if ev.Kind == KindTorn || ev.Kind == KindTornHold || ev.Kind == KindStale {
+		s += fmt.Sprintf(" arg=%d", ev.Arg)
+	}
+	return s
+}
+
+// Plan is the recorded fault decision log of one run: which faults were
+// injected, at which points. Like sim.Schedule it is a pure value with a
+// compact byte encoding; Replay re-issues it against another run of the
+// same schedule.
+type Plan struct {
+	// Events are the injected faults in injection order.
+	Events []Event `json:"events"`
+}
+
+// planMagic versions the encoding (bumped on layout changes).
+const planMagic = 0xFA
+
+// maxPlanEvents caps decoded plans (a run injects at most a handful of
+// faults; anything huge is a corrupt or hostile input).
+const maxPlanEvents = 1 << 20
+
+// Encode serializes the plan: a magic byte, the event count, then five
+// uvarints per event.
+func (p *Plan) Encode() []byte {
+	buf := make([]byte, 0, 2+10*len(p.Events))
+	buf = append(buf, planMagic)
+	buf = binary.AppendUvarint(buf, uint64(len(p.Events)))
+	for _, ev := range p.Events {
+		buf = binary.AppendUvarint(buf, uint64(ev.Kind))
+		buf = binary.AppendUvarint(buf, uint64(ev.Agent))
+		buf = binary.AppendUvarint(buf, uint64(ev.Index))
+		buf = binary.AppendUvarint(buf, uint64(ev.Node))
+		buf = binary.AppendUvarint(buf, uint64(ev.Arg))
+	}
+	return buf
+}
+
+// EncodeString returns the base64 form of Encode, for JSON manifests.
+func (p *Plan) EncodeString() string {
+	return base64.StdEncoding.EncodeToString(p.Encode())
+}
+
+// Summary renders the plan as a short human-readable list.
+func (p *Plan) Summary() string {
+	if len(p.Events) == 0 {
+		return "no faults injected"
+	}
+	parts := make([]string, len(p.Events))
+	for i, ev := range p.Events {
+		parts[i] = ev.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// DecodePlan parses an encoded plan, validating the magic byte, the event
+// count, and every kind.
+func DecodePlan(data []byte) (*Plan, error) {
+	if len(data) == 0 || data[0] != planMagic {
+		return nil, errors.New("faults: bad plan header")
+	}
+	rest := data[1:]
+	n, sz := binary.Uvarint(rest)
+	if sz <= 0 || n > maxPlanEvents {
+		return nil, errors.New("faults: bad plan event count")
+	}
+	rest = rest[sz:]
+	p := &Plan{Events: make([]Event, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		var vals [5]uint64
+		for j := range vals {
+			v, s := binary.Uvarint(rest)
+			if s <= 0 {
+				return nil, fmt.Errorf("faults: truncated plan at event %d", i)
+			}
+			vals[j] = v
+			rest = rest[s:]
+		}
+		if vals[0] >= uint64(numKinds) {
+			return nil, fmt.Errorf("faults: unknown event kind %d", vals[0])
+		}
+		if vals[1] > 1<<30 || vals[2] > 1<<30 || vals[3] > 1<<30 || vals[4] > 1<<30 {
+			return nil, fmt.Errorf("faults: implausible field in event %d", i)
+		}
+		p.Events = append(p.Events, Event{
+			Kind:  Kind(vals[0]),
+			Agent: int(vals[1]),
+			Index: int(vals[2]),
+			Node:  int(vals[3]),
+			Arg:   int(vals[4]),
+		})
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("faults: trailing bytes after plan")
+	}
+	return p, nil
+}
+
+// DecodePlanString parses the base64 form produced by EncodeString.
+func DecodePlanString(s string) (*Plan, error) {
+	data, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("faults: bad plan base64: %w", err)
+	}
+	return DecodePlan(data)
+}

@@ -1,0 +1,211 @@
+package msgnet
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/sim"
+)
+
+// conformanceInstance is one (graph, homes) input of the model-conformance
+// corpus.
+type conformanceInstance struct {
+	name  string
+	g     *graph.Graph
+	homes []int
+}
+
+// twinDouble is a 2-node multigraph with a doubled edge — exercises parallel
+// edges, which only the port wiring (not the adjacency relation) can
+// distinguish.
+func twinDouble(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromTwins([][][2]int{
+		{{1, 0}, {1, 1}},
+		{{0, 0}, {0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// twinTriangle is a triangle with the 0–1 edge doubled.
+func twinTriangle(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromTwins([][][2]int{
+		{{1, 0}, {1, 1}, {2, 0}},
+		{{0, 0}, {0, 1}, {2, 1}},
+		{{0, 2}, {1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// conformanceCorpus is the ~20-instance sweep of the model-conformance test:
+// rings, hypercubes, the Petersen graph, grids, stars, complete and
+// bipartite graphs, prisms, and twin-bearing multigraphs.
+func conformanceCorpus(t *testing.T) []conformanceInstance {
+	t.Helper()
+	return []conformanceInstance{
+		{"cycle3", graph.Cycle(3), []int{0, 1}},
+		{"cycle5", graph.Cycle(5), []int{0, 2}},
+		{"cycle6", graph.Cycle(6), []int{0, 2, 3}},
+		{"cycle8", graph.Cycle(8), []int{0, 3, 5}},
+		{"cycle12", graph.Cycle(12), []int{0, 4, 8}},
+		{"path4", graph.Path(4), []int{0, 1}},
+		{"path6", graph.Path(6), []int{0, 3, 5}},
+		{"hypercube2", graph.Hypercube(2), []int{0, 3}},
+		{"hypercube3", graph.Hypercube(3), []int{0, 5, 6}},
+		{"petersen", graph.Petersen(), []int{0, 1}},
+		{"petersen-far", graph.Petersen(), []int{0, 7, 8}},
+		{"complete4", graph.Complete(4), []int{0, 2}},
+		{"star4", graph.Star(4), []int{1, 2}},
+		{"star5-center", graph.Star(5), []int{0, 1}},
+		{"grid23", graph.Grid(2, 3), []int{0, 5}},
+		{"grid33", graph.Grid(3, 3), []int{0, 4, 8}},
+		{"prism3", graph.Prism(3), []int{0, 4}},
+		{"wheel5", graph.Wheel(5), []int{0, 2}},
+		{"bipartite23", graph.CompleteBipartite(2, 3), []int{0, 2}},
+		{"twin-double", twinDouble(t), []int{0, 1}},
+		{"twin-triangle", twinTriangle(t), []int{0, 2}},
+	}
+}
+
+// checkConformance runs one instance through all three executions of the
+// same election — mobile agents (msgnet), the Figure 1 message transformation
+// (msgnet), and the whiteboard simulator (internal/sim, quantitative
+// baseline) — and returns an error on any divergence of leader or outcome
+// vector. It also cross-checks the ELECT verdict in internal/sim against the
+// gcd oracle on the same instance.
+func checkConformance(inst conformanceInstance, machine Machine, seed int64) error {
+	cfg := Config{
+		G:      inst.g,
+		Labels: graph.PortLabeling(inst.g),
+		Homes:  inst.homes,
+		Seed:   seed,
+	}
+	mobile, err := RunMobile(cfg, machine)
+	if err != nil {
+		return fmt.Errorf("mobile: %w", err)
+	}
+	transformed, err := RunTransformed(cfg, machine)
+	if err != nil {
+		return fmt.Errorf("transformed: %w", err)
+	}
+	// (1) Figure 1: the transformation preserves the outcome vector exactly.
+	for i := range mobile.Outcomes {
+		if mobile.Outcomes[i] != transformed.Outcomes[i] {
+			return fmt.Errorf("agent %d: mobile %q vs transformed %q",
+				i, mobile.Outcomes[i], transformed.Outcomes[i])
+		}
+	}
+	leader := -1
+	for i, o := range mobile.Outcomes {
+		if o == "leader" {
+			if leader >= 0 {
+				return fmt.Errorf("agents %d and %d both elected", leader, i)
+			}
+			leader = i
+		}
+	}
+	if leader < 0 {
+		return fmt.Errorf("no leader elected (outcomes %v)", mobile.Outcomes)
+	}
+	// (2) The simulator's quantitative baseline elects the same agent — both
+	// worlds crown the maximum identity, so the winning index must agree.
+	simRes, err := sim.Run(sim.Config{
+		Graph: inst.g, Homes: inst.homes, Seed: seed,
+		WakeAll: true, QuantitativeIDs: true,
+	}, elect.QuantitativeElect())
+	if err != nil {
+		return fmt.Errorf("sim quantitative: %w", err)
+	}
+	simLeader := -1
+	for i, o := range simRes.Outcomes {
+		if o.Role == sim.RoleLeader {
+			simLeader = i
+		}
+	}
+	if simLeader != leader {
+		return fmt.Errorf("leader disagreement: msgnet agent %d vs sim agent %d", leader, simLeader)
+	}
+	// (3) Leader class: both winners live in the same automorphism class of
+	// the bicolored instance.
+	classes := order.Classes(inst.g, elect.BlackColors(inst.g.N(), inst.homes))
+	nodeClass := make([]int, inst.g.N())
+	for ci, nodes := range classes {
+		for _, v := range nodes {
+			nodeClass[v] = ci
+		}
+	}
+	if nodeClass[inst.homes[leader]] != nodeClass[inst.homes[simLeader]] {
+		return fmt.Errorf("leader class disagreement: class %d vs %d",
+			nodeClass[inst.homes[leader]], nodeClass[inst.homes[simLeader]])
+	}
+	// (4) The qualitative-model verdict matches the gcd oracle on the same
+	// instance (ELECT in internal/sim, which the quantitative worlds above
+	// cannot see).
+	an, err := elect.Analyze(inst.g, inst.homes, order.Direct)
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+	electRes, err := sim.Run(sim.Config{
+		Graph: inst.g, Homes: inst.homes, Seed: seed, WakeAll: true,
+	}, elect.Elect(elect.Options{}))
+	if err != nil {
+		return fmt.Errorf("sim elect: %w", err)
+	}
+	if want := an.GCD == 1; electRes.AgreedLeader() != want {
+		return fmt.Errorf("ELECT verdict %v contradicts gcd %d", electRes.AgreedLeader(), an.GCD)
+	}
+	return nil
+}
+
+// TestModelConformance is the Figure 1 conformance sweep: on every corpus
+// instance the same election runs as walking agents, as (program, memory)
+// messages, and in the whiteboard simulator, and all three agree on the
+// leader; the ELECT verdict is cross-checked against the gcd oracle.
+func TestModelConformance(t *testing.T) {
+	for _, inst := range conformanceCorpus(t) {
+		inst := inst
+		t.Run(inst.name, func(t *testing.T) {
+			t.Parallel()
+			machine := DFSElection(len(inst.homes))
+			for seed := int64(1); seed <= 3; seed++ {
+				if err := checkConformance(inst, machine, seed); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// TestModelConformanceCanary plants a deliberate bug — a machine that crowns
+// the MINIMUM identity while the simulator crowns the maximum — and requires
+// the conformance harness to catch it. A harness that cannot fail proves
+// nothing.
+func TestModelConformanceCanary(t *testing.T) {
+	base := DFSElection(2)
+	buggy := func(memory string, v View) (string, Action) {
+		mem, act := base(memory, v)
+		if act.Halt != "" {
+			act.Halt = "defeated"
+			if v.ID == 1 {
+				act.Halt = "leader"
+			}
+		}
+		return mem, act
+	}
+	inst := conformanceInstance{"cycle6", graph.Cycle(6), []int{0, 2}}
+	err := checkConformance(inst, buggy, 1)
+	if err == nil {
+		t.Fatal("conformance harness accepted a min-wins election against the max-wins simulator")
+	}
+	t.Logf("canary caught as expected: %v", err)
+}

@@ -168,23 +168,50 @@ func (b *Board) Signs() Signs {
 }
 
 // Write adds the sign (caller's color, tag). Duplicate (color, tag) pairs
-// are idempotent.
+// are idempotent. Under fault injection the write may be torn: only a proper
+// prefix of the tag lands and the writer is crash-stopped when its access
+// ends (so a torn sign is only ever the work of a dead agent).
 func (b *Board) Write(tag string) {
+	a := b.agent
+	if a != nil && a.crashPending {
+		return // the writer already died mid-access; nothing more lands
+	}
+	wtag := tag
+	if a != nil && a.eng.faultsOn() {
+		if act := a.eng.injectAt(a, FaultWrite, b.node, tag); act.Torn {
+			keep := act.Keep
+			if keep > len(tag)-1 {
+				keep = len(tag) - 1
+			}
+			if keep < 0 {
+				keep = 0
+			}
+			a.crashPending, a.crashHold = true, act.HoldLock
+			a.eng.trace(a.index, EvTorn, b.node, tag[:keep])
+			if keep == 0 {
+				return // the write was lost entirely
+			}
+			wtag = tag[:keep]
+		}
+	}
 	for _, s := range b.wb.signs {
-		if s.Tag == tag && s.Color.Equal(b.color) {
+		if s.Tag == wtag && s.Color.Equal(b.color) {
 			return
 		}
 	}
-	b.wb.signs = append(b.wb.signs, Sign{Color: b.color, Tag: tag})
+	b.wb.signs = append(b.wb.signs, Sign{Color: b.color, Tag: wtag})
 	b.wb.dirty = true
-	if b.agent != nil {
-		b.agent.eng.cfg.Telemetry.CountWrite(b.agent.phase)
-		b.agent.eng.trace(b.agent.index, EvWrite, b.node, tag)
+	if a != nil {
+		a.eng.cfg.Telemetry.CountWrite(a.phase)
+		a.eng.trace(a.index, EvWrite, b.node, wtag)
 	}
 }
 
 // Erase removes the caller's sign with the tag, if present.
 func (b *Board) Erase(tag string) {
+	if b.agent != nil && b.agent.crashPending {
+		return
+	}
 	for i, s := range b.wb.signs {
 		if s.Tag == tag && s.Color.Equal(b.color) {
 			b.wb.signs = append(b.wb.signs[:i], b.wb.signs[i+1:]...)
@@ -203,6 +230,11 @@ type whiteboard struct {
 	cond  *sync.Cond
 	signs []Sign
 	dirty bool // set by writes, used to broadcast waiters
+	// abandoned marks the lock as held by a crashed agent; stallLeft is the
+	// remaining sequence-point budget before a survivor breaks it. Both are
+	// only touched when fault injection is on.
+	abandoned bool
+	stallLeft int
 }
 
 func newWhiteboard() *whiteboard {
@@ -302,6 +334,25 @@ type Config struct {
 	// of the run — a decision log that Replay can re-issue to reproduce the
 	// execution exactly.
 	Record *Schedule
+	// Faults, when set (requires Scheduler), consults the injector at every
+	// sequence point, whiteboard sign write, and Wait predicate check —
+	// enabling deterministic crash-stop, torn-write, and read-staleness
+	// injection. See FaultInjector and the internal/faults package.
+	Faults FaultInjector
+	// TakeoverAfter is the stall budget of an abandoned whiteboard lock:
+	// how many sequence points surviving agents collectively burn against a
+	// dead agent's lock before breaking it and taking over (default 3).
+	// Only meaningful together with Faults.
+	TakeoverAfter int
+	// ColorSeed, when nonzero, re-seeds only the color-palette shuffle,
+	// leaving every other seed-derived choice (wake set, presentation
+	// orders, per-agent RNGs) exactly as under Seed. It is the seam the
+	// relabeling-invariance property tests twist: a correct qualitative
+	// protocol cannot observe the difference.
+	ColorSeed int64
+	// SymbolSeed, when nonzero, re-seeds only the per-(agent, node) port
+	// symbol presentation shuffles, leaving everything else as under Seed.
+	SymbolSeed int64
 }
 
 // TagHome marks home-bases: the engine writes this sign, colored by the
@@ -333,6 +384,14 @@ type Agent struct {
 	// whiteboard access does not allocate (Board is invalid outside the
 	// Access callback, so reuse is safe).
 	board Board
+
+	// fseq counts past injection points per operation class (see
+	// FaultPoint.Index); crashPending/crashHold carry a torn write's
+	// crash-during-write decision from Board.Write to the end of the
+	// enclosing Access. All are agent-goroutine-local.
+	fseq         [numFaultOps]int
+	crashPending bool
+	crashHold    bool
 
 	id int // quantitative identity, only via ID()
 }
@@ -417,6 +476,9 @@ func (a *Agent) Access(f func(b *Board)) error {
 		return err
 	}
 	wb := a.eng.boards[a.node]
+	if err := a.eng.passAbandoned(a, wb); err != nil {
+		return err
+	}
 	wb.mu.Lock()
 	defer wb.mu.Unlock()
 	atomic.AddInt64(&a.accesses, 1)
@@ -424,6 +486,20 @@ func (a *Agent) Access(f func(b *Board)) error {
 	a.board = Board{wb: wb, color: a.color, agent: a, node: a.node}
 	f(&a.board)
 	a.board = Board{} // a retained *Board fails fast instead of racing
+	var crashErr error
+	if a.crashPending {
+		// A torn write inside f crash-stops the writer as its access ends;
+		// with HoldLock the board's lock is left abandoned for survivors to
+		// break (see passAbandoned).
+		a.crashPending = false
+		a.eng.crashed[a.index] = true
+		if a.crashHold {
+			a.crashHold = false
+			a.eng.abandonLocked(wb)
+		}
+		a.eng.trace(a.index, EvCrash, a.node, "torn-write")
+		crashErr = ErrCrashed
+	}
 	if wb.dirty {
 		wb.dirty = false
 		wb.cond.Broadcast()
@@ -434,7 +510,7 @@ func (a *Agent) Access(f func(b *Board)) error {
 			a.eng.ts.notifyBoard(a.node)
 		}
 	}
-	return nil
+	return crashErr
 }
 
 // Wait blocks until the current node's whiteboard satisfies pred (checked
@@ -453,6 +529,15 @@ func (a *Agent) Wait(pred func(Signs) bool) (Signs, error) {
 		atomic.AddInt64(&a.accesses, 1)
 		a.eng.cfg.Telemetry.CountAccess(a.phase)
 		for {
+			// Each predicate check is a read injection point: the injector
+			// may crash the agent here or stall its view of the board for a
+			// bounded number of extra sequence points.
+			if err := a.eng.faultRead(a); err != nil {
+				return nil, err
+			}
+			if err := a.eng.passAbandoned(a, wb); err != nil {
+				return nil, err
+			}
 			wb.mu.Lock()
 			snapshot := make(Signs, len(wb.signs))
 			copy(snapshot, wb.signs)
@@ -505,6 +590,13 @@ type Result struct {
 	// Colors[i] is agent i's color (for test-side bookkeeping; tests may
 	// map colors back to indices, protocols may not).
 	Colors []Color
+	// Crashed[i] reports whether agent i was crash-stopped by an injected
+	// fault (its error is ErrCrashed). Nil on fault-free runs fabricated by
+	// tests; all-false on fault-free engine runs.
+	Crashed []bool
+	// Takeovers counts abandoned-lock recoveries performed by surviving
+	// agents (see Config.TakeoverAfter).
+	Takeovers int64
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration
 }
@@ -566,6 +658,24 @@ func (r *Result) AgreedLeader() bool {
 	return true
 }
 
+// CrashedCount returns how many agents were crash-stopped by injected
+// faults (0 on fault-free runs).
+func (r *Result) CrashedCount() int {
+	n := 0
+	for _, c := range r.Crashed {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// Survived reports whether agent i was not crash-stopped (true for every
+// agent of a fault-free run).
+func (r *Result) Survived(i int) bool {
+	return i >= len(r.Crashed) || !r.Crashed[i]
+}
+
 // AllUnsolvable reports whether every agent declared the input unsolvable.
 func (r *Result) AllUnsolvable() bool {
 	for _, o := range r.Outcomes {
@@ -583,6 +693,14 @@ type engine struct {
 	ts      *turnstile // non-nil when cfg.Scheduler drives the run
 	aborted int32
 	started time.Time
+
+	// Fault-plane state: crashed[i] is written only from agent i's own
+	// goroutine and read after the run barrier; takeovers is the
+	// abandoned-lock recovery counter; takeoverAfter the per-lock stall
+	// budget (defaulted from cfg).
+	crashed       []bool
+	takeovers     atomic.Int64
+	takeoverAfter int
 
 	presMu sync.Mutex
 	pres   map[[2]int][]int // (agent, node) -> presentation permutation
@@ -632,7 +750,16 @@ func (e *engine) delay(a *Agent) error {
 		return ErrAborted
 	}
 	if e.ts != nil {
-		return e.ts.step(a.index)
+		if err := e.ts.step(a.index); err != nil {
+			return err
+		}
+		if e.faultsOn() {
+			// Every granted sequence point is a crash injection point.
+			if act := e.injectAt(a, FaultStep, a.node, ""); act.Crash {
+				return e.crash(a, act.HoldLock)
+			}
+		}
+		return nil
 	}
 	if e.cfg.MaxDelay > 0 {
 		d := time.Duration(a.rng.Int63n(int64(e.cfg.MaxDelay) + 1))
@@ -672,13 +799,30 @@ func Run(cfg Config, protocol Protocol) (*Result, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 30 * time.Second
 	}
+	if cfg.Faults != nil && cfg.Scheduler == nil {
+		return nil, errors.New("sim: fault injection requires the deterministic Scheduler")
+	}
+	if cfg.TakeoverAfter <= 0 {
+		cfg.TakeoverAfter = 3
+	}
 
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The rng consumption order below is part of the repository's
+	// determinism contract: seedLo, then the palette, then per-agent RNGs,
+	// then the wake set. The ColorSeed/SymbolSeed seams override a single
+	// draw's value without skipping the draw, so setting them perturbs
+	// nothing else.
+	seedLo := rng.Int63()
+	if cfg.SymbolSeed != 0 {
+		seedLo = cfg.SymbolSeed
+	}
 	e := &engine{
-		cfg:    cfg,
-		boards: make([]*whiteboard, cfg.Graph.N()),
-		pres:   make(map[[2]int][]int),
-		seedLo: rng.Int63(),
+		cfg:           cfg,
+		boards:        make([]*whiteboard, cfg.Graph.N()),
+		pres:          make(map[[2]int][]int),
+		seedLo:        seedLo,
+		crashed:       make([]bool, len(cfg.Homes)),
+		takeoverAfter: cfg.TakeoverAfter,
 	}
 	if cfg.Scheduler != nil {
 		e.ts = newTurnstile(len(cfg.Homes), cfg.Scheduler, cfg.Record)
@@ -690,6 +834,9 @@ func Run(cfg Config, protocol Protocol) (*Result, error) {
 	// Seed-shuffled palette: agent i's color id is palette[i]+1, so color
 	// ids carry no information about agent indices.
 	palette := rng.Perm(len(cfg.Homes))
+	if cfg.ColorSeed != 0 {
+		palette = rand.New(rand.NewSource(cfg.ColorSeed)).Perm(len(cfg.Homes))
+	}
 	e.agents = make([]*Agent, len(cfg.Homes))
 	for i, h := range cfg.Homes {
 		e.agents[i] = &Agent{
@@ -808,11 +955,16 @@ func Run(cfg Config, protocol Protocol) (*Result, error) {
 		res.Moves[i] = e.agents[i].Moves()
 		res.Accesses[i] = e.agents[i].Accesses()
 	}
+	res.Crashed = e.crashed
+	res.Takeovers = e.takeovers.Load()
 	if e.ts != nil && e.ts.deadlocked() && runErr == nil {
 		runErr = ErrDeadlock
 	}
 	for i, err := range res.Errors {
-		if err != nil && runErr == nil {
+		// An injected crash is an environment event, not a protocol
+		// failure: the crashed agent's ErrCrashed stays per-agent and the
+		// survivors' outcomes remain checkable.
+		if err != nil && runErr == nil && !errors.Is(err, ErrCrashed) {
 			runErr = fmt.Errorf("sim: agent %d: %w", i, err)
 		}
 	}

@@ -20,6 +20,16 @@ const (
 	EvWake
 	// EvOutcome is the agent's final protocol outcome.
 	EvOutcome
+	// EvCrash is an injected crash-stop (tag "holding-lock" when the agent
+	// died inside an exclusive access, abandoning the node's lock; tag
+	// "torn-write" when the crash was coupled to a partial write).
+	EvCrash
+	// EvRecover is a surviving agent breaking an abandoned lock after its
+	// stall budget ran out (tag "lock-takeover").
+	EvRecover
+	// EvTorn is a partial (torn) whiteboard write; the tag holds the prefix
+	// that actually landed (possibly empty: the write was lost).
+	EvTorn
 )
 
 // String names the event kind.
@@ -35,6 +45,12 @@ func (k EventKind) String() string {
 		return "wake"
 	case EvOutcome:
 		return "outcome"
+	case EvCrash:
+		return "crash"
+	case EvRecover:
+		return "recover"
+	case EvTorn:
+		return "torn"
 	default:
 		return "unknown"
 	}

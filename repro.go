@@ -116,6 +116,16 @@ type RunConfig struct {
 	// RecordSchedule, when set, captures a scheduled run's grant sequence —
 	// the compact decision log that replays the run bit-for-bit.
 	RecordSchedule *Schedule
+	// Faults, when set, injects deterministic faults (crash-stops, torn
+	// whiteboard writes, bounded read staleness) at the simulator's sequence
+	// points. Requires Scheduler — the fault plane composes with the
+	// serializing turnstile so (schedule, fault plan) replays are exact.
+	// Strategy-driven injectors and recordable plans live in internal/faults.
+	Faults FaultInjector
+	// TakeoverAfter is the number of sequence points a surviving agent burns
+	// at a whiteboard abandoned by a crashed lock-holder before breaking the
+	// lock and taking over (default 3; only meaningful with Faults).
+	TakeoverAfter int
 }
 
 // Strategy decides which ready agent runs at each sequence point of a
@@ -141,6 +151,36 @@ var DecodeSchedule = sim.DecodeSchedule
 // any legal schedule.
 var ErrDeadlock = sim.ErrDeadlock
 
+// ErrCrashed is the sentinel a crash-stopped agent's protocol goroutine
+// unwinds with; it marks an injected fault, not a protocol failure, and is
+// never promoted to a run-level error.
+var ErrCrashed = sim.ErrCrashed
+
+// FaultInjector decides, at each injection point of a scheduled run, whether
+// to inject a fault (see RunConfig.Faults and internal/faults).
+type FaultInjector = sim.FaultInjector
+
+// FaultPoint names one potential injection point: the operation kind, the
+// acting agent, its per-agent per-operation sequence index, the node, and
+// the protocol phase.
+type FaultPoint = sim.FaultPoint
+
+// FaultAction is an injector's decision at a FaultPoint: crash (optionally
+// holding the node lock), tear the in-flight write to a prefix, or stall
+// the next reads.
+type FaultAction = sim.FaultAction
+
+// FaultOp classifies injection points (sequence step, sign write, board
+// read).
+type FaultOp = sim.FaultOp
+
+// The fault injection-point kinds.
+const (
+	FaultStep  = sim.FaultStep
+	FaultWrite = sim.FaultWrite
+	FaultRead  = sim.FaultRead
+)
+
 // TelemetryRun collects one run's phase-scoped counters, spans and
 // instants (see internal/telemetry).
 type TelemetryRun = telemetry.Run
@@ -165,6 +205,9 @@ const (
 	EvErase   = sim.EvErase
 	EvWake    = sim.EvWake
 	EvOutcome = sim.EvOutcome
+	EvCrash   = sim.EvCrash
+	EvRecover = sim.EvRecover
+	EvTorn    = sim.EvTorn
 )
 
 // BufferedTracer decouples a slow trace sink (printing, file I/O) from the
@@ -241,6 +284,8 @@ func simConfig(g *Graph, homes []int, cfg RunConfig, quant bool) sim.Config {
 		Telemetry:        cfg.Telemetry,
 		Scheduler:        cfg.Scheduler,
 		Record:           cfg.RecordSchedule,
+		Faults:           cfg.Faults,
+		TakeoverAfter:    cfg.TakeoverAfter,
 	}
 }
 
