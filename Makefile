@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-iso campaign experiments examples vet fmt cover cover-gate fuzz adversary faults
+.PHONY: all build test race bench bench-iso campaign experiments examples vet fmt cover cover-gate fuzz adversary faults serve bench-serve
 
 all: build vet test
 
@@ -73,6 +73,21 @@ adversary:
 faults:
 	$(GO) run ./cmd/faults -graph star -n 4 -homes 1,2 \
 		-seeds 1..8 -report faults_report.json -save fault_violations
+
+# The election daemon (internal/serve, DESIGN.md §12): analyses, single
+# runs and streamed campaigns over HTTP/JSON on :8080.
+serve:
+	$(GO) run ./cmd/electd -listen :8080
+
+# Daemon throughput/latency benchmark: start a local electd, drive the
+# seeded open-loop mix against it, write BENCH_serve.json, tear it down.
+bench-serve:
+	$(GO) build -o /tmp/electd-bench ./cmd/electd
+	$(GO) build -o /tmp/electload-bench ./cmd/electload
+	@/tmp/electd-bench -listen 127.0.0.1:18080 & \
+	EPID=$$!; \
+	/tmp/electload-bench -addr 127.0.0.1:18080 -duration 10s -rate 200 -out BENCH_serve.json; \
+	rc=$$?; kill -TERM $$EPID; wait $$EPID; exit $$rc
 
 # Regenerate every table and figure of the paper (E1-E12).
 experiments:

@@ -39,10 +39,10 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"net"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/prof"
+	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
 
@@ -116,11 +117,13 @@ func main() {
 		RatioBound:      *bound,
 		Telemetry:       *telemetryOn,
 	}
+	var metricsSrv *serve.HTTPServer
 	if *listen != "" {
-		// The registry outlives the campaign loop: metrics accumulate while
-		// runs execute and the endpoint stays readable until the process
-		// exits. pprof handlers are registered explicitly so the default
-		// mux (and anything else registered on it) is not exposed.
+		// pprof handlers are registered explicitly so the default mux (and
+		// anything else registered on it) is not exposed. The lifecycle
+		// helper propagates serve errors (the bare `go http.Serve` it
+		// replaces silently lost them) and shuts the listener down once the
+		// campaign is done instead of leaking it until process exit.
 		reg := telemetry.NewRegistry()
 		opt.Metrics = reg
 		mux := http.NewServeMux()
@@ -130,16 +133,13 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		ln, err := net.Listen("tcp", *listen)
+		var err error
+		metricsSrv, err = serve.Listen(*listen, mux, nil)
 		if err != nil {
 			fail(err)
 		}
-		fmt.Printf("serving metrics on http://%s/debug/metrics (pprof under /debug/pprof/)\n", ln.Addr())
-		go func() {
-			if err := http.Serve(ln, mux); err != nil {
-				fmt.Fprintln(os.Stderr, "campaign: metrics server:", err)
-			}
-		}()
+		metricsSrv.Start()
+		fmt.Printf("serving metrics on http://%s/debug/metrics (pprof under /debug/pprof/)\n", metricsSrv.Addr())
 	}
 	if *timelinePath != "" {
 		f, err := os.Create(*timelinePath)
@@ -168,6 +168,21 @@ func main() {
 	rep, err := campaign.ExecuteRuns(runs, opt)
 	if err != nil {
 		fail(err)
+	}
+	if metricsSrv != nil {
+		// Surface a listener that died mid-campaign, then release the port.
+		select {
+		case serr := <-metricsSrv.Err():
+			if serr != nil {
+				fmt.Fprintln(os.Stderr, "campaign: metrics server:", serr)
+			}
+		default:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := metricsSrv.Shutdown(ctx); err != nil {
+			metricsSrv.Close() //nolint:errcheck // exiting anyway
+		}
+		cancel()
 	}
 	fmt.Print(rep.Summary.Render())
 	if *timelinePath != "" {

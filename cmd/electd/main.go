@@ -1,0 +1,107 @@
+// Command electd is the election daemon: the repository's analysis,
+// single-run, and campaign planes served over HTTP/JSON (internal/serve).
+//
+// Usage:
+//
+//	electd [-listen :8080] [-workers N] [-queue-timeout 2s]
+//	       [-request-timeout 30s] [-campaign-timeout 5m] [-run-timeout 30s]
+//	       [-max-campaign-runs 100000] [-cache-bytes 67108864]
+//	       [-drain-grace 10s] [-drain-cleanup 5s]
+//
+// Endpoints (see internal/serve for wire formats):
+//
+//	POST /v1/analyze        solvability analysis of one instance
+//	POST /v1/elect          one simulated election run + replay artifact
+//	POST /v1/campaign       chunked-JSONL campaign stream
+//	GET  /v1/artifacts/{id} replay bundle download
+//	GET  /healthz           liveness + drain state
+//	GET  /debug/metrics     telemetry registry snapshot
+//
+// SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503, in-flight
+// requests get -drain-grace to finish, then their runs are canceled through
+// the context plumbing and given -drain-cleanup to unwind. A second signal
+// exits immediately.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "electd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		listen          = flag.String("listen", ":8080", "address to serve on")
+		workers         = flag.Int("workers", 0, "heavy-request slots (0 = GOMAXPROCS)")
+		queueTimeout    = flag.Duration("queue-timeout", 2*time.Second, "max wait for a pool slot before shedding 503")
+		requestTimeout  = flag.Duration("request-timeout", 30*time.Second, "deadline of /v1/analyze and /v1/elect")
+		campaignTimeout = flag.Duration("campaign-timeout", 5*time.Minute, "deadline of /v1/campaign")
+		runTimeout      = flag.Duration("run-timeout", 30*time.Second, "per-run simulation watchdog")
+		maxCampaignRuns = flag.Int("max-campaign-runs", 0, "largest work list one campaign may expand to (0 = default)")
+		cacheBytes      = flag.Int64("cache-bytes", 0, "analysis-cache byte bound (0 = default 64MiB, negative = unbounded)")
+		drainGrace      = flag.Duration("drain-grace", 10*time.Second, "drain budget for in-flight requests")
+		drainCleanup    = flag.Duration("drain-cleanup", 5*time.Second, "post-cancel unwind budget")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:         *workers,
+		QueueTimeout:    *queueTimeout,
+		RequestTimeout:  *requestTimeout,
+		CampaignTimeout: *campaignTimeout,
+		RunTimeout:      *runTimeout,
+		MaxCampaignRuns: *maxCampaignRuns,
+		CacheMaxBytes:   *cacheBytes,
+	})
+	hs, err := serve.Listen(*listen, s, nil)
+	if err != nil {
+		return err
+	}
+	hs.Start()
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	log.Printf("electd: serving on %s (workers=%d)", hs.Addr(), w)
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-hs.Err():
+		// The listener died under us; nothing to drain.
+		return fmt.Errorf("serve: %w", err)
+	case sig := <-sigc:
+		log.Printf("electd: %v, draining (grace %v)", sig, *drainGrace)
+	}
+
+	// A second signal during the drain kills the process the hard way.
+	done := make(chan error, 1)
+	go func() { done <- serve.Drain(hs, s, *drainGrace, *drainCleanup) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		log.Printf("electd: drained cleanly")
+		return nil
+	case sig := <-sigc:
+		log.Printf("electd: second %v, exiting immediately", sig)
+		hs.Close() //nolint:errcheck // exiting anyway
+		return nil
+	}
+}

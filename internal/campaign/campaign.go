@@ -20,6 +20,7 @@
 package campaign
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -29,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/adversary"
+	"repro/internal/analysiscache"
 	"repro/internal/elect"
 	"repro/internal/faults"
 	"repro/internal/graph"
@@ -68,6 +70,14 @@ type Options struct {
 	// oracle prediction, every run trivially OK. Used by benchmarks that
 	// measure pure protocol runtime.
 	NoAnalysis bool
+	// Cache, when set, is the shared analysis cache to memoize through —
+	// the election daemon passes its process-wide cache here so campaign
+	// requests coalesce with everything else the server analyzes. Nil
+	// builds a private bounded cache for this campaign.
+	Cache *analysiscache.Cache
+	// CacheMaxBytes bounds the private cache built when Cache is nil
+	// (0 = analysiscache.DefaultMaxBytes; negative = unbounded).
+	CacheMaxBytes int64
 	// JSONL, when set, receives one JSON record per completed run.
 	JSONL io.Writer
 
@@ -182,18 +192,37 @@ func expectedOutcome(kind ProtocolKind, an *elect.Analysis, cayleyFallback bool)
 
 // Execute expands the spec and runs it. See ExecuteRuns.
 func Execute(spec Spec, opt Options) (*Report, error) {
+	return ExecuteContext(context.Background(), spec, opt)
+}
+
+// ExecuteContext expands the spec and runs it under ctx: cancellation
+// stops feeding the pool, aborts in-flight simulations through
+// sim.Config.Context, and marks never-started runs as canceled.
+func ExecuteContext(ctx context.Context, spec Spec, opt Options) (*Report, error) {
 	runs, err := spec.Expand()
 	if err != nil {
 		return nil, err
 	}
-	return ExecuteRuns(runs, opt)
+	return ExecuteRunsContext(ctx, runs, opt)
 }
 
 // ExecuteRuns drives an explicit work list through the pool. Results come
 // back in work-list order regardless of completion order; the JSONL stream
 // (when configured) is in completion order with indices for re-sorting.
 func ExecuteRuns(runs []Run, opt Options) (*Report, error) {
+	return ExecuteRunsContext(context.Background(), runs, opt)
+}
+
+// ExecuteRunsContext is ExecuteRuns under a context: when ctx is canceled
+// (a server request dropped, a SIGTERM drain expired) the worker pool
+// stops picking up work, every in-flight simulation is aborted through the
+// engine's cancellation path, and the report comes back with the completed
+// prefix summarized, the rest marked canceled, and ctx's error.
+func ExecuteRunsContext(ctx context.Context, runs []Run, opt Options) (*Report, error) {
 	opt = opt.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(runs) == 0 {
 		return nil, errors.New("campaign: empty work list")
 	}
@@ -213,7 +242,11 @@ func ExecuteRuns(runs []Run, opt Options) (*Report, error) {
 		protos[kind] = pi
 	}
 
-	cache := newAnalysisCache()
+	cache := opt.Cache
+	if cache == nil {
+		cache = analysiscache.New(analysiscache.Config{MaxBytes: opt.CacheMaxBytes})
+	}
+	cacheBefore := cache.Stats()
 	jw := newJSONLWriter(opt.JSONL)
 	results := make([]RunResult, len(runs))
 	idx := make(chan int)
@@ -237,26 +270,46 @@ func ExecuteRuns(runs []Run, opt Options) (*Report, error) {
 			defer wg.Done()
 			camRun.SetTrackName(w, "worker "+strconv.Itoa(w))
 			for i := range idx {
+				if ctx.Err() != nil {
+					results[i] = canceledResult(i, runs[i])
+					jw.write(results[i])
+					continue
+				}
 				kind := runs[i].Protocol
 				if kind == "" {
 					kind = ProtoElect
 				}
 				opt.Metrics.Gauge("campaign_inflight").Add(1)
 				sp := camRun.StartSpan(w, runs[i].Instance, telemetry.PhaseNone)
-				results[i] = executeOne(i, runs[i], kind, protos[kind], opt, cache)
+				results[i] = executeOne(ctx, i, runs[i], kind, protos[kind], opt, cache)
 				sp.End()
 				opt.Metrics.Gauge("campaign_inflight").Add(-1)
 				jw.write(results[i])
 			}
 		}(w)
 	}
+feed:
 	for i := range runs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Never-fed runs get canceled records so the report stays
+			// index-complete; workers drain what is already queued (each
+			// checks ctx before executing, so nothing new actually runs).
+			for j := i; j < len(runs); j++ {
+				results[j] = canceledResult(j, runs[j])
+				jw.write(results[j])
+			}
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
 
-	hits, misses, analysis := cache.stats()
+	cd := cache.Stats()
+	hits := (cd.Hits + cd.Coalesced) - (cacheBefore.Hits + cacheBefore.Coalesced)
+	misses := cd.Misses - cacheBefore.Misses
+	analysis := time.Duration((cd.AnalysisMS - cacheBefore.AnalysisMS) * float64(time.Millisecond))
 	rep := &Report{
 		Results: results,
 		Summary: summarize(results, opt.Workers, time.Since(start), opt.RatioBound, hits, misses, analysis),
@@ -273,7 +326,21 @@ func ExecuteRuns(runs []Run, opt Options) (*Report, error) {
 			return rep, fmt.Errorf("campaign: timeline write: %w", err)
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return rep, fmt.Errorf("campaign: %w", err)
+	}
 	return rep, nil
+}
+
+// canceledResult records a run the canceled campaign never executed (or
+// refused to start): index-complete reports survive a drain.
+func canceledResult(index int, run Run) RunResult {
+	return RunResult{
+		Index: index, Instance: run.Instance, Protocol: string(run.Protocol),
+		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
+		Strategy: run.Strategy, Fault: run.Fault,
+		Outcome: "canceled", Err: "campaign: canceled before run started",
+	}
 }
 
 // moveBuckets shapes the campaign_run_moves histogram: exponential from
@@ -281,8 +348,9 @@ func ExecuteRuns(runs []Run, opt Options) (*Report, error) {
 var moveBuckets = telemetry.ExpBuckets(16, 4, 8)
 
 // executeOne runs one unit of work: cached analysis, then the simulation
-// under the watchdog with bounded reseeded retries.
-func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options, cache *analysisCache) (res RunResult) {
+// under the watchdog with bounded reseeded retries. ctx cancellation
+// aborts the in-flight simulation (sim.ErrCanceled, never retried).
+func executeOne(ctx context.Context, index int, run Run, kind ProtocolKind, pi protoInfo, opt Options, cache *analysiscache.Cache) (res RunResult) {
 	res = RunResult{
 		Index: index, Instance: run.Instance, Protocol: string(kind),
 		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
@@ -326,7 +394,7 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 		}
 	}()
 	if !opt.NoAnalysis {
-		an, hit, err := cache.analyze(run.G, run.Homes)
+		an, hit, err := cache.Get(ctx, run.G, run.Homes)
 		if err == nil {
 			res.Sizes = an.Sizes
 			res.GCD = an.GCD
@@ -375,6 +443,7 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 		}
 		simCfg := sim.Config{
 			Graph: run.G, Homes: run.Homes,
+			Context:          ctx,
 			Seed:             seed,
 			MaxDelay:         opt.MaxDelay,
 			WakeAll:          opt.WakeAll,
@@ -424,6 +493,9 @@ func executeOne(index int, run Run, kind ProtocolKind, pi protoInfo, opt Options
 
 	if runErr != nil {
 		res.Outcome = "error"
+		if errors.Is(runErr, sim.ErrCanceled) {
+			res.Outcome = "canceled"
+		}
 		res.Err = runErr.Error()
 		res.Aborted = errors.Is(runErr, sim.ErrAborted)
 		// Under injected faults a run error (crash-induced deadlock) is an
@@ -470,7 +542,7 @@ func AnalyzeBatch(insts []Instance, workers int) ([]*elect.Analysis, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	cache := newAnalysisCache()
+	cache := analysiscache.New(analysiscache.Config{})
 	out := make([]*elect.Analysis, len(insts))
 	errs := make([]error, len(insts))
 	idx := make(chan int)
@@ -480,7 +552,7 @@ func AnalyzeBatch(insts []Instance, workers int) ([]*elect.Analysis, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				an, _, err := cache.analyze(insts[i].G, insts[i].Homes)
+				an, _, err := cache.Get(context.Background(), insts[i].G, insts[i].Homes)
 				out[i], errs[i] = an, err
 			}
 		}()

@@ -2,7 +2,9 @@ package campaign
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"reflect"
 	"runtime"
 	"sort"
@@ -10,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/analysiscache"
 	"repro/internal/elect"
 	"repro/internal/graph"
 	"repro/internal/order"
@@ -244,43 +247,78 @@ func TestWatchdogExhausted(t *testing.T) {
 	}
 }
 
-func TestCanonicalKey(t *testing.T) {
-	a, b := graph.Cycle(6), graph.Cycle(6)
-	if canonicalKey(a, []int{0, 2}) != canonicalKey(b, []int{2, 0}) {
-		t.Error("structurally equal instances should share a key (homes are a multiset)")
+// TestSharedCacheAcrossCampaigns: two campaigns given one
+// analysiscache.Cache pay for each instance's analysis once total — the
+// extraction that lets the daemon share a cache across requests.
+func TestSharedCacheAcrossCampaigns(t *testing.T) {
+	shared := analysiscache.New(analysiscache.Config{})
+	g := graph.Cycle(6)
+	runs := []Run{{Instance: "cycle6[0 2]", G: g, Homes: []int{0, 2}, Seed: 1, Protocol: ProtoElect}}
+	opt := Options{Workers: 1, Cache: shared}
+	if _, err := ExecuteRuns(runs, opt); err != nil {
+		t.Fatal(err)
 	}
-	if canonicalKey(a, []int{0, 2}) == canonicalKey(a, []int{0, 3}) {
-		t.Error("different placements must not share a key")
+	rep, err := ExecuteRuns(runs, opt)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if canonicalKey(a, []int{0, 2}) == canonicalKey(graph.Cycle(7), []int{0, 2}) {
-		t.Error("different graphs must not share a key")
+	// The second campaign's only analysis is a hit on the first's entry.
+	if rep.Summary.CacheHits != 1 || rep.Summary.CacheMisses != 0 {
+		t.Errorf("second campaign hits/misses = %d/%d, want 1/0 via the shared cache",
+			rep.Summary.CacheHits, rep.Summary.CacheMisses)
 	}
-	// Shared-home weights are part of the key.
-	if canonicalKey(a, []int{0, 0, 2}) == canonicalKey(a, []int{0, 2}) {
-		t.Error("home multiplicity must be part of the key")
+	if s := shared.Stats(); s.Misses != 1 {
+		t.Errorf("shared cache computed %d analyses across two campaigns, want 1", s.Misses)
+	}
+	if !rep.Results[0].CacheHit {
+		t.Error("run record should mark the analysis as cached")
 	}
 }
 
-func TestAnalysisCacheCoalesces(t *testing.T) {
-	c := newAnalysisCache()
-	g := graph.Cycle(6)
-	an1, hit1, err := c.analyze(g, []int{0, 2})
-	if err != nil || hit1 {
-		t.Fatalf("first call: hit=%v err=%v", hit1, err)
+// TestExecuteRunsContextCancel: cancelling mid-campaign aborts in-flight
+// simulations and marks never-started runs canceled, keeping the report
+// index-complete.
+func TestExecuteRunsContextCancel(t *testing.T) {
+	stuck := func(a *sim.Agent) (sim.Outcome, error) {
+		_, err := a.Wait(func(sim.Signs) bool { return false })
+		return sim.Outcome{}, err
 	}
-	an2, hit2, err := c.analyze(graph.Cycle(6), []int{2, 0})
-	if err != nil || !hit2 {
-		t.Fatalf("second call: hit=%v err=%v", hit2, err)
+	g := graph.Cycle(5)
+	var runs []Run
+	for seed := int64(1); seed <= 8; seed++ {
+		runs = append(runs, Run{Instance: "cycle5[0]", G: g, Homes: []int{0}, Seed: seed, Protocol: ProtoElect})
 	}
-	if an1 != an2 {
-		t.Error("cache should return the identical analysis value")
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rep, err := ExecuteRunsContext(ctx, runs, Options{
+		Workers:      2,
+		RunTimeout:   time.Minute, // far past the cancel: only ctx can stop the stuck runs
+		MaxRetries:   -1,
+		testProtocol: func(Run, int) sim.Protocol { return stuck },
+	})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
 	}
-	hits, misses, analysis := c.stats()
-	if hits != 1 || misses != 1 {
-		t.Errorf("stats: %d/%d, want 1/1", hits, misses)
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v; in-flight runs did not abort", elapsed)
 	}
-	if analysis <= 0 {
-		t.Error("stats should report positive analysis time after a miss")
+	if rep == nil || len(rep.Results) != len(runs) {
+		t.Fatalf("report must stay index-complete: %+v", rep)
+	}
+	if rep.Summary.Canceled == 0 {
+		t.Errorf("summary should count canceled runs: %+v", rep.Summary)
+	}
+	for i, r := range rep.Results {
+		if r.Outcome != "canceled" {
+			t.Errorf("run %d outcome %q err %q, want canceled", i, r.Outcome, r.Err)
+		}
+	}
+	if n := len(rep.Failures()); n != 0 {
+		t.Errorf("canceled runs are not failures, got %d", n)
 	}
 }
 

@@ -103,6 +103,11 @@ type Summary struct {
 	// Aborted counts runs whose final attempt still hit the watchdog.
 	Retries int `json:"retries"`
 	Aborted int `json:"aborted"`
+	// Canceled counts runs stopped (or never started) by context
+	// cancellation — a dropped server request or an expired drain. They are
+	// reported separately from Errors: cancellation is an environment
+	// decision, not a protocol failure.
+	Canceled int `json:"canceled,omitempty"`
 	// InvariantViolations counts strategy-scheduled runs with at least one
 	// protocol-invariant breach (see RunResult.Violations).
 	InvariantViolations int `json:"invariant_violations"`
@@ -184,6 +189,11 @@ type Report struct {
 func (r *Report) Failures() []RunResult {
 	var out []RunResult
 	for _, res := range r.Results {
+		if res.Outcome == "canceled" {
+			// A drained run neither passed nor failed; the caller already
+			// received the cancellation error from ExecuteRunsContext.
+			continue
+		}
 		if res.Fault != "" {
 			if !res.OK || len(res.Violations) > 0 {
 				out = append(out, res)
@@ -253,6 +263,14 @@ func summarize(results []RunResult, workers int, wall time.Duration, bound float
 	var crashedPerRun []int64
 	for _, r := range results {
 		s.Outcomes[r.Outcome]++
+		if r.Outcome == "canceled" {
+			// Cancellation is an environment decision: count it, keep it out
+			// of the error/mismatch/percentile accounting (a never-started
+			// run has Attempts 0, which would corrupt the retry count).
+			s.Canceled++
+			s.SerialMS += r.ElapsedMS
+			continue
+		}
 		s.Retries += r.Attempts - 1
 		s.SerialMS += r.ElapsedMS
 		s.TraceDropped += r.TraceDropped
@@ -360,6 +378,9 @@ func (s Summary) Render() string {
 	}
 	out += fmt.Sprintf("\n  oracle mismatches: %d, errors: %d, retries: %d, watchdog-aborted: %d\n",
 		s.Mismatches, s.Errors, s.Retries, s.Aborted)
+	if s.Canceled > 0 {
+		out += fmt.Sprintf("  canceled: %d runs\n", s.Canceled)
+	}
 	if s.InvariantViolations > 0 {
 		out += fmt.Sprintf("  INVARIANT VIOLATIONS: %d runs\n", s.InvariantViolations)
 	}

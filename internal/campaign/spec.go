@@ -2,7 +2,6 @@ package campaign
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
 
@@ -355,37 +354,4 @@ func ParseSeedRange(s string) (SeedRange, error) {
 		return SeedRange{}, fmt.Errorf("campaign: bad seed %q: %w", hi, err)
 	}
 	return SeedRange{From: from, To: to}, nil
-}
-
-// canonicalKey serializes the (graph, homes) pair into the analysis-cache
-// key: node count, the sorted edge multiset, and the sorted home multiset.
-// Two runs share a key exactly when they present the same adjacency
-// structure and agent placement (isomorphic but differently numbered
-// instances hash apart — the cache trades isomorphism detection for O(|E|)
-// keying).
-func canonicalKey(g *graph.Graph, homes []int) string {
-	edges := g.EdgeEndpoints()
-	es := make([][2]int, len(edges))
-	for i, e := range edges {
-		u, v := e[0], e[1]
-		if u > v {
-			u, v = v, u
-		}
-		es[i] = [2]int{u, v}
-	}
-	sort.Slice(es, func(i, j int) bool {
-		if es[i][0] != es[j][0] {
-			return es[i][0] < es[j][0]
-		}
-		return es[i][1] < es[j][1]
-	})
-	hs := append([]int(nil), homes...)
-	sort.Ints(hs)
-	var b strings.Builder
-	fmt.Fprintf(&b, "n=%d;e=", g.N())
-	for _, e := range es {
-		fmt.Fprintf(&b, "%d-%d,", e[0], e[1])
-	}
-	fmt.Fprintf(&b, ";h=%v", hs)
-	return b.String()
 }

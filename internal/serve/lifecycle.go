@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// HTTPServer couples an http.Server with a bound listener, asynchronous
+// error propagation, and ordered shutdown — the lifecycle plumbing every
+// serving CLI in this repository shares. It exists because the obvious
+// `go http.Serve(ln, mux)` loses the error and leaks the listener
+// (cmd/campaign -listen did exactly that).
+type HTTPServer struct {
+	srv  *http.Server
+	ln   net.Listener
+	errc chan error
+}
+
+// Listen binds addr and prepares (but does not start) the server. base,
+// when non-nil, parents every request context — cancel it to cancel all
+// in-flight request contexts (the drain hammer).
+func Listen(addr string, h http.Handler, base context.Context) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if base != nil {
+		srv.BaseContext = func(net.Listener) context.Context { return base }
+	}
+	return &HTTPServer{srv: srv, ln: ln, errc: make(chan error, 1)}, nil
+}
+
+// Addr is the bound address (resolves ":0" to the real port).
+func (h *HTTPServer) Addr() string { return h.ln.Addr().String() }
+
+// Start serves in a background goroutine. A serve failure lands on Err;
+// the expected http.ErrServerClosed after Shutdown/Close does not.
+func (h *HTTPServer) Start() {
+	go func() {
+		if err := h.srv.Serve(h.ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			h.errc <- err
+		}
+		close(h.errc)
+	}()
+}
+
+// Err yields at most one asynchronous serve error, then closes. Select on
+// it alongside your main work so a dying listener is not silent.
+func (h *HTTPServer) Err() <-chan error { return h.errc }
+
+// Shutdown stops accepting, then waits for in-flight requests up to ctx's
+// deadline (http.Server.Shutdown semantics).
+func (h *HTTPServer) Shutdown(ctx context.Context) error {
+	return h.srv.Shutdown(ctx)
+}
+
+// Close tears the server down immediately, dropping in-flight connections.
+func (h *HTTPServer) Close() error { return h.srv.Close() }
+
+// Drain is the daemon's full termination sequence: flip s to draining
+// (healthz 503), stop accepting and wait up to grace for in-flight
+// requests; if any outlive the budget, cancel their runs through
+// s.CancelRuns and give them cleanup seconds to unwind before closing
+// hard. Returns nil on a clean drain.
+func Drain(h *HTTPServer, s *Server, grace, cleanup time.Duration) error {
+	s.StartDrain()
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	err := h.Shutdown(ctx)
+	if err == nil {
+		return nil
+	}
+	// In-flight work outlived the budget: abort the runs (the context
+	// plumbing unwinds sims mid-flight), then re-await briefly.
+	s.CancelRuns()
+	ctx2, cancel2 := context.WithTimeout(context.Background(), cleanup)
+	defer cancel2()
+	if err2 := h.Shutdown(ctx2); err2 != nil {
+		h.Close() //nolint:errcheck // already failing; report the drain error
+		return err
+	}
+	return nil
+}

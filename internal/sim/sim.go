@@ -26,6 +26,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -247,6 +248,12 @@ func newWhiteboard() *whiteboard {
 // fires or the run is cancelled.
 var ErrAborted = errors.New("sim: run aborted (deadline reached)")
 
+// ErrCanceled is returned by Run when Config.Context is cancelled before
+// the protocol completes. It deliberately does not wrap ErrAborted: the
+// watchdog path (ErrAborted) is retriable under a fresh seed, an external
+// cancellation is not.
+var ErrCanceled = errors.New("sim: run canceled")
+
 // Role is an agent's final protocol status.
 type Role int
 
@@ -306,6 +313,12 @@ type Config struct {
 	WakeAll bool
 	// Timeout aborts the run (default 30s).
 	Timeout time.Duration
+	// Context, when set, cancels the run externally: cancellation unwinds
+	// every agent through the abort machinery (exactly like the watchdog)
+	// and Run returns an error wrapping ErrCanceled. Nil means the run can
+	// only end by completing or hitting Timeout. Server request deadlines
+	// and SIGTERM drains ride on this.
+	Context context.Context
 	// QuantitativeIDs, when set, lets agents call Agent.ID to obtain a
 	// totally ordered integer identity — the quantitative model used by
 	// the baseline protocol of Section 1.3. Qualitative protocols must
@@ -927,14 +940,14 @@ func Run(cfg Config, protocol Protocol) (*Result, error) {
 		close(done)
 	}()
 	var runErr error
-	select {
-	case <-done:
-	case <-time.After(cfg.Timeout):
+	// abort unwinds every agent: flag the engine, release the turnstile,
+	// and broadcast on all whiteboards until the pool drains so no waiter
+	// sleeps through the flag.
+	abort := func(cause error) {
 		atomic.StoreInt32(&e.aborted, 1)
 		if e.ts != nil {
 			e.ts.abort()
 		}
-		// Wake all waiters so they observe the abort.
 		for {
 			for _, wb := range e.boards {
 				wb.mu.Lock()
@@ -943,12 +956,23 @@ func Run(cfg Config, protocol Protocol) (*Result, error) {
 			}
 			select {
 			case <-done:
-				runErr = fmt.Errorf("sim: %w after %v", ErrAborted, cfg.Timeout)
+				runErr = cause
 			case <-time.After(10 * time.Millisecond):
 				continue
 			}
 			break
 		}
+	}
+	var ctxDone <-chan struct{}
+	if cfg.Context != nil {
+		ctxDone = cfg.Context.Done()
+	}
+	select {
+	case <-done:
+	case <-ctxDone:
+		abort(fmt.Errorf("%w: %v", ErrCanceled, cfg.Context.Err()))
+	case <-time.After(cfg.Timeout):
+		abort(fmt.Errorf("sim: %w after %v", ErrAborted, cfg.Timeout))
 	}
 	res.Elapsed = time.Since(start)
 	for i := range e.agents {

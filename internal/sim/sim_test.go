@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -254,6 +255,55 @@ func TestTimeoutAbortsDeadlock(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("expected timeout error")
+	}
+}
+
+func TestContextCancelAbortsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{
+		Graph:   graph.Path(2),
+		Homes:   []int{0},
+		Seed:    9,
+		WakeAll: true,
+		Timeout: 30 * time.Second,
+		Context: ctx,
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(cfg, func(a *Agent) (Outcome, error) {
+		_, err := a.Wait(func(ss Signs) bool { return ss.Has("never") })
+		return Outcome{}, err
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if errors.Is(err, ErrAborted) {
+		t.Fatal("cancellation must not look like a retriable watchdog abort")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancel took %v, run did not unwind promptly", elapsed)
+	}
+}
+
+func TestContextAlreadyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{
+		Graph:   graph.Path(2),
+		Homes:   []int{0},
+		Seed:    11,
+		WakeAll: true,
+		Context: ctx,
+	}
+	_, err := Run(cfg, func(a *Agent) (Outcome, error) {
+		_, err := a.Wait(func(ss Signs) bool { return ss.Has("never") })
+		return Outcome{}, err
+	})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
 	}
 }
 

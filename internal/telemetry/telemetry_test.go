@@ -177,6 +177,68 @@ func TestRegistryJSONAndHTTP(t *testing.T) {
 	}
 }
 
+// TestServeHTTPEmptyRegistry: a scrape of a registry with no metrics yet
+// yields the full envelope with empty (not null) maps — clients index into
+// them without nil checks.
+func TestServeHTTPEmptyRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	NewRegistry().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics", nil))
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(rec.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"counters", "gauges", "histograms"} {
+		v, ok := raw[key]
+		if !ok {
+			t.Fatalf("empty snapshot missing %q: %s", key, rec.Body.String())
+		}
+		if string(v) == "null" {
+			t.Fatalf("%q is null, want {}", key)
+		}
+	}
+}
+
+// TestServeHTTPConcurrentScrape: scraping while writers mutate counters,
+// gauges and histograms is safe (meaningful under -race) and every scrape
+// returns parseable JSON.
+func TestServeHTTPConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				r.Counter("hits").Inc()
+				r.Gauge("inflight").Set(int64(i))
+				r.Histogram("lat", ExpBuckets(1, 2, 8)).Observe(int64(i % 100))
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 50; i++ {
+		rec := httptest.NewRecorder()
+		r.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/metrics", nil))
+		if rec.Code != 200 {
+			t.Fatalf("scrape %d: status %d", i, rec.Code)
+		}
+		var got snapshot
+		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+			t.Fatalf("scrape %d: bad JSON: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if r.Counter("hits").Value() == 0 {
+		t.Fatal("writers never ran")
+	}
+}
+
 func TestExpBuckets(t *testing.T) {
 	got := ExpBuckets(10, 4, 4)
 	want := []int64{10, 40, 160, 640}
