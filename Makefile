@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-iso campaign experiments examples vet fmt cover cover-gate fuzz adversary faults serve bench-serve
+.PHONY: all build test race bench bench-iso bench-iso-large campaign experiments examples vet fmt cover cover-gate fuzz adversary faults serve bench-serve
 
 all: build vet test
 
@@ -27,8 +27,13 @@ bench:
 
 # Canonical-engine perf trajectory: regenerate BENCH_iso.json (DESIGN.md §8,
 # EXPERIMENTS.md). Fails if the optimized engine falls below the documented
-# 5x speedup over the frozen reference on Analyze(C32).
+# speedup gate over the frozen reference on Analyze(C32). -quick skips the
+# large-family kernels; bench-iso-large measures everything including the
+# 10³–10⁵-node sparse-engine workloads and the worker-pool pairs.
 bench-iso:
+	$(GO) run ./cmd/benchiso -quick -o BENCH_iso.json
+
+bench-iso-large:
 	$(GO) run ./cmd/benchiso -o BENCH_iso.json
 
 cover:

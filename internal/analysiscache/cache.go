@@ -28,16 +28,19 @@ import (
 	"hash/maphash"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"repro/internal/elect"
 	"repro/internal/graph"
 	"repro/internal/order"
 )
 
-// AnalyzeFunc computes the analysis of one instance. The production value
-// wraps elect.Analyze; tests inject counting or blocking stand-ins to
-// prove coalescing and eviction behavior.
-type AnalyzeFunc func(g *graph.Graph, homes []int) (*elect.Analysis, error)
+// AnalyzeFunc computes the analysis of one instance. The ctx is the
+// computation's own context, canceled when every waiter of the entry has
+// abandoned it — the production value wraps elect.AnalyzeCtx, which plumbs
+// it into the canonical-search workers. Tests inject counting or blocking
+// stand-ins to prove coalescing, eviction, and cancellation behavior.
+type AnalyzeFunc func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error)
 
 // KeyFunc maps an instance to its cache key. Two instances sharing a key
 // share an entry (and therefore one analysis). See StructuralKey and
@@ -128,6 +131,13 @@ type entry struct {
 	an   *elect.Analysis
 	err  error
 	cost int64
+	// waiters counts the Get calls currently blocked on this in-flight
+	// entry (including the one that started it); cancel stops the detached
+	// computation. When the last waiter abandons the entry, the computation
+	// is canceled and the entry is dropped so a future Get retries. Both
+	// are guarded by the shard lock.
+	waiters int
+	cancel  context.CancelFunc
 	// LRU links, valid only for completed entries; resident reports the
 	// entry is still in the map (an evicted entry's waiters still read it).
 	prev, next *entry
@@ -138,8 +148,8 @@ type entry struct {
 // New builds a cache from cfg (zero value ok).
 func New(cfg Config) *Cache {
 	if cfg.Analyze == nil {
-		cfg.Analyze = func(g *graph.Graph, homes []int) (*elect.Analysis, error) {
-			return elect.Analyze(g, homes, order.Direct)
+		cfg.Analyze = func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
+			return elect.AnalyzeCtx(ctx, g, homes, order.Direct)
 		}
 	}
 	if cfg.Key == nil {
@@ -175,8 +185,11 @@ func New(cfg Config) *Cache {
 // computing (a completed-entry hit or a coalesced join of an in-flight
 // computation). If ctx is done before the entry completes, Get returns
 // ctx.Err() — including for the caller that started the computation. The
-// computation itself runs detached and is never abandoned, so other
-// waiters (and future callers) still get the result.
+// computation runs detached from any single request context, so one
+// canceled waiter never robs the others; but when the LAST waiter of an
+// in-flight entry cancels, the computation's own context is canceled
+// (stopping the canonical-search workers inside elect.AnalyzeCtx) and the
+// entry is dropped so a future Get retries.
 func (c *Cache) Get(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, bool, error) {
 	key := c.key(g, homes)
 	sh := &c.shards[maphash.String(c.seed, key)&c.shardMask]
@@ -188,22 +201,26 @@ func (c *Cache) Get(ctx context.Context, g *graph.Graph, homes []int) (*elect.An
 	sh.mu.lock()
 	e, ok := sh.entries[key]
 	if !ok {
-		e = &entry{key: key, done: make(chan struct{}), resident: true}
+		cctx, cancel := context.WithCancel(context.Background())
+		e = &entry{key: key, done: make(chan struct{}), resident: true, waiters: 1, cancel: cancel}
 		sh.entries[key] = e
 		sh.mu.unlock()
 
 		c.misses.Add(1)
-		go c.compute(sh, e, g, homes)
+		go c.compute(cctx, sh, e, g, homes)
 		select {
 		case <-e.done:
 			return e.an, false, e.err
 		case <-ctxDone:
+			c.abandon(sh, e)
 			return nil, false, ctx.Err()
 		}
 	}
 	completed := e.completed
 	if completed {
 		sh.moveFront(e)
+	} else {
+		e.waiters++
 	}
 	sh.mu.unlock()
 
@@ -216,28 +233,56 @@ func (c *Cache) Get(ctx context.Context, g *graph.Graph, homes []int) (*elect.An
 	case <-e.done:
 		return e.an, true, e.err
 	case <-ctxDone:
+		c.abandon(sh, e)
 		return nil, false, ctx.Err()
 	}
 }
 
-// compute fills e (detached from any request context), closes its latch,
-// and installs the completed entry on the shard's LRU.
-func (c *Cache) compute(sh *shard, e *entry, g *graph.Graph, homes []int) {
+// abandon records that one waiter of an in-flight entry gave up. The last
+// waiter out cancels the computation and removes the entry from the map, so
+// the partially-done work is not installed and a future Get starts fresh.
+func (c *Cache) abandon(sh *shard, e *entry) {
+	sh.mu.lock()
+	e.waiters--
+	if e.waiters == 0 && !e.completed {
+		e.cancel()
+		if e.resident {
+			e.resident = false
+			delete(sh.entries, e.key)
+		}
+	}
+	sh.mu.unlock()
+}
+
+// compute fills e (detached from any single request context; ctx is the
+// entry's own, canceled only when every waiter abandons), closes its latch,
+// and installs the completed entry on the shard's LRU. completed is set
+// before the latch closes so an abandoning waiter that loses the race
+// cannot drop a finished entry.
+func (c *Cache) compute(ctx context.Context, sh *shard, e *entry, g *graph.Graph, homes []int) {
 	start := time.Now()
-	an, err := c.analyze(g, homes)
+	an, err := c.analyze(ctx, g, homes)
 	c.analysisNS.Add(int64(time.Since(start)))
 	e.an, e.err = an, err
 	e.cost = entryCost(e.key, an)
-	close(e.done)
 
 	sh.mu.lock()
 	e.completed = true
 	if e.resident {
-		sh.pushFront(e)
-		sh.size += e.cost
-		c.evictLocked(sh)
+		if err != nil && ctx.Err() != nil {
+			// A canceled computation's error is not a property of the
+			// instance: drop the entry so a future Get retries.
+			e.resident = false
+			delete(sh.entries, e.key)
+		} else {
+			sh.pushFront(e)
+			sh.size += e.cost
+			c.evictLocked(sh)
+		}
 	}
 	sh.mu.unlock()
+	e.cancel() // release the context's resources
+	close(e.done)
 }
 
 // evictLocked drops cold completed entries until the shard is under its
@@ -276,12 +321,15 @@ func (c *Cache) Stats() Stats {
 	return s
 }
 
-// entryCost estimates an entry's resident size: key bytes, the Analysis
-// struct, its Sizes slice, latch and bookkeeping overhead.
+// entryCost measures an entry's real resident size: the key's backing
+// bytes, the entry struct itself, the Analysis struct, and the full
+// capacity (not length) of the Sizes backing array — a slice trimmed by
+// append growth still pins cap(.)*8 bytes. unsafe.Sizeof keeps the struct
+// constants honest across field changes.
 func entryCost(key string, an *elect.Analysis) int64 {
-	cost := int64(len(key)) + 160
+	cost := int64(len(key)) + int64(unsafe.Sizeof(entry{}))
 	if an != nil {
-		cost += int64(len(an.Sizes)) * 8
+		cost += int64(unsafe.Sizeof(*an)) + int64(cap(an.Sizes))*int64(unsafe.Sizeof(int(0)))
 	}
 	return cost
 }

@@ -20,7 +20,7 @@ func TestCoalescing(t *testing.T) {
 	var calls atomic.Int64
 	gate := make(chan struct{})
 	c := New(Config{
-		Analyze: func(g *graph.Graph, homes []int) (*elect.Analysis, error) {
+		Analyze: func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
 			calls.Add(1)
 			<-gate
 			return &elect.Analysis{Sizes: []int{1}, GCD: 1}, nil
@@ -68,7 +68,7 @@ func TestCoalescing(t *testing.T) {
 func TestHitAfterCompletion(t *testing.T) {
 	var calls atomic.Int64
 	c := New(Config{
-		Analyze: func(g *graph.Graph, homes []int) (*elect.Analysis, error) {
+		Analyze: func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
 			calls.Add(1)
 			return &elect.Analysis{Sizes: []int{2, 2}, GCD: 2}, nil
 		},
@@ -93,7 +93,7 @@ func TestErrorsAreCached(t *testing.T) {
 	var calls atomic.Int64
 	wantErr := fmt.Errorf("analysis exploded")
 	c := New(Config{
-		Analyze: func(g *graph.Graph, homes []int) (*elect.Analysis, error) {
+		Analyze: func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
 			calls.Add(1)
 			return nil, wantErr
 		},
@@ -114,7 +114,7 @@ func TestErrorsAreCached(t *testing.T) {
 func TestEviction(t *testing.T) {
 	var calls atomic.Int64
 	c := New(Config{
-		Analyze: func(g *graph.Graph, homes []int) (*elect.Analysis, error) {
+		Analyze: func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
 			calls.Add(1)
 			return &elect.Analysis{Sizes: []int{g.N()}, GCD: g.N()}, nil
 		},
@@ -145,7 +145,7 @@ func TestEviction(t *testing.T) {
 
 func TestUnboundedWhenNegative(t *testing.T) {
 	c := New(Config{
-		Analyze: func(g *graph.Graph, homes []int) (*elect.Analysis, error) {
+		Analyze: func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
 			return &elect.Analysis{GCD: 1}, nil
 		},
 		MaxBytes: -1,
@@ -166,7 +166,7 @@ func TestUnboundedWhenNegative(t *testing.T) {
 func TestWaiterCancellation(t *testing.T) {
 	gate := make(chan struct{})
 	c := New(Config{
-		Analyze: func(g *graph.Graph, homes []int) (*elect.Analysis, error) {
+		Analyze: func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
 			<-gate
 			return &elect.Analysis{GCD: 1}, nil
 		},
@@ -240,5 +240,61 @@ func TestRealAnalyzeDefault(t *testing.T) {
 	}
 	if an.GCD != 2 {
 		t.Fatalf("C6 antipodal gcd = %d, want 2", an.GCD)
+	}
+}
+
+// TestAllWaitersCancelStopsCompute: when every waiter of an in-flight entry
+// cancels, the computation's own context must be canceled, the entry
+// dropped, and a later Get must recompute from scratch.
+func TestAllWaitersCancelStopsCompute(t *testing.T) {
+	var calls atomic.Int64
+	computeCanceled := make(chan struct{})
+	c := New(Config{
+		Analyze: func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
+			if calls.Add(1) == 1 {
+				<-ctx.Done() // block until the cache cancels this compute
+				close(computeCanceled)
+				return nil, ctx.Err()
+			}
+			return &elect.Analysis{GCD: 7}, nil
+		},
+	})
+	g := graph.Cycle(10)
+	ctx, cancel := context.WithCancel(context.Background())
+	errs := make(chan error, 1)
+	go func() {
+		_, _, err := c.Get(ctx, g, []int{0})
+		errs <- err
+	}()
+	for c.Stats().Misses == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errs; err != context.Canceled {
+		t.Fatalf("sole waiter got err=%v, want context.Canceled", err)
+	}
+	select {
+	case <-computeCanceled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compute context was not canceled after the last waiter left")
+	}
+	// The canceled entry must not poison the key: a fresh Get recomputes.
+	an, hit, err := c.Get(context.Background(), g, []int{0})
+	if err != nil || hit || an.GCD != 7 {
+		t.Fatalf("post-cancel recompute: an=%+v hit=%v err=%v", an, hit, err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("analyze calls = %d, want 2 (canceled + recomputed)", got)
+	}
+}
+
+// TestEntryCostTracksBackingArrays: the accounted size must charge the
+// capacity of the Sizes backing array, not its length.
+func TestEntryCostTracksBackingArrays(t *testing.T) {
+	sizes := make([]int, 4, 1024)
+	small := entryCost("k", &elect.Analysis{Sizes: sizes[:4:4]})
+	big := entryCost("k", &elect.Analysis{Sizes: sizes})
+	if big-small != 8*(1024-4) {
+		t.Fatalf("cost delta = %d, want %d (cap-based accounting)", big-small, 8*(1024-4))
 	}
 }

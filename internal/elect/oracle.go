@@ -1,6 +1,7 @@
 package elect
 
 import (
+	"context"
 	"errors"
 
 	"repro/internal/graph"
@@ -47,13 +48,35 @@ func BlackColors(n int, homes []int) []int {
 
 // Analyze computes the full solvability analysis of (g, homes).
 func Analyze(g *graph.Graph, homes []int, ord order.Ordering) (*Analysis, error) {
+	return AnalyzeCtx(context.Background(), g, homes, ord)
+}
+
+// AnalyzeCtx is Analyze under a context: cancellation propagates through
+// COMPUTE & ORDER into every canonical search it runs (including the
+// parallel sparse search workers on the large-graph path) and surfaces as
+// ctx.Err(). This is the hook by which a canceled /v1/analyze request stops
+// its analysis mid-computation.
+//
+// Graphs with at least order.LargeThreshold nodes take the scaled path: the
+// class structure comes from one sparse whole-graph canonicalization, and
+// the Cayley-recognition and Theorem 2.1 side analyses — whose group/SAT
+// machinery is superlinear in ways the sparse engine does not fix — are
+// skipped, leaving their fields unset exactly as an undecidable small
+// instance would.
+func AnalyzeCtx(ctx context.Context, g *graph.Graph, homes []int, ord order.Ordering) (*Analysis, error) {
 	colors := BlackColors(g.N(), homes)
-	o := order.ComputeAndOrder(g, colors, ord)
+	o, err := order.ComputeAndOrderCtx(ctx, g, colors, ord)
+	if err != nil {
+		return nil, err
+	}
 	// Class sizes are node counts of the WEIGHTED classes (weights are the
 	// node colors). Under the shared-home extension, co-located agents are
 	// first reduced by a local whiteboard race, so the reduction arithmetic
 	// operates on node counts regardless of weights.
 	a := &Analysis{Sizes: o.Sizes(), GCD: o.GCD()}
+	if g.N() >= order.LargeThreshold {
+		return a, nil
+	}
 
 	isCayley, d, err := CayleyTranslationCount(g, colors, 0)
 	switch {
@@ -66,6 +89,9 @@ func Analyze(g *graph.Graph, homes []int, ord order.Ordering) (*Analysis, error)
 		return nil, err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if g.IsSimple() {
 		w, err := labeling.ExistsSymmetricLabeling(g, colors, 0)
 		if err == nil {

@@ -263,3 +263,75 @@ func Fig2c() *Graph {
 	b.AddEdge(2, 2) // loop f at z
 	return b.Graph()
 }
+
+// RandomRegular returns a random simple connected d-regular graph on n nodes
+// via the configuration (pairing) model: n*d stubs are shuffled and paired,
+// and the attempt is rejected wholesale if the pairing produces a loop, a
+// parallel edge, or a disconnected graph. For constant d the acceptance
+// probability is bounded below by a constant (~e^{-(d²-1)/4}), so a bounded
+// number of restarts suffices in practice; the result is deterministic for a
+// fixed (n, d, seed). Requires n*d even, d >= 1 and d < n; panics otherwise
+// or if no simple connected pairing is found within the restart budget.
+func RandomRegular(n, d int, seed int64) *Graph {
+	if n <= 0 || d < 1 || d >= n || n*d%2 != 0 {
+		panic(fmt.Sprintf("graph: RandomRegular(%d, %d): need 0 < d < n and n*d even", n, d))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	stubs := make([]int, n*d)
+	for attempt := 0; attempt < 500; attempt++ {
+		for i := range stubs {
+			stubs[i] = i / d
+		}
+		rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+		b := NewBuilder(n)
+		seen := make(map[[2]int]bool, n*d/2)
+		ok := true
+		for i := 0; i < len(stubs); i += 2 {
+			u, v := stubs[i], stubs[i+1]
+			if u == v {
+				ok = false
+				break
+			}
+			if u > v {
+				u, v = v, u
+			}
+			if seen[[2]int{u, v}] {
+				ok = false
+				break
+			}
+			seen[[2]int{u, v}] = true
+			b.AddEdge(u, v)
+		}
+		if !ok {
+			continue
+		}
+		g := b.Graph()
+		if g.IsConnected() {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("graph: RandomRegular(%d, %d, %d): no simple connected pairing in budget", n, d, seed))
+}
+
+// BlowupCycle returns the t-fold blowup of the cycle C_k: each cycle node i
+// becomes an independent set of t twin copies {i*t, ..., i*t+t-1}, and every
+// copy of i is joined to every copy of i±1 (mod k). The n = k*t nodes fall
+// into k classes of t mutually-interchangeable twins, so the automorphism
+// group has order at least (t!)^k · 2k — a stress kernel for twin-heavy
+// canonical search, where orbit pruning must collapse the factorial blowup.
+// Requires k >= 3 and t >= 1.
+func BlowupCycle(k, t int) *Graph {
+	if k < 3 || t < 1 {
+		panic(fmt.Sprintf("graph: BlowupCycle(%d, %d): need k >= 3, t >= 1", k, t))
+	}
+	b := NewBuilder(k * t)
+	for i := 0; i < k; i++ {
+		j := (i + 1) % k
+		for a := 0; a < t; a++ {
+			for c := 0; c < t; c++ {
+				b.AddEdge(i*t+a, j*t+c)
+			}
+		}
+	}
+	return b.Graph()
+}

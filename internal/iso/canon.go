@@ -1,15 +1,28 @@
 package iso
 
-import "repro/internal/perm"
+import (
+	"bytes"
+
+	"repro/internal/perm"
+)
 
 // canonState drives one canonical labeling search. All scratch (partition
-// levels, signature buffers, the path's word prefix, orbit union-finds) is
-// owned here and reused across the whole backtracking tree, so the search
+// levels, refinement worklists, the path's word prefix, orbit union-finds)
+// is owned here and reused across the whole backtracking tree, so the search
 // allocates O(depth) level structures and otherwise runs allocation-free.
+//
+// One state serves both engines: the dense engine (c != nil) serializes the
+// n+n² growing-principal-submatrix word of DESIGN.md §8, the sparse engine
+// (sparse == true) the O(n+m) varint word of DESIGN.md §13. A state may run
+// standalone (sh == nil, the sequential engine) or as one worker of a
+// parallel search sharing a best-word bound and automorphism pool (sh !=
+// nil, parallel.go).
 type canonState struct {
-	c *Colored
-	g *csr
-	n int
+	c      *Colored // dense input (nil in sparse mode)
+	colors []int    // vertex colors (c.Color or the Sparse's colors)
+	g      *csr
+	n      int
+	sparse bool
 
 	// Search outcome.
 	best     []byte      // minimum leaf word so far (full serialization)
@@ -19,11 +32,11 @@ type canonState struct {
 	bestGen  int         // bumped every time best is replaced
 
 	// prefix is the serialized word of the current path, valid up to the
-	// bytes determined by the path's leading singleton cells: length
-	// n + k² when the first k cells are singletons. prefix[0:n] (the color
-	// bytes) is constant across the entire tree: initial cells are
-	// monochromatic and occupy fixed position ranges that refinement and
-	// individualization only subdivide.
+	// bytes determined by the path's leading singleton cells. prefix[0:n]
+	// (dense mode: the color bytes; sparse mode: the color varints) is
+	// constant across the entire tree: initial cells are monochromatic and
+	// occupy fixed position ranges that refinement and individualization
+	// only subdivide.
 	prefix []byte
 
 	// base is the stack of individualized vertices on the current path;
@@ -39,31 +52,101 @@ type canonState struct {
 	maxLeaves int
 	budgetHit bool
 
+	// done, when non-nil, is a cancellation signal (a context's Done
+	// channel) polled once per search node; stopped records that it fired
+	// and the search result is void.
+	done    <-chan struct{}
+	stopped bool
+
+	// sh, when non-nil, couples this state to a parallel search: best/
+	// bpermInv/bestGen mirror the shared snapshot (synced per node), leaves
+	// and automorphisms are accounted globally, and leaf handling publishes
+	// through the shared bound instead of installing locally. sharedSnap is
+	// the last snapshot this state synced against.
+	sh         *sharedSearch
+	sharedSnap *bestSnap
+
 	// Search-shape counters, flushed to the package stats once per search
-	// (plain ints: the search runs on one goroutine).
+	// (plain ints: each state runs on one goroutine).
 	nodes        int
 	orbitPrunes  int
 	prefixPrunes int
 
-	// Scratch reused by every refinement pass and leaf.
+	// Worklist-refinement scratch (refine.go). Cells are identified by
+	// start position during a refine: cellEnd[s] ends the cell starting at
+	// s, cellOf[v] is the start of v's cell, cnt* accumulate one splitter
+	// fragment's arc counts, and the remaining slices/bitsets carry the
+	// per-pass key and split-parent bookkeeping.
 	cellOf       []int32
-	sig          []int32
-	startScratch []int32
+	cellEnd      []int32
+	cntOut       []int32
+	cntIn        []int32
+	touched      []int32
+	affCells     []int32
+	fragBounds   []int32
+	fragList     []int32
+	fragParent   []int32
+	splitParents []int32
+	passEnd      []int32
+	keysA        []int32
+	keysB        []int32
+	cellMark     bitset
+	isFrag       bitset
+	parentMark   bitset
+	sortTmp      []int
 	colorCounts  []int32
+
+	// Sparse-word scratch: posOf[v] is v's position when v is placed on the
+	// current determined prefix (-1 otherwise); blk* accumulate one word
+	// block's per-position multiplicities.
+	posOf  []int32
+	blkOut []int32
+	blkIn  []int32
+	blkIdx []int32
 }
 
 func newCanonState(c *Colored, maxLeaves int) *canonState {
-	n := c.N
-	return &canonState{
-		c:            c,
-		g:            buildCSR(c),
-		n:            n,
-		maxLeaves:    maxLeaves,
-		prefix:       make([]byte, 0, n+n*n),
-		base:         make([]int, 0, n),
-		cellOf:       make([]int32, n),
-		startScratch: make([]int32, 0, n+1),
+	st := &canonState{c: c, colors: c.Color, g: buildCSR(c)}
+	st.init(c.N, maxLeaves, c.N+c.N*c.N)
+	return st
+}
+
+func newSparseCanonState(sp *Sparse, maxLeaves int) *canonState {
+	st := &canonState{colors: sp.Color, g: sp.g, sparse: true}
+	st.init(sp.N, maxLeaves, 0)
+	st.posOf = make([]int32, sp.N)
+	for i := range st.posOf {
+		st.posOf[i] = -1
 	}
+	st.blkOut = make([]int32, sp.N)
+	st.blkIn = make([]int32, sp.N)
+	st.blkIdx = make([]int32, 0, sp.N)
+	return st
+}
+
+// init allocates the mode-independent scratch for an n-vertex search.
+func (st *canonState) init(n, maxLeaves, prefixCap int) {
+	st.n = n
+	st.maxLeaves = maxLeaves
+	st.prefix = make([]byte, 0, prefixCap)
+	st.base = make([]int, 0, n)
+	st.cellOf = make([]int32, n)
+	st.cellEnd = make([]int32, n+1)
+	st.cntOut = make([]int32, n)
+	st.cntIn = make([]int32, n)
+	st.touched = make([]int32, 0, n)
+	st.affCells = make([]int32, 0, n)
+	st.fragBounds = make([]int32, 0, n)
+	st.fragList = make([]int32, 0, n)
+	st.fragParent = make([]int32, n)
+	st.splitParents = make([]int32, 0, n)
+	st.passEnd = make([]int32, n+1)
+	st.keysA = make([]int32, 0, 2*n)
+	st.keysB = make([]int32, 0, 2*n)
+	st.cellMark = newBitset(n + 1)
+	st.isFrag = newBitset(n + 1)
+	st.parentMark = newBitset(n + 1)
+	st.sortTmp = make([]int, n)
 }
 
 // level returns the pooled partition state for the given search depth,
@@ -82,22 +165,47 @@ func (st *canonState) level(depth int) *level {
 	return st.levels[depth]
 }
 
-// sigScratch returns a zeroable signature buffer of at least size entries.
-func (st *canonState) sigScratch(size int) []int32 {
-	if cap(st.sig) < size {
-		st.sig = make([]int32, size)
+// halted reports whether this state must stop searching: its leaf budget is
+// spent, its cancellation signal fired, or (parallel mode) the shared search
+// was halted by any worker.
+func (st *canonState) halted() bool {
+	if st.budgetHit || st.stopped {
+		return true
 	}
-	return st.sig[:size]
+	if st.sh != nil && st.sh.halted.Load() {
+		st.stopped = true
+		return true
+	}
+	if st.done != nil {
+		select {
+		case <-st.done:
+			st.stopped = true
+			return true
+		default:
+		}
+	}
+	return false
 }
 
 func (st *canonState) run() {
 	lv := st.level(0)
 	st.initialPartition(lv)
+	st.prepareRootPrefix(lv)
+	st.search(0, 0, -1, -1)
+}
+
+// prepareRootPrefix emits the constant color section of the word.
+func (st *canonState) prepareRootPrefix(lv *level) {
 	st.prefix = st.prefix[:0]
-	for _, v := range lv.lab {
-		st.prefix = append(st.prefix, byte(st.c.Color[v]))
+	if st.sparse {
+		for _, v := range lv.lab {
+			st.prefix = appendUvarint(st.prefix, uint64(st.colors[v]))
+		}
+	} else {
+		for _, v := range lv.lab {
+			st.prefix = append(st.prefix, byte(st.colors[v]))
+		}
 	}
-	st.search(0, 0, -1)
 }
 
 // search explores the subtree rooted at level depth, whose partition has
@@ -105,43 +213,55 @@ func (st *canonState) run() {
 // singleton cells of the parent (whose word bytes are already in prefix).
 // cmp is the relation of the path's determined word bytes to best:
 // -1 strictly smaller (or best unset), 0 equal so far. Subtrees whose
-// determined bytes exceed best are pruned before reaching a leaf.
-func (st *canonState) search(depth, fixed, cmp int) {
-	if st.budgetHit {
+// determined bytes exceed best are pruned before reaching a leaf. hint >= 0
+// names the cell just individualized, seeding the worklist refinement with
+// only that singleton (see refineSingle); the root passes -1.
+func (st *canonState) search(depth, fixed, cmp, hint int) {
+	if st.halted() {
 		return
 	}
 	st.nodes++
 	lv := st.levels[depth]
-	st.refine(lv)
+	if hint >= 0 {
+		st.refineSingle(lv, hint)
+	} else {
+		st.refine(lv)
+	}
 
 	// Extend the determined prefix over the new leading singleton cells
 	// and compare incrementally against best.
+	pl0 := len(st.prefix)
 	k := fixed
 	for k < lv.ncells && lv.cellStart[k+1]-lv.cellStart[k] == 1 {
 		k++
 	}
-	for i := fixed; i < k; i++ {
-		st.prefix = appendBlock(st.prefix, st.c, lv.lab, i, lv.lab[i])
+	if st.sparse {
+		for i := fixed; i < k; i++ {
+			st.posOf[lv.lab[i]] = int32(i)
+		}
+		for i := fixed; i < k; i++ {
+			st.appendSparseBlock(i, lv.lab[i])
+		}
+	} else {
+		for i := fixed; i < k; i++ {
+			st.prefix = appendBlock(st.prefix, st.c, lv.lab, i, lv.lab[i])
+		}
+	}
+	if st.sh != nil {
+		cmp = st.syncShared(cmp)
 	}
 	if cmp == 0 {
-		lo, hi := st.n+fixed*fixed, st.n+k*k
-		for i := lo; i < hi; i++ {
-			if st.prefix[i] != st.best[i] {
-				if st.prefix[i] < st.best[i] {
-					cmp = -1
-				} else {
-					st.prefixPrunes++
-					st.prefix = st.prefix[:st.n+fixed*fixed]
-					return // partial word already exceeds best: prune
-				}
-				break
-			}
-		}
+		cmp = st.compareNewBytes(pl0)
+	}
+	if cmp > 0 {
+		st.prefixPrunes++
+		st.retreat(lv, fixed, k, pl0)
+		return // partial word already exceeds best: prune
 	}
 
 	if lv.discrete(st.n) {
 		st.leaf(lv, cmp)
-		st.prefix = st.prefix[:st.n+fixed*fixed]
+		st.retreat(lv, fixed, k, pl0)
 		return
 	}
 
@@ -169,27 +289,152 @@ func (st *canonState) search(depth, fixed, cmp int) {
 		child.individualize(target, v)
 		st.base = append(st.base, v)
 		gen := st.bestGen
-		st.search(depth+1, k, cmp)
+		st.search(depth+1, k, cmp, target)
 		st.base = st.base[:len(st.base)-1]
-		if st.budgetHit {
+		if st.halted() {
 			break
 		}
 		if st.bestGen != gen {
-			// best was replaced by a leaf of the subtree just explored,
-			// so this node's determined prefix is a prefix of (hence
-			// equal to) the new best's.
-			cmp = 0
+			if st.sh == nil {
+				// best was replaced by a leaf of the subtree just explored,
+				// so this node's determined prefix is a prefix of (hence
+				// equal to) the new best's.
+				cmp = 0
+			} else {
+				// Parallel mode: best may have been replaced by any worker;
+				// re-derive the relation (and prune the remaining branches
+				// if the new best already beats this node's prefix).
+				cmp = st.comparePrefixToBest()
+				if cmp > 0 {
+					st.prefixPrunes++
+					break
+				}
+			}
 		}
 	}
-	st.prefix = st.prefix[:st.n+fixed*fixed]
+	st.retreat(lv, fixed, k, pl0)
+}
+
+// retreat undoes a node's prefix extension (and, sparse mode, its position
+// placements) on the way back up.
+func (st *canonState) retreat(lv *level, fixed, k, pl0 int) {
+	st.prefix = st.prefix[:pl0]
+	if st.sparse {
+		for i := fixed; i < k; i++ {
+			st.posOf[lv.lab[i]] = -1
+		}
+	}
+}
+
+// compareNewBytes compares the prefix bytes appended by the current node
+// (prefix[pl0:]) against best. In sparse mode words vary in length; a
+// candidate that runs past best's end with all bytes equal is strictly
+// greater (best is a proper prefix of it), matching bytes.Compare.
+func (st *canonState) compareNewBytes(pl0 int) int {
+	p, b := st.prefix, st.best
+	for i := pl0; i < len(p); i++ {
+		if i >= len(b) {
+			return 1
+		}
+		if p[i] != b[i] {
+			if p[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// comparePrefixToBest relates the whole determined prefix to best with
+// bytes.Compare length semantics on the determined range.
+func (st *canonState) comparePrefixToBest() int {
+	if st.best == nil {
+		return -1
+	}
+	p, b := st.prefix, st.best
+	m := len(p)
+	if len(b) < m {
+		m = len(b)
+	}
+	for i := 0; i < m; i++ {
+		if p[i] != b[i] {
+			if p[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	if len(p) > len(b) {
+		return 1
+	}
+	return 0
+}
+
+// appendSparseBlock appends position i's block of the sparse word: the
+// varint count of placed positions j <= i adjacent to v_i, then for each
+// such j ascending the triple (j, mult v_i->v_j, mult v_j->v_i) as varints.
+// Together with the color section this reconstructs the adjacency among the
+// placed prefix, so the full word is an injective serialization, and block
+// i depends only on positions 0..i — the property incremental prefix
+// pruning needs.
+func (st *canonState) appendSparseBlock(i, vi int) {
+	g := st.g
+	idx := st.blkIdx[:0]
+	for a := g.outStart[vi]; a < g.outStart[vi+1]; a++ {
+		j := st.posOf[g.outDst[a]]
+		if j >= 0 && int(j) <= i {
+			if st.blkOut[j] == 0 && st.blkIn[j] == 0 {
+				idx = append(idx, j)
+			}
+			st.blkOut[j] += g.outMult[a]
+		}
+	}
+	for a := g.inStart[vi]; a < g.inStart[vi+1]; a++ {
+		j := st.posOf[g.inDst[a]]
+		if j >= 0 && int(j) <= i {
+			if st.blkOut[j] == 0 && st.blkIn[j] == 0 {
+				idx = append(idx, j)
+			}
+			st.blkIn[j] += g.inMult[a]
+		}
+	}
+	sortInt32s(idx)
+	st.prefix = appendUvarint(st.prefix, uint64(len(idx)))
+	for _, j := range idx {
+		st.prefix = appendUvarint(st.prefix, uint64(j))
+		st.prefix = appendUvarint(st.prefix, uint64(st.blkOut[j]))
+		st.prefix = appendUvarint(st.prefix, uint64(st.blkIn[j]))
+		st.blkOut[j], st.blkIn[j] = 0, 0
+	}
+	st.blkIdx = idx[:0]
+}
+
+// isAutomorphism dispatches the automorphism check to the input
+// representation.
+func (st *canonState) isAutomorphism(a perm.Perm) bool {
+	if st.c != nil {
+		return st.c.IsAutomorphism(a)
+	}
+	return csrIsAutomorphism(st.g, st.colors, a)
 }
 
 // leaf handles a discrete partition: prefix now holds the full leaf word.
 func (st *canonState) leaf(lv *level, cmp int) {
 	st.leaves++
+	if st.sh != nil {
+		st.sharedLeaf(lv)
+		return
+	}
 	if st.maxLeaves > 0 && st.leaves > st.maxLeaves {
 		st.budgetHit = true
 		return
+	}
+	if cmp == 0 && len(st.prefix) != len(st.best) {
+		// Sparse words vary in length: all determined bytes equal but the
+		// candidate ended first means it is strictly smaller (the longer
+		// case was pruned during compareNewBytes).
+		cmp = -1
 	}
 	switch cmp {
 	case -1:
@@ -212,10 +457,66 @@ func (st *canonState) leaf(lv *level, cmp int) {
 		for pos, v := range lv.lab {
 			a[v] = st.bpermInv[pos]
 		}
-		if !a.IsIdentity() && st.c.IsAutomorphism(a) {
+		if !a.IsIdentity() && st.isAutomorphism(a) {
 			st.autos = append(st.autos, a)
 		}
 	}
+}
+
+// sharedLeaf is the parallel-mode leaf: the candidate word is re-verified
+// against the current shared snapshot (the per-node cmp may be stale — any
+// worker can improve best at any time — so correctness never rests on it),
+// then published or recorded as an automorphism. See parallel.go for the
+// shared-bound protocol and DESIGN.md §13 for the determinism argument.
+func (st *canonState) sharedLeaf(lv *level) {
+	sh := st.sh
+	if n := sh.leaves.Add(1); sh.maxLeaves > 0 && n > sh.maxLeaves {
+		sh.haltBudget()
+		st.budgetHit = true
+		return
+	}
+	sn := sh.snap.Load()
+	c := -1
+	if sn != nil {
+		c = bytes.Compare(st.prefix, sn.word)
+	}
+	switch {
+	case c < 0:
+		sh.publish(st, lv)
+	case c == 0:
+		a := make(perm.Perm, st.n)
+		for pos, v := range lv.lab {
+			a[v] = sn.inv[pos]
+		}
+		if !a.IsIdentity() && st.isAutomorphism(a) {
+			st.autos = sh.addAuto(a)
+		}
+	}
+}
+
+// syncShared refreshes this worker's automorphism mirror and best-word view
+// from the shared search. If the shared best changed since the last sync,
+// the passed cmp is stale and the relation is recomputed from the full
+// determined prefix.
+func (st *canonState) syncShared(cmp int) int {
+	sh := st.sh
+	if int(sh.autoLen.Load()) > len(st.autos) {
+		sh.autosMu.Lock()
+		st.autos = sh.autos
+		sh.autosMu.Unlock()
+	}
+	sn := sh.snap.Load()
+	if sn == nil {
+		return -1
+	}
+	if sn == st.sharedSnap {
+		return cmp
+	}
+	st.sharedSnap = sn
+	st.best = sn.word
+	st.bpermInv = sn.inv
+	st.bestGen = sn.gen
+	return st.comparePrefixToBest()
 }
 
 // inOrbitOfTried reports whether some already-tried branch vertex maps to v

@@ -1,0 +1,334 @@
+package iso
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/perm"
+)
+
+// Options tunes a canonical labeling computation (CanonicalOpt,
+// CanonicalSparseOpt). The zero value is the plain sequential unbudgeted
+// search.
+type Options struct {
+	// Workers is the number of search workers. Values <= 1 run the
+	// sequential engine; values > 1 fan the root branch cell out over a
+	// worker pool with a shared best-word bound. The canonical *word* is
+	// bit-identical for every worker count (DESIGN.md §13); the returned
+	// labeling permutation and automorphism generators may differ between
+	// schedules (any labeling achieving the word is canonical).
+	Workers int
+	// MaxLeaves bounds search effort exactly like CanonicalBudget: the
+	// search fails with ErrLeafBudget after visiting MaxLeaves leaves
+	// across all workers (<= 0 means unbounded).
+	MaxLeaves int
+	// Ctx, when non-nil, cancels the search: every worker polls it once
+	// per search node and the computation returns Ctx.Err(). This is the
+	// path by which a canceled /v1/analyze request stops its canonical
+	// searches.
+	Ctx context.Context
+}
+
+// haltBudget / haltCtx distinguish why a shared search stopped.
+const (
+	haltBudget = 1
+	haltCtx    = 2
+)
+
+// bestSnap is one immutable published best: the word, the labeling that
+// produced it (both directions), and a generation counter. Workers read the
+// current snapshot with one atomic pointer load — the "lock-light shared
+// prefix bound" — and only the publish path takes a lock.
+type bestSnap struct {
+	word []byte
+	p    perm.Perm
+	inv  []int
+	gen  int
+}
+
+// sharedSearch is the state shared by the workers of one parallel canonical
+// search: the best-word snapshot, the pooled automorphisms, the global leaf
+// budget, the task cursor over the root branch cell, and the claimed-vertex
+// list that extends orbit pruning across workers.
+type sharedSearch struct {
+	snap atomic.Pointer[bestSnap]
+	mu   sync.Mutex // serializes publish (compare-under-lock)
+
+	autosMu sync.Mutex
+	autos   []perm.Perm // append-only; entries immutable once appended
+	autoLen atomic.Int64
+
+	leaves    atomic.Int64
+	maxLeaves int64
+	halted    atomic.Bool
+	haltWhy   atomic.Int32
+
+	cursor    atomic.Int64
+	claimedMu sync.Mutex
+	claimed   []int
+
+	tasks       atomic.Int64
+	claimPrunes atomic.Int64
+	publishes   atomic.Int64
+}
+
+func (sh *sharedSearch) haltBudget() {
+	sh.haltWhy.CompareAndSwap(0, haltBudget)
+	sh.halted.Store(true)
+}
+
+// publish installs this worker's leaf as the shared best if it is still
+// strictly smaller than the current snapshot. The pre-publish compare in
+// sharedLeaf is advisory; this re-compare under the lock is what guarantees
+// the snapshot word only ever decreases, which makes every stale prefix
+// prune sound (pruning against an old best is pruning against an upper
+// bound of the final word).
+func (sh *sharedSearch) publish(st *canonState, lv *level) {
+	sh.mu.Lock()
+	cur := sh.snap.Load()
+	if cur == nil || bytes.Compare(st.prefix, cur.word) < 0 {
+		ns := &bestSnap{
+			word: append([]byte(nil), st.prefix...),
+			p:    make(perm.Perm, st.n),
+			inv:  make([]int, st.n),
+			gen:  1,
+		}
+		if cur != nil {
+			ns.gen = cur.gen + 1
+		}
+		for pos, v := range lv.lab {
+			ns.p[v] = pos
+			ns.inv[pos] = v
+		}
+		sh.snap.Store(ns)
+		sh.publishes.Add(1)
+	}
+	sh.mu.Unlock()
+}
+
+// addAuto appends a verified automorphism to the shared pool and returns
+// the current slice for the caller's local mirror. Entries are immutable
+// and the slice is append-only, so a mirror taken under the lock stays
+// valid forever; autoLen lets workers detect growth with one atomic load.
+func (sh *sharedSearch) addAuto(a perm.Perm) []perm.Perm {
+	sh.autosMu.Lock()
+	sh.autos = append(sh.autos, a)
+	v := sh.autos
+	sh.autoLen.Store(int64(len(v)))
+	sh.autosMu.Unlock()
+	return v
+}
+
+// CanonicalOpt is Canonical with explicit search options (worker count,
+// leaf budget, cancellation). Workers <= 1 reproduces CanonicalBudget
+// exactly; any worker count produces the same canonical word.
+func CanonicalOpt(c *Colored, o Options) (*Result, error) {
+	if c.N == 0 {
+		return &Result{Perm: perm.Perm{}, Word: []byte{}}, nil
+	}
+	if referenceEngine.Load() {
+		// The benchmark-only reference switch overrides the options: the
+		// frozen engine is sequential, unbudgeted and uncancelable.
+		return referenceCanonical(c), nil
+	}
+	return canonicalRun(func() *canonState { return newCanonState(c, 0) }, o)
+}
+
+// CanonicalSparse computes the canonical form of a Sparse with the default
+// sequential options. The sparse word is a different (O(n+m) varint)
+// serialization than the dense engine's — words are comparable only within
+// one engine — but carries the same guarantee: equal words exactly
+// characterize color-isomorphism.
+func CanonicalSparse(sp *Sparse) *Result {
+	r, err := CanonicalSparseOpt(sp, Options{})
+	if err != nil {
+		panic("iso: unreachable: unbudgeted sparse search returned " + err.Error())
+	}
+	return r
+}
+
+// CanonicalSparseOpt is CanonicalSparse with explicit search options.
+func CanonicalSparseOpt(sp *Sparse, o Options) (*Result, error) {
+	if sp.N == 0 {
+		return &Result{Perm: perm.Perm{}, Word: []byte{}}, nil
+	}
+	return canonicalRun(func() *canonState { return newSparseCanonState(sp, 0) }, o)
+}
+
+// canonicalRun executes a search over states built by mk, sequentially or
+// with a worker pool fanned out over the root branch cell.
+func canonicalRun(mk func() *canonState, o Options) (*Result, error) {
+	if o.Workers <= 1 {
+		st := mk()
+		st.maxLeaves = o.MaxLeaves
+		if o.Ctx != nil {
+			st.done = o.Ctx.Done()
+		}
+		st.run()
+		st.flushStats()
+		if st.stopped {
+			return nil, o.Ctx.Err()
+		}
+		if st.budgetHit {
+			return nil, ErrLeafBudget
+		}
+		return &Result{Perm: st.bperm, Word: st.best, AutoGens: st.autos}, nil
+	}
+	return parallelRun(mk, o)
+}
+
+// rootPrep runs the shared deterministic part of every worker's search: the
+// initial partition, its refinement, and the determined prefix over the
+// leading singleton cells. It returns the level, the leading-singleton
+// count, and the branch cell (target < 0 when the root is already
+// discrete).
+func (st *canonState) rootPrep() (lv *level, k, target int) {
+	lv = st.level(0)
+	st.initialPartition(lv)
+	st.prepareRootPrefix(lv)
+	st.refine(lv)
+	k = 0
+	for k < lv.ncells && lv.cellStart[k+1]-lv.cellStart[k] == 1 {
+		k++
+	}
+	if st.sparse {
+		for i := 0; i < k; i++ {
+			st.posOf[lv.lab[i]] = int32(i)
+		}
+	}
+	for i := 0; i < k; i++ {
+		if st.sparse {
+			st.appendSparseBlock(i, lv.lab[i])
+		} else {
+			st.prefix = appendBlock(st.prefix, st.c, lv.lab, i, lv.lab[i])
+		}
+	}
+	target, targetLen := -1, st.n+1
+	for t := 0; t < lv.ncells; t++ {
+		if l := int(lv.cellStart[t+1] - lv.cellStart[t]); l > 1 && l < targetLen {
+			target, targetLen = t, l
+		}
+	}
+	return lv, k, target
+}
+
+// parallelRun fans the root branch cell out over a worker pool. Tasks (one
+// per branch vertex, in cell order) are claimed from an atomic cursor —
+// idle workers pull the next unclaimed branch rather than sitting behind a
+// static partition, which is the work-stealing property that keeps the pool
+// busy when subtree costs are skewed. Each worker owns a full private
+// canonState (levels, refinement scratch, union-finds); only the best-word
+// snapshot, the automorphism pool, the leaf budget, and the claimed-vertex
+// list are shared. The canonical word is provably the same as the
+// sequential engine's: the result is min over a fixed leaf set of a fixed
+// serialization, every prune (prefix, orbit, claim) discards only leaves
+// that cannot be the minimum, and the min is schedule-independent.
+func parallelRun(mk func() *canonState, o Options) (*Result, error) {
+	root := mk()
+	lv0, k0, target := root.rootPrep()
+	if target < 0 {
+		// Discrete after one refinement: a single leaf, no search to share.
+		word := append([]byte(nil), root.prefix...)
+		p := make(perm.Perm, root.n)
+		for pos, v := range lv0.lab {
+			p[v] = pos
+		}
+		root.leaves = 1
+		root.flushStats()
+		return &Result{Perm: p, Word: word}, nil
+	}
+	s, e := int(lv0.cellStart[target]), int(lv0.cellStart[target+1])
+	tasks := append([]int(nil), lv0.lab[s:e]...)
+
+	sh := &sharedSearch{maxLeaves: int64(o.MaxLeaves)}
+	sh.claimed = make([]int, 0, len(tasks))
+	var done <-chan struct{}
+	if o.Ctx != nil {
+		done = o.Ctx.Done()
+	}
+	workers := o.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	var wg sync.WaitGroup
+	states := make([]*canonState, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			st := mk()
+			st.sh = sh
+			st.done = done
+			st.nodes++ // account the root node this worker re-derives
+			lv, k, tgt := st.rootPrep()
+			_ = k
+			for !st.halted() {
+				i := sh.cursor.Add(1) - 1
+				if i >= int64(len(tasks)) {
+					break
+				}
+				v := tasks[i]
+				sh.tasks.Add(1)
+				// Cross-worker orbit pruning: a vertex in the orbit (under
+				// the automorphisms discovered so far) of a vertex some
+				// worker has already claimed leads to a subtree whose leaf
+				// words are exactly the claimed subtree's — and the claimed
+				// subtree will be fully explored. Claimed vertices play the
+				// role the sequential engine's per-node tried list plays.
+				st.syncShared(-1) // refresh the automorphism mirror
+				sh.claimedMu.Lock()
+				lv.tried = append(lv.tried[:0], sh.claimed...)
+				sh.claimedMu.Unlock()
+				if st.inOrbitOfTried(lv, v) {
+					sh.claimPrunes.Add(1)
+					continue
+				}
+				sh.claimedMu.Lock()
+				sh.claimed = append(sh.claimed, v)
+				sh.claimedMu.Unlock()
+
+				child := st.level(1)
+				child.copyFrom(lv)
+				child.individualize(tgt, v)
+				st.base = append(st.base[:0], v)
+				cmp := -1
+				if st.best != nil {
+					// The root prefix is a common prefix of every leaf word,
+					// including best.
+					cmp = 0
+				}
+				st.search(1, k0, cmp, tgt)
+				st.base = st.base[:0]
+			}
+			states[w] = st
+		}(w)
+	}
+	wg.Wait()
+
+	var nodes, orbitPrunes, prefixPrunes int64
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		nodes += int64(st.nodes)
+		orbitPrunes += int64(st.orbitPrunes)
+		prefixPrunes += int64(st.prefixPrunes)
+	}
+	flushParallelStats(sh, nodes, orbitPrunes, prefixPrunes)
+
+	if o.Ctx != nil && o.Ctx.Err() != nil {
+		return nil, o.Ctx.Err()
+	}
+	if sh.haltWhy.Load() == haltBudget {
+		searchStats.budgetExhaustions.Add(1)
+		return nil, ErrLeafBudget
+	}
+	sn := sh.snap.Load()
+	sh.autosMu.Lock()
+	autos := sh.autos
+	sh.autosMu.Unlock()
+	return &Result{Perm: sn.p, Word: sn.word, AutoGens: autos}, nil
+}

@@ -1,0 +1,154 @@
+package iso
+
+// Differential tests of the parallel canonical search: the canonical word
+// must be bit-identical for every worker count, and equal to both the
+// sequential optimized engine and the frozen reference engine.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestParallelVsSequentialCorpus runs the parallel engine at workers 1, 2
+// and 8 against the sequential engine and the frozen reference engine on the
+// 200-graph random-multigraph corpus: all four words bit-identical, and
+// every returned labeling must re-serialize to the shared word.
+func TestParallelVsSequentialCorpus(t *testing.T) {
+	rng := rand.New(rand.NewSource(2003))
+	for trial := 0; trial < 200; trial++ {
+		c := randomConnectedMulti(rng, 12)
+		seq := Canonical(c)
+		ref := ReferenceCanonical(c)
+		if !bytes.Equal(seq.Word, ref.Word) {
+			t.Fatalf("trial %d: sequential and reference words differ", trial)
+		}
+		for _, w := range []int{1, 2, 8} {
+			res, err := CanonicalOpt(c, Options{Workers: w})
+			if err != nil {
+				t.Fatalf("trial %d workers=%d: %v", trial, w, err)
+			}
+			if !bytes.Equal(res.Word, seq.Word) {
+				t.Fatalf("trial %d workers=%d: word differs from sequential", trial, w)
+			}
+			if !bytes.Equal(c.word(res.Perm), res.Word) {
+				t.Fatalf("trial %d workers=%d: Perm does not serialize to Word", trial, w)
+			}
+			for _, a := range res.AutoGens {
+				if !c.IsAutomorphism(a) {
+					t.Fatalf("trial %d workers=%d: non-automorphism generator", trial, w)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelVsSequentialFamilies checks worker-count determinism on the
+// structured families whose search trees exercise heavy symmetry (large
+// orbit fan-out at the root) rather than random asymmetry.
+func TestParallelVsSequentialFamilies(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"petersen":     graph.Petersen(),
+		"c64":          graph.Cycle(64),
+		"q4":           graph.Hypercube(4),
+		"torus4x5":     graph.Torus(4, 5),
+		"ccc3":         graph.CCC(3),
+		"blowup5x3":    graph.BlowupCycle(5, 3),
+		"randreg16x3":  graph.RandomRegular(16, 3, 7),
+		"moebiuskant":  graph.MoebiusKantor(),
+		"circulant_13": graph.Circulant(13, []int{1, 5}),
+	}
+	for name, g := range cases {
+		c := FromGraph(g, nil)
+		seq := Canonical(c)
+		for _, w := range []int{2, 4, 8} {
+			res, err := CanonicalOpt(c, Options{Workers: w})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, w, err)
+			}
+			if !bytes.Equal(res.Word, seq.Word) {
+				t.Fatalf("%s workers=%d: word differs from sequential", name, w)
+			}
+			if !bytes.Equal(c.word(res.Perm), res.Word) {
+				t.Fatalf("%s workers=%d: Perm does not serialize to Word", name, w)
+			}
+		}
+	}
+}
+
+// TestParallelBudget: the shared leaf budget must abort the pooled search
+// with ErrLeafBudget exactly like the sequential CanonicalBudget.
+func TestParallelBudget(t *testing.T) {
+	c := FromGraph(graph.Hypercube(4), nil)
+	if _, err := CanonicalOpt(c, Options{Workers: 4, MaxLeaves: 2}); !errors.Is(err, ErrLeafBudget) {
+		t.Fatalf("tiny budget: got err=%v, want ErrLeafBudget", err)
+	}
+	// A generous budget must not trigger.
+	res, err := CanonicalOpt(c, Options{Workers: 4, MaxLeaves: 1 << 20})
+	if err != nil {
+		t.Fatalf("generous budget: %v", err)
+	}
+	if !bytes.Equal(res.Word, Canonical(c).Word) {
+		t.Fatal("generous budget: wrong word")
+	}
+}
+
+// TestParallelCancel: a canceled context must stop all workers and surface
+// context.Canceled, both when canceled before the search starts and when
+// canceled by a budget-free concurrent goroutine mid-search.
+func TestParallelCancel(t *testing.T) {
+	c := FromGraph(graph.BlowupCycle(6, 3), nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 4} {
+		if _, err := CanonicalOpt(c, Options{Workers: w, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+			t.Fatalf("pre-canceled ctx workers=%d: got err=%v, want context.Canceled", w, err)
+		}
+	}
+
+	// Mid-search cancellation: start a search under a context canceled from
+	// another goroutine as soon as the search visits its first nodes. The
+	// search either finishes first (fine: err == nil with the right word) or
+	// observes the cancellation (err == context.Canceled); it must not hang
+	// or return a wrong word.
+	big := FromGraph(graph.BlowupCycle(8, 4), nil)
+	want := Canonical(big).Word
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	go cancel2()
+	res, err := CanonicalOpt(big, Options{Workers: 2, Ctx: ctx2})
+	switch {
+	case err == nil:
+		if !bytes.Equal(res.Word, want) {
+			t.Fatal("race with cancel: completed with wrong word")
+		}
+	case errors.Is(err, context.Canceled):
+		// expected alternative
+	default:
+		t.Fatalf("race with cancel: unexpected error %v", err)
+	}
+}
+
+// TestParallelStatsCounters: a parallel search must count exactly one search
+// (one ParallelSearches) and at least one worker task, with leaves folded
+// into the shared counters.
+func TestParallelStatsCounters(t *testing.T) {
+	before := Stats()
+	c := FromGraph(graph.Torus(4, 5), nil)
+	if _, err := CanonicalOpt(c, Options{Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	d := Stats().Sub(before)
+	if d.ParallelSearches < 1 {
+		t.Fatalf("ParallelSearches delta = %d, want >= 1", d.ParallelSearches)
+	}
+	if d.WorkerTasks < 1 {
+		t.Fatalf("WorkerTasks delta = %d, want >= 1", d.WorkerTasks)
+	}
+	if d.Leaves < 1 {
+		t.Fatalf("Leaves delta = %d, want >= 1", d.Leaves)
+	}
+}

@@ -93,7 +93,7 @@ func (lv *level) copyFrom(src *level) {
 // initialPartition fills lv with the color partition: vertices grouped by
 // color, cells ordered by ascending color value.
 func (st *canonState) initialPartition(lv *level) {
-	n := st.c.N
+	n := st.n
 	for i := range lv.lab {
 		lv.lab[i] = i
 	}
@@ -101,7 +101,7 @@ func (st *canonState) initialPartition(lv *level) {
 	// but guard against sparse values with a comparison sort fallback).
 	maxCol := 0
 	ok := true
-	for _, col := range st.c.Color {
+	for _, col := range st.colors {
 		if col < 0 || col > 4*n+16 {
 			ok = false
 			break
@@ -118,23 +118,23 @@ func (st *canonState) initialPartition(lv *level) {
 		for i := range counts {
 			counts[i] = 0
 		}
-		for _, col := range st.c.Color {
+		for _, col := range st.colors {
 			counts[col+1]++
 		}
 		for i := 1; i < len(counts); i++ {
 			counts[i] += counts[i-1]
 		}
 		for v := 0; v < n; v++ {
-			col := st.c.Color[v]
+			col := st.colors[v]
 			lv.lab[counts[col]] = v
 			counts[col]++
 		}
 	} else {
-		insertionSortBy(lv.lab, func(a, b int) int { return st.c.Color[a] - st.c.Color[b] })
+		insertionSortBy(lv.lab, func(a, b int) int { return st.colors[a] - st.colors[b] })
 	}
 	lv.cellStart = lv.cellStart[:0]
 	for i := 0; i < n; i++ {
-		if i == 0 || st.c.Color[lv.lab[i]] != st.c.Color[lv.lab[i-1]] {
+		if i == 0 || st.colors[lv.lab[i]] != st.colors[lv.lab[i-1]] {
 			lv.cellStart = append(lv.cellStart, int32(i))
 		}
 	}
@@ -156,98 +156,200 @@ func insertionSortBy(a []int, cmp func(x, y int) int) {
 }
 
 // refine refines lv in place to the coarsest equitable partition at least as
-// fine as it: repeatedly split cells by the vector, over all current cells,
-// of (out-multiplicity into the cell, in-multiplicity from the cell).
-// Subcells are ordered by ascending signature vector — a function of
-// isomorphism-invariant data only, so the refined partition (including the
-// order of its cells) is isomorphism-invariant.
-func (st *canonState) refine(lv *level) {
-	n := st.c.N
-	for {
-		nc := lv.ncells
-		if nc == n {
-			return
+// fine as it, producing exactly the partition (cells and cell order) that
+// the original pass-synchronous full-signature algorithm produced: cells
+// split by the vector, over all cells, of (out-multiplicity into the cell,
+// in-multiplicity from the cell), subcells ordered by ascending vector. The
+// implementation is a worklist over splitter fragments — O(Σ key-cell arcs
+// + splits) instead of O(n · ncells) per pass — whose bit-exact equivalence
+// to the full-vector pass is argued in DESIGN.md §13.
+func (st *canonState) refine(lv *level) { st.refineWork(lv, -1) }
+
+// refineSingle refines lv after individualization created the singleton cell
+// with index k in an otherwise equitable partition. Only the singleton is
+// seeded as a splitter: the parent partition is equitable, so counts toward
+// every other cell are uniform, and counts toward the singleton's sibling
+// fragment are determined by the sum rule (DESIGN.md §13) — the refinement
+// result is identical to seeding all cells, at a fraction of the cost.
+func (st *canonState) refineSingle(lv *level, k int) { st.refineWork(lv, k) }
+
+// refineWork is the shared worklist implementation. onlyCell < 0 seeds every
+// current cell as a splitter (full refine); otherwise only cell onlyCell.
+//
+// During refinement a cell is identified by its start position (stable under
+// splitting): cellEnd[s] is the end of the cell starting at s, cellOf[v] the
+// start of v's cell. lv.cellStart is rebuilt from the boundary chain at the
+// end. A "pass" consumes the current key list and enqueues, for every cell
+// that existed at the start of the pass and split during it, all fragments
+// but the last — matching one full-signature pass of the original algorithm.
+func (st *canonState) refineWork(lv *level, onlyCell int) {
+	n := st.n
+	if lv.ncells == n {
+		return
+	}
+	for k := 0; k < lv.ncells; k++ {
+		s, e := lv.cellStart[k], lv.cellStart[k+1]
+		st.cellEnd[s] = e
+		for i := s; i < e; i++ {
+			st.cellOf[lv.lab[i]] = s
 		}
-		// cellOf[v] = ordinal of v's cell.
-		for k := 0; k < nc; k++ {
-			for i := lv.cellStart[k]; i < lv.cellStart[k+1]; i++ {
-				st.cellOf[lv.lab[i]] = int32(k)
-			}
+	}
+	ncells := lv.ncells
+	cur, nxt := st.keysA[:0], st.keysB[:0]
+	if onlyCell >= 0 {
+		cur = append(cur, lv.cellStart[onlyCell], lv.cellStart[onlyCell+1])
+	} else {
+		for k := 0; k < lv.ncells; k++ {
+			cur = append(cur, lv.cellStart[k], lv.cellStart[k+1])
 		}
-		// Signature rows: sig[v*stride + 2*k] counts arcs v -> cell k,
-		// sig[v*stride + 2*k + 1] counts arcs cell k -> v.
-		stride := 2 * nc
-		sig := st.sigScratch(n * stride)
-		for i := range sig {
-			sig[i] = 0
+	}
+	for len(cur) > 0 && ncells < n {
+		for ki := 0; ki+1 < len(cur) && ncells < n; ki += 2 {
+			ncells = st.refineStep(lv, cur[ki], cur[ki+1], ncells)
 		}
-		g := st.g
-		for v := 0; v < n; v++ {
-			row := sig[v*stride:]
-			for a := g.outStart[v]; a < g.outStart[v+1]; a++ {
-				row[2*st.cellOf[g.outDst[a]]] += g.outMult[a]
-			}
-			for a := g.inStart[v]; a < g.inStart[v+1]; a++ {
-				row[2*st.cellOf[g.inDst[a]]+1] += g.inMult[a]
-			}
-		}
-		// Split every cell along its signature rows. New boundaries are
-		// collected into scratch and swapped in at the end of the pass.
-		newStart := st.startScratch[:0]
-		split := false
-		for k := 0; k < nc; k++ {
-			s, e := int(lv.cellStart[k]), int(lv.cellStart[k+1])
-			newStart = append(newStart, int32(s))
-			if e-s == 1 {
-				continue
-			}
-			st.sortCellBySig(lv.lab[s:e], sig, stride)
-			for i := s + 1; i < e; i++ {
-				if sigCompare(sig, stride, lv.lab[i-1], lv.lab[i]) != 0 {
-					newStart = append(newStart, int32(i))
-					split = true
+		// End of pass: enqueue all-but-last fragments of each split parent,
+		// parents ascending, fragments ascending — the key order the
+		// full-vector pass implies.
+		nxt = nxt[:0]
+		if ncells < n {
+			sortInt32s(st.splitParents)
+			for _, p := range st.splitParents {
+				pe := st.passEnd[p]
+				for s := p; s < pe; {
+					fe := st.cellEnd[s]
+					if fe < pe {
+						nxt = append(nxt, s, fe)
+					}
+					s = fe
 				}
 			}
 		}
-		newStart = append(newStart, int32(n))
-		st.startScratch = newStart[:0]
-		lv.cellStart = lv.cellStart[:len(newStart)]
-		copy(lv.cellStart, newStart)
-		lv.ncells = len(newStart) - 1
-		if !split {
-			return
+		for _, f := range st.fragList {
+			st.isFrag.clear(f)
 		}
+		st.fragList = st.fragList[:0]
+		for _, p := range st.splitParents {
+			st.parentMark.clear(p)
+		}
+		st.splitParents = st.splitParents[:0]
+		cur, nxt = nxt, cur[:0]
 	}
+	st.keysA, st.keysB = cur[:0], nxt[:0]
+	// Rebuild the compact cell table from the boundary chain.
+	cs := lv.cellStart[:0]
+	for s := int32(0); s < int32(n); s = st.cellEnd[s] {
+		cs = append(cs, s)
+	}
+	cs = append(cs, int32(n))
+	lv.cellStart = cs
+	lv.ncells = len(cs) - 1
 }
 
-// sigCompare lexicographically compares the signature rows of vertices u, v.
-func sigCompare(sig []int32, stride, u, v int) int {
-	ru := sig[u*stride : u*stride+stride]
-	rv := sig[v*stride : v*stride+stride]
-	for i, x := range ru {
-		if x != rv[i] {
-			if x < rv[i] {
-				return -1
+// refineStep processes one splitter fragment [ks, ke): accumulates each
+// vertex's arc multiplicities into and out of the fragment, splits every
+// touched multi-vertex cell by the (out, in) count pair with a stable sort,
+// and resets the count scratch. Returns the updated cell count.
+//
+// The fragment is identified by its position range as captured at enqueue
+// time; later splits only permute vertices within subranges, so the range
+// still denotes the same vertex set when the key is consumed.
+func (st *canonState) refineStep(lv *level, ks, ke int32, ncells int) int {
+	g := st.g
+	cntOut, cntIn := st.cntOut, st.cntIn
+	touched := st.touched[:0]
+	for i := ks; i < ke; i++ {
+		u := lv.lab[i]
+		// Arcs x -> u give x an out-count into the fragment; arcs u -> y
+		// give y an in-count from it.
+		for a := g.inStart[u]; a < g.inStart[u+1]; a++ {
+			x := g.inDst[a]
+			if cntOut[x] == 0 && cntIn[x] == 0 {
+				touched = append(touched, x)
 			}
-			return 1
+			cntOut[x] += g.inMult[a]
+		}
+		for a := g.outStart[u]; a < g.outStart[u+1]; a++ {
+			y := g.outDst[a]
+			if cntOut[y] == 0 && cntIn[y] == 0 {
+				touched = append(touched, y)
+			}
+			cntIn[y] += g.outMult[a]
 		}
 	}
-	return 0
+	aff := st.affCells[:0]
+	for _, x := range touched {
+		s := st.cellOf[x]
+		if st.cellEnd[s]-s > 1 && !st.cellMark.test(s) {
+			st.cellMark.set(s)
+			aff = append(aff, s)
+		}
+	}
+	for _, s := range aff {
+		st.cellMark.clear(s)
+		ncells = st.splitCell(lv, s, ncells)
+	}
+	for _, x := range touched {
+		cntOut[x], cntIn[x] = 0, 0
+	}
+	st.touched, st.affCells = touched[:0], aff[:0]
+	return ncells
 }
 
-// sortCellBySig stably sorts one cell's vertices by ascending signature row
-// (binary insertion sort: cells are usually small, and stability keeps the
-// within-subcell order deterministic without extra keys).
-func (st *canonState) sortCellBySig(cell []int, sig []int32, stride int) {
-	for i := 1; i < len(cell); i++ {
-		x := cell[i]
-		j := i - 1
-		for j >= 0 && sigCompare(sig, stride, cell[j], x) > 0 {
-			cell[j+1] = cell[j]
-			j--
+// splitCell splits the cell starting at s by the current count pairs,
+// inserting boundaries at every count change after a stable sort, and
+// records the pass-parent bookkeeping the end-of-pass key building needs.
+func (st *canonState) splitCell(lv *level, s int32, ncells int) int {
+	e := st.cellEnd[s]
+	seg := lv.lab[s:e]
+	o0, i0 := st.cntOut[seg[0]], st.cntIn[seg[0]]
+	uniform := true
+	for _, v := range seg[1:] {
+		if st.cntOut[v] != o0 || st.cntIn[v] != i0 {
+			uniform = false
+			break
 		}
-		cell[j+1] = x
 	}
+	if uniform {
+		return ncells
+	}
+	st.sortCellByCnt(seg)
+	// p is the cell's ancestor at the start of this pass. A first split of a
+	// pass-start cell records it and captures its pass-start extent; cells
+	// that are themselves fragments of this pass inherit their recorded
+	// parent (which was marked when they were created).
+	p := s
+	if st.isFrag.test(s) {
+		p = st.fragParent[s]
+	} else if !st.parentMark.test(s) {
+		st.parentMark.set(s)
+		st.splitParents = append(st.splitParents, s)
+		st.passEnd[s] = e
+	}
+	fb := st.fragBounds[:0]
+	fb = append(fb, s)
+	for i := s + 1; i < e; i++ {
+		a, b := lv.lab[i-1], lv.lab[i]
+		if st.cntOut[a] != st.cntOut[b] || st.cntIn[a] != st.cntIn[b] {
+			fb = append(fb, i)
+		}
+	}
+	for fi, fs := range fb {
+		fe := e
+		if fi+1 < len(fb) {
+			fe = fb[fi+1]
+		}
+		st.cellEnd[fs] = fe
+		if fi > 0 {
+			for i := fs; i < fe; i++ {
+				st.cellOf[lv.lab[i]] = fs
+			}
+			st.isFrag.set(fs)
+			st.fragList = append(st.fragList, fs)
+			st.fragParent[fs] = p
+		}
+	}
+	st.fragBounds = fb[:0]
+	return ncells + len(fb) - 1
 }
 
 // individualize splits vertex v (currently in cell k) out of its cell as a

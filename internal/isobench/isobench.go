@@ -92,3 +92,74 @@ func Cases() []Case {
 		}},
 	}
 }
+
+// sparseCanonical returns a kernel canonicalizing sp with the given worker
+// count; the graph is built once, outside the timed loop.
+func sparseCanonical(mk func() *graph.Graph, workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		sp := iso.SparseFromGraph(mk(), nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := iso.CanonicalSparseOpt(sp, iso.Options{Workers: workers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// twinBlowup is the twin-heavy multigraph kernel input: the 4-fold blowup of
+// C_32 with every edge doubled — 32 classes of 4 mutually interchangeable
+// twins, multiplicity-2 arcs throughout, automorphism group of order at
+// least (4!)^32·64. Orbit pruning must collapse the factorial fan-out at
+// every level of the search.
+func twinBlowup() *graph.Graph {
+	base := graph.BlowupCycle(32, 4)
+	b := graph.NewBuilder(base.N())
+	for _, e := range base.EdgeEndpoints() {
+		b.AddEdge(e[0], e[1])
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Graph()
+}
+
+// LargeCases lists the large-family kernels (10³–10⁵ nodes) exercising the
+// word-packed sparse engine: full canonical searches at n ≈ 4·10³, the
+// worker-pool pairs, and the 10⁵-node refinement and Analyze workloads. Kept
+// out of Cases so `benchiso -quick` and the default `go test -bench` stay
+// fast; `benchiso` without -quick and `make bench-iso-large` include them.
+//
+// The *Par4 kernels run the same search with four workers. On a multi-core
+// host the fan-out spreads the root branches across cores; on a single-core
+// host (see the gomaxprocs field of BENCH_iso.json) the pool's speculative
+// exploration of sibling branches costs wall-clock instead of saving it —
+// the pair is reported honestly either way, and the differential tests
+// guarantee the words are bit-identical regardless.
+func LargeCases() []Case {
+	return []Case{
+		{"CanonicalSparseC4096", sparseCanonical(func() *graph.Graph { return graph.Cycle(4096) }, 1)},
+		{"CanonicalSparseC4096Par4", sparseCanonical(func() *graph.Graph { return graph.Cycle(4096) }, 4)},
+		{"CanonicalSparseTorus64x64", sparseCanonical(func() *graph.Graph { return graph.Torus(64, 64) }, 1)},
+		{"CanonicalSparseTwinBlowup", sparseCanonical(twinBlowup, 1)},
+		{"CanonicalSparseTwinBlowupPar4", sparseCanonical(twinBlowup, 4)},
+		{"RefinePassRandReg100k", func(b *testing.B) {
+			sp := iso.SparseFromGraph(graph.RandomRegular(100_000, 3, 1), nil)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				iso.SparseEquitablePartition(sp)
+			}
+		}},
+		{"AnalyzeRandReg100k", func(b *testing.B) {
+			g := graph.RandomRegular(100_000, 3, 1)
+			homes := []int{0, 137, 4242, 99_999}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := elect.Analyze(g, homes, order.Direct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}

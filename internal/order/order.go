@@ -20,6 +20,8 @@ package order
 
 import (
 	"bytes"
+	"context"
+	"encoding/binary"
 	"runtime"
 	"sort"
 	"sync"
@@ -28,6 +30,19 @@ import (
 	"repro/internal/graph"
 	"repro/internal/iso"
 )
+
+// LargeThreshold is the node count at or above which ComputeAndOrder takes
+// the large-graph path: one sparse canonical labeling of the whole bicolored
+// graph (iso.CanonicalSparseOpt), orbits from its pooled automorphisms
+// (iso.SparseOrbitsWith), and positional class keys — the varint-encoded
+// sorted canonical positions of each class's members — instead of one
+// surrounding canonicalization per class. Positional keys are a third ≺
+// implementation: deterministic (canonical positions are
+// relabeling-invariant) and total (distinct classes occupy disjoint position
+// sets), which is all Protocol ELECT requires of an ordering; like Direct
+// versus Hairs, it need not rank classes the same way as the small-graph
+// orders. Tests lower this to force the large path onto small instances.
+var LargeThreshold = 2048
 
 // keysComputed counts the surrounding keys computed process-wide — one
 // canonical-word computation per class keyed, across both the serial and
@@ -64,6 +79,29 @@ func Surrounding(g *graph.Graph, colors []int, u int) *iso.Colored {
 		}
 	}
 	return c
+}
+
+// SurroundingSparse returns the surrounding S(u) as a Sparse digraph in
+// O(n + m): the same arc set as Surrounding without the dense adjacency
+// matrix, for the large-graph ordering path.
+func SurroundingSparse(g *graph.Graph, colors []int, u int) *iso.Sparse {
+	dist := g.BFSDist(u)
+	edges := g.EdgeEndpoints()
+	arcs := make([][2]int, 0, 2*len(edges))
+	for _, e := range edges {
+		x, y := e[0], e[1]
+		if x == y {
+			arcs = append(arcs, [2]int{x, x})
+			continue
+		}
+		if dist[x] <= dist[y] {
+			arcs = append(arcs, [2]int{x, y})
+		}
+		if dist[y] <= dist[x] {
+			arcs = append(arcs, [2]int{y, x})
+		}
+	}
+	return iso.SparseFromArcs(g.N(), arcs, colors)
 }
 
 // Key is a comparable total-order key for a bicolored digraph.
@@ -106,13 +144,32 @@ const (
 // SurroundingKey computes the ≺ key of a bicolored digraph under the chosen
 // ordering.
 func SurroundingKey(c *iso.Colored, ord Ordering) Key {
+	k, err := surroundingKeyCtx(context.Background(), c, ord)
+	if err != nil {
+		panic("order: unreachable: uncancelable SurroundingKey failed: " + err.Error())
+	}
+	return k
+}
+
+// surroundingKeyCtx is SurroundingKey with the canonical search running
+// under ctx, so a canceled analysis stops mid-word rather than finishing
+// the search it is in.
+func surroundingKeyCtx(ctx context.Context, c *iso.Colored, ord Ordering) (Key, error) {
+	opt := iso.Options{Ctx: ctx}
 	switch ord {
 	case Direct:
-		return Key{N: c.N, Word: iso.CanonicalWord(c)}
+		r, err := iso.CanonicalOpt(c, opt)
+		if err != nil {
+			return Key{}, err
+		}
+		return Key{N: c.N, Word: r.Word}, nil
 	case Hairs:
 		k := maxHairLength(c)
-		hat := hatTransform(c, k)
-		return Key{N: c.N, Hair: k, Word: iso.CanonicalWord(hat)}
+		r, err := iso.CanonicalOpt(hatTransform(c, k), opt)
+		if err != nil {
+			return Key{}, err
+		}
+		return Key{N: c.N, Hair: k, Word: r.Word}, nil
 	default:
 		panic("order: unknown ordering")
 	}
@@ -233,9 +290,76 @@ func Classes(g *graph.Graph, colors []int) [][]int {
 }
 
 // ComputeAndOrder computes the equivalence classes of the bicolored graph
-// (g, colors) and orders them by ≺ under the chosen ordering.
+// (g, colors) and orders them by ≺ under the chosen ordering. Graphs with
+// at least LargeThreshold nodes take the sparse single-canonicalization
+// path; see LargeThreshold.
 func ComputeAndOrder(g *graph.Graph, colors []int, ord Ordering) *Ordered {
-	return OrderClasses(g, colors, Classes(g, colors), ord)
+	o, err := ComputeAndOrderCtx(context.Background(), g, colors, ord)
+	if err != nil {
+		// Background is never canceled and the path is unbudgeted.
+		panic("order: unreachable: uncancelable ComputeAndOrder failed: " + err.Error())
+	}
+	return o
+}
+
+// ComputeAndOrderCtx is ComputeAndOrder under a context: cancellation
+// propagates into every canonical search it runs (the per-class surrounding
+// searches on the small path, the whole-graph sparse search and orbit
+// transporter searches on the large path) and surfaces as ctx.Err().
+func ComputeAndOrderCtx(ctx context.Context, g *graph.Graph, colors []int, ord Ordering) (*Ordered, error) {
+	if g.N() >= LargeThreshold {
+		return computeAndOrderLarge(ctx, g, colors)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return orderClassesCtx(ctx, g, colors, Classes(g, colors), ord)
+}
+
+// computeAndOrderLarge is the large-graph COMPUTE & ORDER: one sparse
+// canonical labeling of the whole bicolored graph, orbits from its pooled
+// automorphism generators, and positional class keys. Total cost is one
+// canonical search plus O(per-orbit transporter checks), versus one
+// surrounding canonicalization per class on the small path.
+func computeAndOrderLarge(ctx context.Context, g *graph.Graph, colors []int) (*Ordered, error) {
+	opt := iso.Options{Ctx: ctx}
+	sp := iso.SparseFromGraph(g, colors)
+	res, err := iso.CanonicalSparseOpt(sp, opt)
+	if err != nil {
+		return nil, err
+	}
+	classes, err := iso.SparseOrbitsWith(sp, res, opt)
+	if err != nil {
+		return nil, err
+	}
+	keysComputed.Add(int64(len(classes)))
+	keys := positionalKeys(g.N(), res.Perm, classes)
+	return assembleOrdered(g, colors, classes, keys), nil
+}
+
+// positionalKeys builds the large-path ≺ keys: class i is keyed by the
+// delta-varint encoding of the ascending canonical positions of its members.
+// Canonical positions are invariant under relabeling of the input graph, so
+// every agent computes identical keys from its own map; classes partition
+// the nodes, so distinct classes get distinct words and the order is total.
+func positionalKeys(n int, p []int, classes [][]int) []Key {
+	keys := make([]Key, len(classes))
+	var buf []int
+	for i, cl := range classes {
+		buf = buf[:0]
+		for _, v := range cl {
+			buf = append(buf, p[v])
+		}
+		sort.Ints(buf)
+		word := make([]byte, 0, 2*len(buf))
+		prev := 0
+		for _, pos := range buf {
+			word = binary.AppendUvarint(word, uint64(pos-prev))
+			prev = pos
+		}
+		keys[i] = Key{N: n, Word: word}
+	}
+	return keys
 }
 
 // classKeys computes the ≺ keys of the classes' surroundings through a
@@ -244,7 +368,7 @@ func ComputeAndOrder(g *graph.Graph, colors []int, ord Ordering) *Ordered {
 // never every node. Workers draw class indices from a channel and write to
 // disjoint slots of an index-addressed slice, so the merged result is
 // deterministic — identical for any worker count or completion order.
-func classKeys(g *graph.Graph, colors []int, classes [][]int, ord Ordering) []Key {
+func classKeys(ctx context.Context, g *graph.Graph, colors []int, classes [][]int, ord Ordering) ([]Key, error) {
 	keysComputed.Add(int64(len(classes)))
 	keys := make([]Key, len(classes))
 	workers := runtime.GOMAXPROCS(0)
@@ -253,18 +377,31 @@ func classKeys(g *graph.Graph, colors []int, classes [][]int, ord Ordering) []Ke
 	}
 	if workers <= 1 {
 		for i, cl := range classes {
-			keys[i] = SurroundingKey(Surrounding(g, colors, cl[0]), ord)
+			k, err := surroundingKeyCtx(ctx, Surrounding(g, colors, cl[0]), ord)
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = k
 		}
-		return keys
+		return keys, nil
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				keys[i] = SurroundingKey(Surrounding(g, colors, classes[i][0]), ord)
+				if firstErr.Load() != nil {
+					continue // drain: a sibling already failed
+				}
+				k, err := surroundingKeyCtx(ctx, Surrounding(g, colors, classes[i][0]), ord)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, &err)
+					continue
+				}
+				keys[i] = k
 			}
 		}()
 	}
@@ -273,14 +410,20 @@ func classKeys(g *graph.Graph, colors []int, classes [][]int, ord Ordering) []Ke
 	}
 	close(idx)
 	wg.Wait()
-	return keys
+	if ep := firstErr.Load(); ep != nil {
+		return nil, *ep
+	}
+	return keys, nil
 }
 
 // NodeKeys returns the ≺ key of every node's surrounding, computing one
 // canonical word per class (members of a class share their surrounding's
 // isomorphism class, hence its key) through the bounded parallel pool.
 func NodeKeys(g *graph.Graph, colors []int, classes [][]int, ord Ordering) []Key {
-	keys := classKeys(g, colors, classes, ord)
+	keys, err := classKeys(context.Background(), g, colors, classes, ord)
+	if err != nil {
+		panic("order: unreachable: uncancelable NodeKeys failed: " + err.Error())
+	}
 	out := make([]Key, g.N())
 	for i, cl := range classes {
 		for _, v := range cl {
@@ -296,12 +439,31 @@ func NodeKeys(g *graph.Graph, colors []int, classes [][]int, ord Ordering) []Key
 // class must be mutually equivalent (share the surrounding); the key of the
 // smallest member is used. Ties between distinct classes set Tied.
 func OrderClasses(g *graph.Graph, colors []int, classes [][]int, ord Ordering) *Ordered {
+	o, err := orderClassesCtx(context.Background(), g, colors, classes, ord)
+	if err != nil {
+		panic("order: unreachable: uncancelable OrderClasses failed: " + err.Error())
+	}
+	return o
+}
+
+// orderClassesCtx keys the classes under ctx and assembles the protocol
+// order.
+func orderClassesCtx(ctx context.Context, g *graph.Graph, colors []int, classes [][]int, ord Ordering) (*Ordered, error) {
+	keys, err := classKeys(ctx, g, colors, classes, ord)
+	if err != nil {
+		return nil, err
+	}
+	return assembleOrdered(g, colors, classes, keys), nil
+}
+
+// assembleOrdered sorts (classes, keys) into protocol order — black classes
+// first, each color group by ≺ — and builds the Ordered result.
+func assembleOrdered(g *graph.Graph, colors []int, classes [][]int, keys []Key) *Ordered {
 	type entry struct {
 		members []int
 		key     Key
 		black   bool
 	}
-	keys := classKeys(g, colors, classes, ord)
 	entries := make([]entry, len(classes))
 	for i, cl := range classes {
 		rep := cl[0]

@@ -3,6 +3,7 @@ package serve
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -141,7 +142,7 @@ func TestAnalyzeCoalescing(t *testing.T) {
 	gate := make(chan struct{})
 	s := New(Config{
 		Workers: n, // every request gets a slot; coalescing, not the pool, must serialize
-		Analyze: func(g *graph.Graph, homes []int) (*elect.Analysis, error) {
+		Analyze: func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
 			calls.Add(1)
 			<-gate
 			return &elect.Analysis{Sizes: []int{1, 1}, GCD: 1}, nil
@@ -395,7 +396,7 @@ func TestPoolSheds(t *testing.T) {
 	s := New(Config{
 		Workers:      1,
 		QueueTimeout: 30 * time.Millisecond,
-		Analyze: func(g *graph.Graph, homes []int) (*elect.Analysis, error) {
+		Analyze: func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
 			started <- struct{}{}
 			<-gate
 			return &elect.Analysis{GCD: 1}, nil
@@ -435,7 +436,7 @@ func TestRequestDeadline(t *testing.T) {
 	defer close(gate)
 	s := New(Config{
 		RequestTimeout: 50 * time.Millisecond,
-		Analyze: func(g *graph.Graph, homes []int) (*elect.Analysis, error) {
+		Analyze: func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
 			<-gate
 			return &elect.Analysis{GCD: 1}, nil
 		},
