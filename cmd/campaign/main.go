@@ -34,8 +34,16 @@
 // Observability: -telemetry collects per-run phase counters into the
 // per-run records and the summary's phase table; -timeline exports the
 // worker-pool schedule as Chrome trace_event JSON for Perfetto; -listen
-// serves live campaign counters as JSON at /debug/metrics and the standard
-// pprof profiles under /debug/pprof/ while the campaign runs.
+// serves live campaign counters as JSON at /debug/metrics, a server-sent
+// metrics stream at /debug/metrics/stream, the live operator dashboard at
+// /debug/live, and the standard pprof profiles under /debug/pprof/ while
+// the campaign runs.
+//
+// Aggregation: -stream on folds per-run results into mergeable sketches
+// (O(1) memory, percentiles within the documented ~3% sketch error)
+// instead of buffering every RunResult; -stream auto (default) switches
+// to sketches at -stream-threshold runs (default 100000); -stream off
+// always buffers exactly.
 package main
 
 import (
@@ -78,6 +86,8 @@ func main() {
 	telemetryOn := flag.Bool("telemetry", false, "collect per-run phase counters and iso search stats (implied by -timeline and -listen)")
 	timelinePath := flag.String("timeline", "", "write the worker-pool timeline as Chrome trace_event JSON (open in Perfetto) to this file")
 	listen := flag.String("listen", "", "serve live metrics at /debug/metrics and pprof under /debug/pprof/ on this address")
+	stream := flag.String("stream", "auto", "streaming aggregation: auto (sketches at >= stream-threshold runs), on, off")
+	streamThreshold := flag.Int("stream-threshold", campaign.DefaultStreamThreshold, "run count at which -stream auto switches to sketch aggregation")
 	flag.Parse()
 
 	stopProf := prof.Start(*cpuprofile, *memprofile)
@@ -99,6 +109,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	streamMode, err := campaign.ParseStreamMode(*stream)
+	if err != nil {
+		fail(err)
+	}
 	spec := campaign.Spec{
 		Families:   fams,
 		Seeds:      seedRange,
@@ -116,6 +130,8 @@ func main() {
 		CayleyFallback:  *fallback,
 		RatioBound:      *bound,
 		Telemetry:       *telemetryOn,
+		Stream:          streamMode,
+		StreamThreshold: *streamThreshold,
 	}
 	var metricsSrv *serve.HTTPServer
 	if *listen != "" {
@@ -128,6 +144,8 @@ func main() {
 		opt.Metrics = reg
 		mux := http.NewServeMux()
 		mux.Handle("/debug/metrics", reg)
+		mux.Handle("/debug/metrics/stream", reg.StreamHandler())
+		mux.Handle("/debug/live", telemetry.DashboardHandler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -139,7 +157,7 @@ func main() {
 			fail(err)
 		}
 		metricsSrv.Start()
-		fmt.Printf("serving metrics on http://%s/debug/metrics (pprof under /debug/pprof/)\n", metricsSrv.Addr())
+		fmt.Printf("serving metrics on http://%s/debug/metrics (live dashboard at /debug/live, SSE at /debug/metrics/stream, pprof under /debug/pprof/)\n", metricsSrv.Addr())
 	}
 	if *timelinePath != "" {
 		f, err := os.Create(*timelinePath)

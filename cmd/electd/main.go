@@ -16,6 +16,14 @@
 //	GET  /v1/artifacts/{id} replay bundle download
 //	GET  /healthz           liveness + drain state
 //	GET  /debug/metrics     telemetry registry snapshot
+//	GET  /debug/metrics/stream  registry snapshots as server-sent events
+//	GET  /debug/live        live operator dashboard (single HTML file)
+//	GET  /debug/requests    recent slow/failed request traces
+//
+// Every request gets an ID (client X-Request-ID honored, generated
+// otherwise) that is echoed in the response, stamped into campaign run
+// records, and logged; -access-log=false silences the per-request JSON
+// log lines.
 //
 // SIGTERM/SIGINT starts a graceful drain: /healthz flips to 503, in-flight
 // requests get -drain-grace to finish, then their runs are canceled through
@@ -27,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -55,9 +64,15 @@ func run() error {
 		cacheBytes      = flag.Int64("cache-bytes", 0, "analysis-cache byte bound (0 = default 64MiB, negative = unbounded)")
 		drainGrace      = flag.Duration("drain-grace", 10*time.Second, "drain budget for in-flight requests")
 		drainCleanup    = flag.Duration("drain-cleanup", 5*time.Second, "post-cancel unwind budget")
+		slowRequest     = flag.Duration("slow-request", 0, "successful requests at least this slow land in /debug/requests (0 = default 500ms)")
+		accessLog       = flag.Bool("access-log", true, "emit one structured JSON log line per request on stderr")
 	)
 	flag.Parse()
 
+	var logger *slog.Logger
+	if *accessLog {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
 	s := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueTimeout:    *queueTimeout,
@@ -66,6 +81,8 @@ func run() error {
 		RunTimeout:      *runTimeout,
 		MaxCampaignRuns: *maxCampaignRuns,
 		CacheMaxBytes:   *cacheBytes,
+		SlowRequest:     *slowRequest,
+		AccessLog:       logger,
 	})
 	hs, err := serve.Listen(*listen, s, nil)
 	if err != nil {

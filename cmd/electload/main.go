@@ -2,8 +2,12 @@
 // seeded mix of /v1/analyze and /v1/elect requests at a fixed request rate
 // (arrivals are scheduled by the clock, not by completions, so a slow
 // server accumulates in-flight requests instead of throttling the
-// generator), measures per-request latency, and reads the daemon's
-// /debug/metrics before and after to report cache hit and coalesce rates.
+// generator), measures per-request latency into a mergeable sketch
+// histogram (O(1) memory at any sample count, percentiles within the
+// documented ~3% sketch error), and watches the daemon's
+// /debug/metrics/stream SSE feed over the run to report cache hit and
+// coalesce rate deltas (falling back to polling /debug/metrics before
+// and after when the stream is unavailable).
 //
 // Usage:
 //
@@ -22,7 +26,9 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,10 +36,13 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
-	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
+	"repro/internal/telemetry/sketch"
 )
 
 type instance struct {
@@ -82,13 +91,78 @@ type benchOut struct {
 	P50MS       float64 `json:"p50_ms"`
 	P90MS       float64 `json:"p90_ms"`
 	P99MS       float64 `json:"p99_ms"`
+	// LatencySketchErr is the relative error bound of the percentile
+	// sketch the latencies were folded into.
+	LatencySketchErr float64 `json:"latency_sketch_err"`
 	// Cache-rate deltas over the run, read from the daemon's
-	// /debug/metrics gauges (serve_cache_*).
-	CacheHits      int64   `json:"cache_hits"`
-	CacheCoalesced int64   `json:"cache_coalesced"`
-	CacheMisses    int64   `json:"cache_misses"`
-	CacheHitRate   float64 `json:"cache_hit_rate"`
-	CoalesceRate   float64 `json:"coalesce_rate"`
+	// serve_cache_* gauges. CacheSource says how: "stream" when derived
+	// from the first and last /debug/metrics/stream SSE snapshots,
+	// "poll" when from /debug/metrics GETs before and after the run.
+	CacheSource     string  `json:"cache_source"`
+	StreamSnapshots int     `json:"stream_snapshots,omitempty"`
+	CacheHits       int64   `json:"cache_hits"`
+	CacheCoalesced  int64   `json:"cache_coalesced"`
+	CacheMisses     int64   `json:"cache_misses"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	CoalesceRate    float64 `json:"coalesce_rate"`
+}
+
+// streamWatch tails /debug/metrics/stream for the duration of the load,
+// keeping the first and last snapshots: their gauge difference is the
+// run's cache-rate delta without the race a before/after poll has
+// against still-draining requests.
+type streamWatch struct {
+	mu          sync.Mutex
+	first, last telemetry.Snapshot
+	n           int
+}
+
+// watch consumes SSE frames until ctx is canceled or the stream breaks.
+// Best-effort by design: any error just leaves n at whatever was seen
+// and the caller falls back to polling.
+func (sw *streamWatch) watch(ctx context.Context, client *http.Client, base string) {
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/debug/metrics/stream?interval_ms=250", nil)
+	if err != nil {
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close() //nolint:errcheck
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var snap telemetry.Snapshot
+		if err := json.Unmarshal([]byte(data), &snap); err != nil {
+			continue
+		}
+		sw.mu.Lock()
+		if sw.n == 0 {
+			sw.first = snap
+		}
+		sw.last = snap
+		sw.n++
+		sw.mu.Unlock()
+	}
+}
+
+// delta returns the gauge snapshots bracketing the run, when the stream
+// yielded at least two.
+func (sw *streamWatch) delta() (before, after map[string]int64, n int, ok bool) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	if sw.n < 2 {
+		return nil, nil, sw.n, false
+	}
+	return sw.first.Gauges, sw.last.Gauges, sw.n, true
 }
 
 func main() {
@@ -118,6 +192,16 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("metrics before: %w", err)
 	}
+	// Tail the SSE stream for the run; its first/last snapshots supersede
+	// the polled before/after when the stream works.
+	sw := &streamWatch{}
+	streamCtx, stopStream := context.WithCancel(context.Background())
+	defer stopStream()
+	streamDone := make(chan struct{})
+	go func() {
+		defer close(streamDone)
+		sw.watch(streamCtx, &http.Client{}, base)
+	}()
 
 	rng := rand.New(rand.NewSource(*seed))
 	pool := mix(rng)
@@ -126,7 +210,7 @@ func run() error {
 	var (
 		wg        sync.WaitGroup
 		mu        sync.Mutex
-		latencies []float64
+		latencies = &sketch.Hist{} // microseconds; mutex-guarded
 		requests  atomic.Int64
 		errors    atomic.Int64
 		shed      atomic.Int64
@@ -142,7 +226,7 @@ func run() error {
 		data, _ := json.Marshal(body)
 		start := time.Now()
 		resp, err := client.Post(base+path, "application/json", bytes.NewReader(data))
-		elapsed := float64(time.Since(start)) / float64(time.Millisecond)
+		elapsedUS := int64(time.Since(start) / time.Microsecond)
 		requests.Add(1)
 		if err != nil {
 			errors.Add(1)
@@ -158,7 +242,7 @@ func run() error {
 			return
 		}
 		mu.Lock()
-		latencies = append(latencies, elapsed)
+		latencies.Observe(elapsedUS)
 		mu.Unlock()
 	}
 
@@ -184,19 +268,31 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("metrics after: %w", err)
 	}
+	// Give the stream one more frame past the last completion, then
+	// prefer its bracketing snapshots over the polled pair.
+	time.Sleep(300 * time.Millisecond)
+	stopStream()
+	<-streamDone
+	source := "poll"
+	var streamN int
+	if b, a, n, ok := sw.delta(); ok {
+		before, after, source, streamN = b, a, "stream", n
+	}
 
-	sort.Float64s(latencies)
 	res := benchOut{
-		Addr:        *addr,
-		DurationSec: elapsed.Seconds(),
-		TargetRate:  *rate,
-		Requests:    requests.Load(),
-		Errors:      errors.Load(),
-		Shed:        shed.Load(),
-		ReqPerSec:   float64(requests.Load()) / elapsed.Seconds(),
-		P50MS:       percentile(latencies, 50),
-		P90MS:       percentile(latencies, 90),
-		P99MS:       percentile(latencies, 99),
+		Addr:             *addr,
+		DurationSec:      elapsed.Seconds(),
+		TargetRate:       *rate,
+		Requests:         requests.Load(),
+		Errors:           errors.Load(),
+		Shed:             shed.Load(),
+		ReqPerSec:        float64(requests.Load()) / elapsed.Seconds(),
+		P50MS:            float64(latencies.Quantile(0.50)) / 1000,
+		P90MS:            float64(latencies.Quantile(0.90)) / 1000,
+		P99MS:            float64(latencies.Quantile(0.99)) / 1000,
+		LatencySketchErr: sketch.RelativeError,
+		CacheSource:      source,
+		StreamSnapshots:  streamN,
 	}
 	res.CacheHits = after["serve_cache_hits"] - before["serve_cache_hits"]
 	res.CacheCoalesced = after["serve_cache_coalesced"] - before["serve_cache_coalesced"]
@@ -213,10 +309,11 @@ func run() error {
 	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("electload: %d requests in %.1fs (%.1f req/s), p50 %.2fms p99 %.2fms, "+
-		"cache hit rate %.1f%% (coalesced %.1f%%), %d errors, %d shed → %s\n",
+	fmt.Printf("electload: %d requests in %.1fs (%.1f req/s), p50 %.2fms p99 %.2fms (±%.1f%% sketch), "+
+		"cache hit rate %.1f%% (coalesced %.1f%%, via %s), %d errors, %d shed → %s\n",
 		res.Requests, res.DurationSec, res.ReqPerSec, res.P50MS, res.P99MS,
-		100*res.CacheHitRate, 100*res.CoalesceRate, res.Errors, res.Shed, *out)
+		100*sketch.RelativeError,
+		100*res.CacheHitRate, 100*res.CoalesceRate, res.CacheSource, res.Errors, res.Shed, *out)
 	if res.Errors > 0 {
 		return fmt.Errorf("%d requests errored", res.Errors)
 	}
@@ -264,13 +361,4 @@ func cacheGauges(client *http.Client, base string) (map[string]int64, error) {
 		snap.Gauges = map[string]int64{}
 	}
 	return snap.Gauges, nil
-}
-
-// percentile reads the p-th percentile from sorted ms latencies.
-func percentile(sorted []float64, p int) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	idx := (len(sorted) - 1) * p / 100
-	return sorted[idx]
 }

@@ -1,0 +1,422 @@
+package campaign
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/telemetry/sketch"
+)
+
+// StreamMode selects the campaign's summary-aggregation path.
+type StreamMode int
+
+// The aggregation modes. StreamAuto (the zero value) buffers per-run
+// results below StreamThreshold and switches to mergeable sketches at or
+// above it; StreamOn always streams (Report.Results is nil, percentiles
+// carry the documented sketch error); StreamOff always buffers.
+const (
+	StreamAuto StreamMode = iota
+	StreamOn
+	StreamOff
+)
+
+// ParseStreamMode parses a -stream flag value: "auto" (or empty), "on",
+// or "off".
+func ParseStreamMode(s string) (StreamMode, error) {
+	switch s {
+	case "", "auto":
+		return StreamAuto, nil
+	case "on":
+		return StreamOn, nil
+	case "off":
+		return StreamOff, nil
+	}
+	return StreamAuto, fmt.Errorf("campaign: unknown stream mode %q (want auto, on or off)", s)
+}
+
+const (
+	// DefaultStreamThreshold is the work-list size at which StreamAuto
+	// switches to sketch aggregation: beyond it the buffered []RunResult
+	// dominates memory (~0.5 KiB/run ≈ 50 MiB at 10⁵ runs).
+	DefaultStreamThreshold = 100_000
+	// maxFailureSample bounds the failing-run sample a streamed campaign
+	// retains in place of the full result list.
+	maxFailureSample = 64
+	// maxViolationKeys bounds the candidate signature list paired with the
+	// count-min sketch (the sketch itself is unbounded-key).
+	maxViolationKeys = 128
+	// ratioScale is the fixed-point scale folding float ratios into the
+	// integer sketch: three binary decimal places on top of the sketch's
+	// own relative error.
+	ratioScale = 1024
+	// liveFoldEvery is how many runs a worker folds privately before
+	// merging into the shared live aggregate (lock once per batch, not
+	// once per run).
+	liveFoldEvery = 256
+	// maxTopViolations bounds Summary.TopViolations.
+	maxTopViolations = 10
+)
+
+// ViolationCount is one entry of Summary.TopViolations: an
+// invariant-violation signature ("code|instance|strategy") with its
+// count-min estimated occurrence count (never an under-estimate).
+type ViolationCount struct {
+	Signature string `json:"signature"`
+	Count     int64  `json:"count"`
+}
+
+// aggregator folds RunResults into a campaign summary. In exact mode it
+// keeps per-run value slices and reproduces the historical buffered
+// percentiles bit for bit; in sketch mode it folds into mergeable
+// O(1)-memory sketches (internal/telemetry/sketch) whose quantiles are
+// within sketch.RelativeError of exact. Aggregators merge associatively,
+// so per-worker shards combine into one summary in any order.
+//
+// Not safe for concurrent use: one per worker, merged under the
+// campaign's live mutex.
+type aggregator struct {
+	exact bool
+	bound float64
+
+	runs                int
+	outcomes            map[string]int
+	retries             int
+	aborted             int
+	canceled            int
+	errors              int
+	faultErrors         int
+	mismatches          int
+	invariantViolations int
+	faultRuns           int
+	crashedAgents       int
+	faultEvents         int
+	takeovers           int64
+	traceDropped        int64
+	boundViolations     int
+	ratioMax            float64
+	serialMS            float64
+	phaseTotals         map[string]PhaseStat
+
+	// Sketch mode: mergeable histograms for every percentile the summary
+	// reports, a count-min over violation signatures, and a bounded
+	// failure sample.
+	moves      sketch.Hist
+	accesses   sketch.Hist
+	crashed    sketch.Hist
+	ratio      sketch.Hist // fixed-point, ×ratioScale
+	phaseMoves map[string]*sketch.Hist
+	violations *sketch.CountMin
+	vioKeys    []string
+	vioSeen    map[string]bool
+	failures   []RunResult
+
+	// Exact mode: the buffered value slices percentiles are read from.
+	movesS      []int64
+	accessesS   []int64
+	crashedS    []int64
+	ratiosS     []float64
+	phaseMovesS map[string][]int64
+}
+
+func newAggregator(exact bool, bound float64) *aggregator {
+	return &aggregator{
+		exact:       exact,
+		bound:       bound,
+		outcomes:    map[string]int{},
+		phaseTotals: map[string]PhaseStat{},
+		phaseMoves:  map[string]*sketch.Hist{},
+		violations:  sketch.NewCountMin(0, 0),
+		vioSeen:     map[string]bool{},
+		phaseMovesS: map[string][]int64{},
+	}
+}
+
+// violationSignature keys a violation for the count-min sketch: the
+// invariant code plus the instance and strategy that broke it.
+func violationSignature(r RunResult, code string) string {
+	return code + "|" + r.Instance + "|" + r.Strategy
+}
+
+// isFailure mirrors Report.Failures' predicate on one result.
+func isFailure(r RunResult) bool {
+	if r.Outcome == "canceled" {
+		return false
+	}
+	if r.Fault != "" {
+		return !r.OK || len(r.Violations) > 0
+	}
+	return r.Err != "" || !r.OK || len(r.Violations) > 0
+}
+
+// add folds one run result.
+func (a *aggregator) add(r RunResult) {
+	a.runs++
+	a.outcomes[r.Outcome]++
+	if !a.exact && isFailure(r) && len(a.failures) < maxFailureSample {
+		a.failures = append(a.failures, r)
+	}
+	for _, v := range r.Violations {
+		sig := violationSignature(r, string(v.Code))
+		a.violations.Add(sig, 1)
+		if !a.vioSeen[sig] && len(a.vioKeys) < maxViolationKeys {
+			a.vioSeen[sig] = true
+			a.vioKeys = append(a.vioKeys, sig)
+		}
+	}
+	if r.Outcome == "canceled" {
+		// Cancellation is an environment decision: count it, keep it out
+		// of the error/mismatch/percentile accounting (a never-started
+		// run has Attempts 0, which would corrupt the retry count).
+		a.canceled++
+		a.serialMS += r.ElapsedMS
+		return
+	}
+	a.retries += r.Attempts - 1
+	a.serialMS += r.ElapsedMS
+	a.traceDropped += r.TraceDropped
+	if len(r.Violations) > 0 {
+		a.invariantViolations++
+	}
+	if r.Fault != "" {
+		a.faultRuns++
+		a.crashedAgents += r.Crashed
+		a.takeovers += r.Takeovers
+		a.faultEvents += r.FaultEvents
+		a.crashed.Observe(int64(r.Crashed))
+		if a.exact {
+			a.crashedS = append(a.crashedS, int64(r.Crashed))
+		}
+	}
+	if r.Err != "" {
+		if r.Fault != "" {
+			a.faultErrors++
+		} else {
+			a.errors++
+		}
+		if r.Aborted {
+			a.aborted++
+		}
+		return
+	}
+	if !r.OK {
+		a.mismatches++
+	}
+	// The sketches are fed in both modes — they are what the live
+	// /debug/metrics quantile gauges read mid-campaign; exact mode
+	// additionally buffers the slices its summary percentiles come from.
+	a.moves.Observe(r.Moves)
+	a.accesses.Observe(r.Accesses)
+	a.ratio.Observe(int64(r.Ratio * ratioScale))
+	if a.exact {
+		a.movesS = append(a.movesS, r.Moves)
+		a.accessesS = append(a.accessesS, r.Accesses)
+		a.ratiosS = append(a.ratiosS, r.Ratio)
+	}
+	if r.Ratio > a.ratioMax {
+		a.ratioMax = r.Ratio
+	}
+	if r.Ratio > a.bound {
+		a.boundViolations++
+	}
+	a.addPhase(r.PhaseMoves, func(st *PhaseStat) *int64 { return &st.Moves })
+	a.addPhase(r.PhaseAccesses, func(st *PhaseStat) *int64 { return &st.Accesses })
+	a.addPhase(r.PhaseWrites, func(st *PhaseStat) *int64 { return &st.Writes })
+	a.addPhase(r.PhaseErases, func(st *PhaseStat) *int64 { return &st.Erases })
+	for name, v := range r.PhaseMoves {
+		if a.exact {
+			a.phaseMovesS[name] = append(a.phaseMovesS[name], v)
+		} else {
+			h := a.phaseMoves[name]
+			if h == nil {
+				h = &sketch.Hist{}
+				a.phaseMoves[name] = h
+			}
+			h.Observe(v)
+		}
+	}
+}
+
+func (a *aggregator) addPhase(m map[string]int64, pick func(*PhaseStat) *int64) {
+	for name, v := range m {
+		st := a.phaseTotals[name]
+		*pick(&st) += v
+		a.phaseTotals[name] = st
+	}
+}
+
+// merge folds o into a (associative; o left intact). Shards must share
+// the exact flag and bound.
+func (a *aggregator) merge(o *aggregator) {
+	a.runs += o.runs
+	for k, v := range o.outcomes {
+		a.outcomes[k] += v
+	}
+	a.retries += o.retries
+	a.aborted += o.aborted
+	a.canceled += o.canceled
+	a.errors += o.errors
+	a.faultErrors += o.faultErrors
+	a.mismatches += o.mismatches
+	a.invariantViolations += o.invariantViolations
+	a.faultRuns += o.faultRuns
+	a.crashedAgents += o.crashedAgents
+	a.faultEvents += o.faultEvents
+	a.takeovers += o.takeovers
+	a.traceDropped += o.traceDropped
+	a.boundViolations += o.boundViolations
+	if o.ratioMax > a.ratioMax {
+		a.ratioMax = o.ratioMax
+	}
+	a.serialMS += o.serialMS
+	for name, st := range o.phaseTotals {
+		cur := a.phaseTotals[name]
+		cur.Moves += st.Moves
+		cur.Accesses += st.Accesses
+		cur.Writes += st.Writes
+		cur.Erases += st.Erases
+		a.phaseTotals[name] = cur
+	}
+	a.moves.Merge(&o.moves)
+	a.accesses.Merge(&o.accesses)
+	a.crashed.Merge(&o.crashed)
+	a.ratio.Merge(&o.ratio)
+	for name, h := range o.phaseMoves {
+		mine := a.phaseMoves[name]
+		if mine == nil {
+			mine = &sketch.Hist{}
+			a.phaseMoves[name] = mine
+		}
+		mine.Merge(h)
+	}
+	a.violations.Merge(o.violations) //nolint:errcheck // same constructor, same dims
+	for _, sig := range o.vioKeys {
+		if !a.vioSeen[sig] && len(a.vioKeys) < maxViolationKeys {
+			a.vioSeen[sig] = true
+			a.vioKeys = append(a.vioKeys, sig)
+		}
+	}
+	for _, f := range o.failures {
+		if len(a.failures) >= maxFailureSample {
+			break
+		}
+		a.failures = append(a.failures, f)
+	}
+	a.movesS = append(a.movesS, o.movesS...)
+	a.accessesS = append(a.accessesS, o.accessesS...)
+	a.crashedS = append(a.crashedS, o.crashedS...)
+	a.ratiosS = append(a.ratiosS, o.ratiosS...)
+	for name, vs := range o.phaseMovesS {
+		a.phaseMovesS[name] = append(a.phaseMovesS[name], vs...)
+	}
+}
+
+// reset empties the aggregator for the next live-fold batch, reusing the
+// sketch allocations.
+func (a *aggregator) reset() {
+	bound := a.bound
+	exact := a.exact
+	moves, accesses, crashed, ratio := a.moves, a.accesses, a.crashed, a.ratio
+	vio := a.violations
+	*a = *newAggregator(exact, bound)
+	moves.Reset()
+	accesses.Reset()
+	crashed.Reset()
+	ratio.Reset()
+	vio.Reset()
+	a.moves, a.accesses, a.crashed, a.ratio = moves, accesses, crashed, ratio
+	a.violations = vio
+}
+
+// quantiles reads p50/p90/p99 from either the exact slice or the sketch.
+func (a *aggregator) quantiles(slice []int64, h *sketch.Hist) (p50, p90, p99 int64) {
+	if a.exact {
+		return pctInt(slice, 50), pctInt(slice, 90), pctInt(slice, 99)
+	}
+	return h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99)
+}
+
+// summary renders the aggregate into the campaign Summary.
+func (a *aggregator) summary(workers int, wallMS float64, hits, misses int64, analysisMS float64) Summary {
+	s := Summary{
+		Runs:                a.runs,
+		Workers:             workers,
+		Outcomes:            a.outcomes,
+		Mismatches:          a.mismatches,
+		Errors:              a.errors,
+		Retries:             a.retries,
+		Aborted:             a.aborted,
+		Canceled:            a.canceled,
+		InvariantViolations: a.invariantViolations,
+		FaultRuns:           a.faultRuns,
+		CrashedAgents:       a.crashedAgents,
+		Takeovers:           a.takeovers,
+		FaultEvents:         a.faultEvents,
+		FaultErrors:         a.faultErrors,
+		RatioMax:            a.ratioMax,
+		RatioBound:          a.bound,
+		BoundViolations:     a.boundViolations,
+		CacheHits:           hits,
+		CacheMisses:         misses,
+		AnalysisMS:          analysisMS,
+		WallMS:              wallMS,
+		SerialMS:            a.serialMS,
+		TraceDropped:        a.traceDropped,
+		Streamed:            !a.exact,
+	}
+	if hits+misses > 0 {
+		s.CacheHitRate = float64(hits) / float64(hits+misses)
+	}
+	s.MovesP50, s.MovesP90, s.MovesP99 = a.quantiles(a.movesS, &a.moves)
+	s.AccessP50, s.AccessP90, s.AccessP99 = a.quantiles(a.accessesS, &a.accesses)
+	s.CrashedP50, s.CrashedP90, _ = a.quantiles(a.crashedS, &a.crashed)
+	if a.exact {
+		s.RatioP50, s.RatioP90 = pctFloat(a.ratiosS, 50), pctFloat(a.ratiosS, 90)
+	} else {
+		s.SketchRelErr = sketch.RelativeError
+		s.RatioP50 = float64(a.ratio.Quantile(0.50)) / ratioScale
+		s.RatioP90 = float64(a.ratio.Quantile(0.90)) / ratioScale
+	}
+	if len(a.phaseTotals) > 0 {
+		s.Phases = make(map[string]PhaseStat, len(a.phaseTotals))
+		for name, st := range a.phaseTotals {
+			if a.exact {
+				st.MovesP50 = pctInt(a.phaseMovesS[name], 50)
+				st.MovesP90 = pctInt(a.phaseMovesS[name], 90)
+			} else if h := a.phaseMoves[name]; h != nil {
+				st.MovesP50 = h.Quantile(0.50)
+				st.MovesP90 = h.Quantile(0.90)
+			}
+			s.Phases[name] = st
+		}
+	}
+	if s.WallMS > 0 {
+		s.SpeedupEst = s.SerialMS / s.WallMS
+	}
+	s.TopViolations = a.topViolations()
+	return s
+}
+
+// topViolations ranks the tracked signatures by their count-min
+// estimates, highest first, capped at maxTopViolations. Signatures past
+// the candidate-list bound are still counted in the sketch but cannot be
+// listed; the list is a sample, the InvariantViolations counter is the
+// truth.
+func (a *aggregator) topViolations() []ViolationCount {
+	if len(a.vioKeys) == 0 {
+		return nil
+	}
+	out := make([]ViolationCount, 0, len(a.vioKeys))
+	for _, sig := range a.vioKeys {
+		out = append(out, ViolationCount{Signature: sig, Count: a.violations.Estimate(sig)})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Signature < out[j].Signature
+	})
+	if len(out) > maxTopViolations {
+		out = out[:maxTopViolations]
+	}
+	return out
+}

@@ -80,6 +80,17 @@ type Options struct {
 	CacheMaxBytes int64
 	// JSONL, when set, receives one JSON record per completed run.
 	JSONL io.Writer
+	// Stream selects the summary-aggregation path: StreamAuto (default)
+	// buffers per-run results below StreamThreshold and folds into
+	// mergeable per-worker sketches at or above it; StreamOn / StreamOff
+	// force one path. Streamed campaigns hold O(1) aggregation memory —
+	// Report.Results is nil, a bounded failure sample stands in, and
+	// summary percentiles carry at most sketch.RelativeError relative
+	// error (Summary.Streamed / Summary.SketchRelErr).
+	Stream StreamMode
+	// StreamThreshold is the StreamAuto cutover work-list size
+	// (default DefaultStreamThreshold = 100000).
+	StreamThreshold int
 
 	// Telemetry enables per-run collection: each run gets a telemetry.Run,
 	// its per-phase move/access/write/erase totals land in RunResult, the
@@ -128,7 +139,22 @@ func (o Options) withDefaults() Options {
 	if o.Metrics != nil || o.Timeline != nil {
 		o.Telemetry = true
 	}
+	if o.StreamThreshold <= 0 {
+		o.StreamThreshold = DefaultStreamThreshold
+	}
 	return o
+}
+
+// streamed decides the aggregation path for a work list of n runs.
+func (o Options) streamed(n int) bool {
+	switch o.Stream {
+	case StreamOn:
+		return true
+	case StreamOff:
+		return false
+	default:
+		return n >= o.StreamThreshold
+	}
 }
 
 // protoInfo is a constructed protocol plus its model requirements.
@@ -248,7 +274,24 @@ func ExecuteRunsContext(ctx context.Context, runs []Run, opt Options) (*Report, 
 	}
 	cacheBefore := cache.Stats()
 	jw := newJSONLWriter(opt.JSONL)
-	results := make([]RunResult, len(runs))
+	// Streamed campaigns never allocate the per-run result slice: each
+	// worker folds results into a private sketch aggregator and discards
+	// them, merging into the shared total every liveFoldEvery runs (which
+	// also refreshes the live quantile gauges) and once at exit.
+	streaming := opt.streamed(len(runs))
+	var results []RunResult
+	if !streaming {
+		results = make([]RunResult, len(runs))
+	}
+	var liveMu sync.Mutex
+	total := newAggregator(!streaming, opt.RatioBound)
+	flush := func(agg *aggregator) {
+		liveMu.Lock()
+		total.merge(agg)
+		publishLive(opt.Metrics, total)
+		liveMu.Unlock()
+		agg.reset()
+	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
 
@@ -268,23 +311,33 @@ func ExecuteRunsContext(ctx context.Context, runs []Run, opt Options) (*Report, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			agg := newAggregator(!streaming, opt.RatioBound)
+			defer flush(agg)
 			camRun.SetTrackName(w, "worker "+strconv.Itoa(w))
+			n := 0
 			for i := range idx {
+				var res RunResult
 				if ctx.Err() != nil {
-					results[i] = canceledResult(i, runs[i])
-					jw.write(results[i])
-					continue
+					res = canceledResult(i, runs[i])
+				} else {
+					kind := runs[i].Protocol
+					if kind == "" {
+						kind = ProtoElect
+					}
+					opt.Metrics.Gauge("campaign_inflight").Add(1)
+					sp := camRun.StartSpan(w, runs[i].Instance, telemetry.PhaseNone)
+					res = executeOne(ctx, i, runs[i], kind, protos[kind], opt, cache)
+					sp.End()
+					opt.Metrics.Gauge("campaign_inflight").Add(-1)
 				}
-				kind := runs[i].Protocol
-				if kind == "" {
-					kind = ProtoElect
+				if results != nil {
+					results[i] = res
 				}
-				opt.Metrics.Gauge("campaign_inflight").Add(1)
-				sp := camRun.StartSpan(w, runs[i].Instance, telemetry.PhaseNone)
-				results[i] = executeOne(ctx, i, runs[i], kind, protos[kind], opt, cache)
-				sp.End()
-				opt.Metrics.Gauge("campaign_inflight").Add(-1)
-				jw.write(results[i])
+				jw.write(res)
+				agg.add(res)
+				if n++; n%liveFoldEvery == 0 {
+					flush(agg)
+				}
 			}
 		}(w)
 	}
@@ -296,10 +349,16 @@ feed:
 			// Never-fed runs get canceled records so the report stays
 			// index-complete; workers drain what is already queued (each
 			// checks ctx before executing, so nothing new actually runs).
+			liveMu.Lock()
 			for j := i; j < len(runs); j++ {
-				results[j] = canceledResult(j, runs[j])
-				jw.write(results[j])
+				res := canceledResult(j, runs[j])
+				if results != nil {
+					results[j] = res
+				}
+				jw.write(res)
+				total.add(res)
 			}
+			liveMu.Unlock()
 			break feed
 		}
 	}
@@ -309,10 +368,14 @@ feed:
 	cd := cache.Stats()
 	hits := (cd.Hits + cd.Coalesced) - (cacheBefore.Hits + cacheBefore.Coalesced)
 	misses := cd.Misses - cacheBefore.Misses
-	analysis := time.Duration((cd.AnalysisMS - cacheBefore.AnalysisMS) * float64(time.Millisecond))
+	analysisMS := cd.AnalysisMS - cacheBefore.AnalysisMS
+	wallMS := float64(time.Since(start)) / float64(time.Millisecond)
 	rep := &Report{
 		Results: results,
-		Summary: summarize(results, opt.Workers, time.Since(start), opt.RatioBound, hits, misses, analysis),
+		Summary: total.summary(opt.Workers, wallMS, hits, misses, analysisMS),
+	}
+	if streaming {
+		rep.FailureSample = total.failures
 	}
 	if opt.Telemetry {
 		d := iso.Stats().Sub(isoBefore)
@@ -347,6 +410,26 @@ func canceledResult(index int, run Run) RunResult {
 // 16 to ~260k moves per run.
 var moveBuckets = telemetry.ExpBuckets(16, 4, 8)
 
+// publishLive refreshes the live quantile gauges from the shared
+// aggregate — the sketch-derived mid-campaign view that /debug/metrics,
+// the /debug/metrics/stream SSE feed, and the /debug/live dashboard
+// read. Called under the campaign's live mutex; nil registry is a no-op.
+func publishLive(reg *telemetry.Registry, a *aggregator) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge("campaign_runs_aggregated").Set(int64(a.runs))
+	reg.Gauge("campaign_moves_p50").Set(a.moves.Quantile(0.50))
+	reg.Gauge("campaign_moves_p90").Set(a.moves.Quantile(0.90))
+	reg.Gauge("campaign_moves_p99").Set(a.moves.Quantile(0.99))
+	reg.Gauge("campaign_accesses_p50").Set(a.accesses.Quantile(0.50))
+	reg.Gauge("campaign_accesses_p90").Set(a.accesses.Quantile(0.90))
+	reg.Gauge("campaign_accesses_p99").Set(a.accesses.Quantile(0.99))
+	reg.Gauge("campaign_ratio_p90_milli").Set(a.ratio.Quantile(0.90) * 1000 / ratioScale)
+	reg.Gauge("campaign_bound_violations").Set(int64(a.boundViolations))
+	reg.Gauge("campaign_invariant_violation_runs").Set(int64(a.invariantViolations))
+}
+
 // executeOne runs one unit of work: cached analysis, then the simulation
 // under the watchdog with bounded reseeded retries. ctx cancellation
 // aborts the in-flight simulation (sim.ErrCanceled, never retried).
@@ -355,6 +438,7 @@ func executeOne(ctx context.Context, index int, run Run, kind ProtocolKind, pi p
 		Index: index, Instance: run.Instance, Protocol: string(kind),
 		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
 		Strategy: run.Strategy, Fault: run.Fault,
+		RequestID: telemetry.RequestIDFrom(ctx),
 	}
 	// Strategy runs are serialized through the adversary turnstile; the
 	// class map is schedule-independent, so compute it once per run.

@@ -6,7 +6,6 @@ import (
 	"io"
 	"sort"
 	"sync"
-	"time"
 
 	"repro/internal/elect"
 	"repro/internal/iso"
@@ -73,6 +72,10 @@ type RunResult struct {
 	// TraceDropped counts simulation events the buffered tracer discarded
 	// on a full buffer (with Options.TraceSink; nondeterministic).
 	TraceDropped int64 `json:"trace_dropped,omitempty"`
+	// RequestID is the originating HTTP request's ID when the campaign ran
+	// inside a traced daemon request (telemetry.WithRequestID), so JSONL
+	// records and streamed campaign lines correlate with access logs.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // phaseMap converts a per-phase counter array to its name-keyed JSON
@@ -161,6 +164,22 @@ type Summary struct {
 	IsoSearch *iso.SearchStats `json:"iso_search,omitempty"`
 	// TraceDropped sums the per-run buffered-tracer drop counts.
 	TraceDropped int64 `json:"trace_dropped,omitempty"`
+	// Streamed reports that the summary was aggregated through mergeable
+	// per-worker sketches (internal/telemetry/sketch) instead of buffered
+	// per-run results: Report.Results is nil, a bounded failure sample
+	// replaces it, and every percentile above carries at most SketchRelErr
+	// relative error. Counters (runs, outcomes, errors, violations, cache
+	// stats) are exact in both modes.
+	Streamed bool `json:"streamed,omitempty"`
+	// SketchRelErr is the documented worst-case relative error of the
+	// streamed percentiles (sketch.RelativeError; 0 when buffered/exact).
+	SketchRelErr float64 `json:"sketch_rel_err,omitempty"`
+	// TopViolations ranks invariant-violation signatures
+	// ("code|instance|strategy") by their count-min estimated frequency,
+	// highest first. Estimates never undercount; the candidate list is
+	// bounded, so an unlisted signature is still included in
+	// InvariantViolations.
+	TopViolations []ViolationCount `json:"top_violations,omitempty"`
 }
 
 // PhaseStat aggregates one protocol phase across a campaign: counter
@@ -176,31 +195,32 @@ type PhaseStat struct {
 }
 
 // Report is the full outcome of a campaign: per-run results in work-list
-// order plus the aggregate summary.
+// order plus the aggregate summary. Streamed campaigns
+// (Summary.Streamed) carry no per-run results — a bounded failure sample
+// stands in.
 type Report struct {
-	Results []RunResult `json:"results"`
+	Results []RunResult `json:"results,omitempty"`
 	Summary Summary     `json:"summary"`
+	// FailureSample is the bounded (first maxFailureSample, completion
+	// order) sample of failing runs a streamed campaign retains instead of
+	// Results. Nil on buffered campaigns — use Failures there.
+	FailureSample []RunResult `json:"failure_sample,omitempty"`
 }
 
 // Failures returns the results that errored, contradicted the oracle, or
 // broke a protocol invariant. Fault-injected runs are judged by the
 // fault-aware invariants alone: a crash-induced run error (deadlock,
 // no verdict among survivors) is an expected liveness loss, not a failure.
+// On a streamed campaign (no buffered results) it returns the bounded
+// failure sample; Summary.Errors/Mismatches/InvariantViolations carry the
+// exact counts either way.
 func (r *Report) Failures() []RunResult {
+	if r.Results == nil {
+		return r.FailureSample
+	}
 	var out []RunResult
 	for _, res := range r.Results {
-		if res.Outcome == "canceled" {
-			// A drained run neither passed nor failed; the caller already
-			// received the cancellation error from ExecuteRunsContext.
-			continue
-		}
-		if res.Fault != "" {
-			if !res.OK || len(res.Violations) > 0 {
-				out = append(out, res)
-			}
-			continue
-		}
-		if res.Err != "" || !res.OK || len(res.Violations) > 0 {
+		if isFailure(res) {
 			out = append(out, res)
 		}
 	}
@@ -233,104 +253,6 @@ func (jw *jsonlWriter) write(r RunResult) {
 	if jw.err == nil {
 		jw.err = jw.enc.Encode(r)
 	}
-}
-
-func summarize(results []RunResult, workers int, wall time.Duration, bound float64, hits, misses int64, analysis time.Duration) Summary {
-	s := Summary{
-		Runs:        len(results),
-		Workers:     workers,
-		Outcomes:    map[string]int{},
-		RatioBound:  bound,
-		WallMS:      float64(wall) / float64(time.Millisecond),
-		CacheHits:   hits,
-		CacheMisses: misses,
-		AnalysisMS:  float64(analysis) / float64(time.Millisecond),
-	}
-	if hits+misses > 0 {
-		s.CacheHitRate = float64(hits) / float64(hits+misses)
-	}
-	var moves, accesses []int64
-	var ratios []float64
-	phaseMoves := map[string][]int64{}
-	phaseTotals := map[string]PhaseStat{}
-	addPhase := func(m map[string]int64, pick func(*PhaseStat) *int64) {
-		for name, v := range m {
-			st := phaseTotals[name]
-			*pick(&st) += v
-			phaseTotals[name] = st
-		}
-	}
-	var crashedPerRun []int64
-	for _, r := range results {
-		s.Outcomes[r.Outcome]++
-		if r.Outcome == "canceled" {
-			// Cancellation is an environment decision: count it, keep it out
-			// of the error/mismatch/percentile accounting (a never-started
-			// run has Attempts 0, which would corrupt the retry count).
-			s.Canceled++
-			s.SerialMS += r.ElapsedMS
-			continue
-		}
-		s.Retries += r.Attempts - 1
-		s.SerialMS += r.ElapsedMS
-		s.TraceDropped += r.TraceDropped
-		if len(r.Violations) > 0 {
-			s.InvariantViolations++
-		}
-		if r.Fault != "" {
-			s.FaultRuns++
-			s.CrashedAgents += r.Crashed
-			s.Takeovers += r.Takeovers
-			s.FaultEvents += r.FaultEvents
-			crashedPerRun = append(crashedPerRun, int64(r.Crashed))
-		}
-		if r.Err != "" {
-			if r.Fault != "" {
-				s.FaultErrors++
-			} else {
-				s.Errors++
-			}
-			if r.Aborted {
-				s.Aborted++
-			}
-			continue
-		}
-		if !r.OK {
-			s.Mismatches++
-		}
-		moves = append(moves, r.Moves)
-		accesses = append(accesses, r.Accesses)
-		ratios = append(ratios, r.Ratio)
-		if r.Ratio > s.RatioMax {
-			s.RatioMax = r.Ratio
-		}
-		if r.Ratio > bound {
-			s.BoundViolations++
-		}
-		addPhase(r.PhaseMoves, func(st *PhaseStat) *int64 { return &st.Moves })
-		addPhase(r.PhaseAccesses, func(st *PhaseStat) *int64 { return &st.Accesses })
-		addPhase(r.PhaseWrites, func(st *PhaseStat) *int64 { return &st.Writes })
-		addPhase(r.PhaseErases, func(st *PhaseStat) *int64 { return &st.Erases })
-		for name, v := range r.PhaseMoves {
-			phaseMoves[name] = append(phaseMoves[name], v)
-		}
-	}
-	s.CrashedP50, s.CrashedP90 = pctInt(crashedPerRun, 50), pctInt(crashedPerRun, 90)
-	s.MovesP50, s.MovesP90, s.MovesP99 = pctInt(moves, 50), pctInt(moves, 90), pctInt(moves, 99)
-	s.AccessP50, s.AccessP90, s.AccessP99 = pctInt(accesses, 50), pctInt(accesses, 90), pctInt(accesses, 99)
-	s.RatioP50, s.RatioP90 = pctFloat(ratios, 50), pctFloat(ratios, 90)
-	if len(phaseTotals) > 0 {
-		s.Phases = make(map[string]PhaseStat, len(phaseTotals))
-		for name, st := range phaseTotals {
-			st.MovesP50 = pctInt(phaseMoves[name], 50)
-			st.MovesP90 = pctInt(phaseMoves[name], 90)
-			s.Phases[name] = st
-		}
-	}
-	if s.WallMS > 0 {
-		s.SpeedupEst = s.SerialMS / s.WallMS
-	}
-	return s
 }
 
 func pctInt(xs []int64, p int) int64 {
@@ -383,6 +305,13 @@ func (s Summary) Render() string {
 	}
 	if s.InvariantViolations > 0 {
 		out += fmt.Sprintf("  INVARIANT VIOLATIONS: %d runs\n", s.InvariantViolations)
+	}
+	for _, v := range s.TopViolations {
+		out += fmt.Sprintf("    %s ≈%d\n", v.Signature, v.Count)
+	}
+	if s.Streamed {
+		out += fmt.Sprintf("  streamed aggregation: sketch percentiles (rel err ≤ %.1f%%), per-run results not buffered\n",
+			100*s.SketchRelErr)
 	}
 	if s.FaultRuns > 0 {
 		out += fmt.Sprintf("  fault plane: %d fault runs, %d events injected, %d agents crashed (p50 %d, p90 %d), %d lock takeovers, %d crash-induced run errors\n",

@@ -1,0 +1,288 @@
+package campaign
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/sim"
+	"repro/internal/telemetry/sketch"
+)
+
+// syntheticResults builds n plausible run records spanning the summary's
+// aggregation branches: successes across a wide move range, errors,
+// fault runs with crashes, strategy runs with violations, canceled runs.
+func syntheticResults(n int, seed int64) []RunResult {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]RunResult, n)
+	for i := range out {
+		r := RunResult{
+			Index: i, Instance: "cycle12[0 4 8]", Protocol: "elect",
+			N: 12, M: 12, R: 3, Seed: int64(i), Attempts: 1 + rng.Intn(2),
+			ElapsedMS: rng.Float64() * 3,
+		}
+		switch k := rng.Intn(20); {
+		case k == 0:
+			r.Outcome, r.Err = "error", "sim: aborted"
+			r.Aborted = true
+		case k == 1:
+			r.Outcome = "canceled"
+			r.Err = "campaign: canceled before run started"
+			r.Attempts = 0
+		case k == 2:
+			r.Outcome, r.Fault = "leader", "crash-frontrunner"
+			r.Crashed = rng.Intn(3)
+			r.Takeovers = int64(rng.Intn(2))
+			r.FaultEvents = r.Crashed
+			r.OK = true
+			r.Moves = int64(100 + rng.Intn(100000))
+		case k == 3:
+			r.Outcome, r.Strategy = "leader", "starve"
+			r.Violations = []elect.Violation{{Code: elect.ViolationCode("move-bound"), Detail: "x"}}
+			r.OK = false
+			r.Moves = int64(100 + rng.Intn(100000))
+		default:
+			r.Outcome = "leader"
+			r.OK = true
+			r.Moves = int64(50 + rng.Intn(1_000_000))
+		}
+		if r.Outcome != "canceled" && r.Err == "" {
+			r.Accesses = r.Moves * int64(2+rng.Intn(3))
+			r.Ratio = float64(r.Moves) / float64(r.R*r.M)
+			r.PhaseMoves = map[string]int64{"mapdraw": r.Moves / 2, "order": r.Moves / 4}
+			r.PhaseAccesses = map[string]int64{"mapdraw": r.Accesses / 2}
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// foldShards folds results into nShards sketch aggregators and merges
+// them in a seeded random order.
+func foldShards(results []RunResult, nShards int, seed int64, bound float64) *aggregator {
+	rng := rand.New(rand.NewSource(seed))
+	shards := make([]*aggregator, nShards)
+	for i := range shards {
+		shards[i] = newAggregator(false, bound)
+	}
+	for _, r := range results {
+		shards[rng.Intn(nShards)].add(r)
+	}
+	total := newAggregator(false, bound)
+	for _, i := range rng.Perm(nShards) {
+		total.merge(shards[i])
+	}
+	return total
+}
+
+// withinSketchError asserts the streamed percentile is within the
+// documented bucket error of the exact one.
+func withinSketchError(t *testing.T, name string, got, want int64) {
+	t.Helper()
+	if got < want || float64(got) > float64(want)*(1+sketch.RelativeError)+1 {
+		t.Errorf("%s: streamed %d vs exact %d outside the documented sketch error", name, got, want)
+	}
+}
+
+// TestStreamedSummaryDifferential is the acceptance differential: 10⁴
+// synthetic runs folded through randomly-ordered sketch shards must
+// reproduce the buffered exact summary — counters bit for bit,
+// percentiles within sketch.RelativeError.
+func TestStreamedSummaryDifferential(t *testing.T) {
+	const n = 10_000
+	results := syntheticResults(n, 42)
+
+	exactAgg := newAggregator(true, 40)
+	for _, r := range results {
+		exactAgg.add(r)
+	}
+	exact := exactAgg.summary(4, 100, 7, 3, 5)
+
+	for _, shards := range []int{1, 3, 8} {
+		streamed := foldShards(results, shards, int64(shards), 40).summary(4, 100, 7, 3, 5)
+
+		// Everything that is not a percentile must agree exactly.
+		if streamed.Runs != exact.Runs || streamed.Errors != exact.Errors ||
+			streamed.Canceled != exact.Canceled || streamed.Retries != exact.Retries ||
+			streamed.Aborted != exact.Aborted || streamed.Mismatches != exact.Mismatches ||
+			streamed.InvariantViolations != exact.InvariantViolations ||
+			streamed.FaultRuns != exact.FaultRuns || streamed.CrashedAgents != exact.CrashedAgents ||
+			streamed.FaultErrors != exact.FaultErrors || streamed.FaultEvents != exact.FaultEvents ||
+			streamed.Takeovers != exact.Takeovers ||
+			streamed.BoundViolations != exact.BoundViolations ||
+			streamed.RatioMax != exact.RatioMax {
+			t.Fatalf("shards=%d: streamed counters diverge from exact:\nstreamed %+v\nexact %+v", shards, streamed, exact)
+		}
+		for k, v := range exact.Outcomes {
+			if streamed.Outcomes[k] != v {
+				t.Fatalf("shards=%d: outcome %q: %d vs %d", shards, k, streamed.Outcomes[k], v)
+			}
+		}
+
+		withinSketchError(t, "moves_p50", streamed.MovesP50, exact.MovesP50)
+		withinSketchError(t, "moves_p90", streamed.MovesP90, exact.MovesP90)
+		withinSketchError(t, "moves_p99", streamed.MovesP99, exact.MovesP99)
+		withinSketchError(t, "accesses_p50", streamed.AccessP50, exact.AccessP50)
+		withinSketchError(t, "accesses_p90", streamed.AccessP90, exact.AccessP90)
+		withinSketchError(t, "accesses_p99", streamed.AccessP99, exact.AccessP99)
+		withinSketchError(t, "crashed_p50", streamed.CrashedP50, exact.CrashedP50)
+		withinSketchError(t, "crashed_p90", streamed.CrashedP90, exact.CrashedP90)
+		// Ratio rides the fixed-point scale: allow sketch error plus one
+		// quantization step.
+		for _, pair := range [][2]float64{{streamed.RatioP50, exact.RatioP50}, {streamed.RatioP90, exact.RatioP90}} {
+			if pair[0] < pair[1]-1.0/ratioScale || pair[0] > pair[1]*(1+sketch.RelativeError)+1.0/ratioScale {
+				t.Errorf("shards=%d: ratio percentile %v vs exact %v outside bound", shards, pair[0], pair[1])
+			}
+		}
+		for name, est := range streamed.Phases {
+			if est.Moves != exact.Phases[name].Moves || est.Accesses != exact.Phases[name].Accesses {
+				t.Errorf("phase %s totals diverge: %+v vs %+v", name, est, exact.Phases[name])
+			}
+			withinSketchError(t, "phase "+name+" moves_p50", est.MovesP50, exact.Phases[name].MovesP50)
+		}
+
+		if !streamed.Streamed || streamed.SketchRelErr != sketch.RelativeError {
+			t.Fatalf("streamed summary must document its error: %+v", streamed)
+		}
+		if exact.Streamed || exact.SketchRelErr != 0 {
+			t.Fatalf("exact summary must not claim streaming: %+v", exact)
+		}
+		// Violation sketch: every recorded signature is counted (count-min
+		// never under-estimates).
+		if len(streamed.TopViolations) == 0 {
+			t.Fatal("streamed summary lost the violation signatures")
+		}
+		for _, v := range streamed.TopViolations {
+			if !strings.HasPrefix(v.Signature, "move-bound|") || v.Count < int64(exact.InvariantViolations) {
+				t.Errorf("violation %+v under-counts the %d violating runs", v, exact.InvariantViolations)
+			}
+		}
+	}
+}
+
+// TestStreamingCampaignEndToEnd runs a real (small) campaign both ways:
+// StreamOn must discard per-run results, keep counters identical to the
+// buffered run, and stay within sketch error on percentiles.
+func TestStreamingCampaignEndToEnd(t *testing.T) {
+	spec := Spec{
+		Families: []FamilySpec{{Family: "cycle", Sizes: []int{6, 9}, Placement: "spread", R: 3}},
+		Seeds:    SeedRange{From: 1, To: 10},
+	}
+	buffered, err := Execute(spec, Options{Workers: 4, Stream: StreamOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := Execute(spec, Options{Workers: 4, Stream: StreamOn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if streamed.Results != nil {
+		t.Fatalf("streamed campaign buffered %d results", len(streamed.Results))
+	}
+	if !streamed.Summary.Streamed || buffered.Summary.Streamed {
+		t.Fatal("Streamed flag wrong way around")
+	}
+	if streamed.Summary.Runs != buffered.Summary.Runs ||
+		streamed.Summary.Errors != buffered.Summary.Errors ||
+		streamed.Summary.Mismatches != buffered.Summary.Mismatches {
+		t.Fatalf("streamed counters diverge: %+v vs %+v", streamed.Summary, buffered.Summary)
+	}
+	// Runs are seeded identically, so the underlying move distributions
+	// match; only sketch quantization may differ.
+	withinSketchError(t, "moves_p50", streamed.Summary.MovesP50, buffered.Summary.MovesP50)
+	withinSketchError(t, "moves_p99", streamed.Summary.MovesP99, buffered.Summary.MovesP99)
+	if got := streamed.Failures(); len(got) != 0 {
+		t.Fatalf("clean campaign reported failures: %+v", got)
+	}
+}
+
+// TestStreamingFailureSample: failing runs on a streamed campaign land
+// in the bounded failure sample that stands in for Results. Half the
+// runs deadlock deterministically (watchdog error, retries disabled).
+func TestStreamingFailureSample(t *testing.T) {
+	deadlock := func(a *sim.Agent) (sim.Outcome, error) {
+		_, err := a.Wait(func(sim.Signs) bool { return false })
+		return sim.Outcome{}, err
+	}
+	real := elect.Elect(elect.Options{})
+	g := graph.Cycle(6)
+	runs := make([]Run, 8)
+	for i := range runs {
+		runs[i] = Run{Instance: "cycle6[0 2]", G: g, Homes: []int{0, 2}, Seed: int64(i + 1), Protocol: ProtoElect}
+	}
+	rep, err := ExecuteRuns(runs, Options{
+		Workers:    2,
+		Stream:     StreamOn,
+		RunTimeout: 50 * time.Millisecond,
+		MaxRetries: -1,
+		testProtocol: func(r Run, _ int) sim.Protocol {
+			if r.Seed%2 == 0 {
+				return deadlock
+			}
+			return real
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Runs != len(runs) {
+		t.Fatalf("runs = %d, want %d", rep.Summary.Runs, len(runs))
+	}
+	if rep.Results != nil {
+		t.Fatal("streamed campaign must not buffer results")
+	}
+	if rep.Summary.Errors != 4 {
+		t.Fatalf("errors = %d, want the 4 deadlocked runs", rep.Summary.Errors)
+	}
+	fails := rep.Failures()
+	if len(fails) != 4 || len(rep.FailureSample) != 4 {
+		t.Fatalf("failure sample %d / Failures() %d, want 4", len(rep.FailureSample), len(fails))
+	}
+	for _, f := range fails {
+		if f.Err == "" || f.Seed%2 != 0 {
+			t.Fatalf("sampled failure %+v is not one of the deadlocked runs", f)
+		}
+	}
+}
+
+// TestAggregatorMillionRuns exercises the O(1)-memory claim at the
+// acceptance scale: folding 10⁶ results through sharded aggregators
+// allocates sketch buckets, not per-run records, and the merged counters
+// stay exact.
+func TestAggregatorMillionRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-fold smoke skipped in -short")
+	}
+	const n = 1_000_000
+	rng := rand.New(rand.NewSource(9))
+	shards := make([]*aggregator, 8)
+	for i := range shards {
+		shards[i] = newAggregator(false, 40)
+	}
+	var r RunResult
+	r.Outcome, r.OK = "leader", true
+	r.Attempts = 1
+	for i := 0; i < n; i++ {
+		r.Moves = rng.Int63n(1 << 22)
+		r.Accesses = r.Moves * 2
+		r.Ratio = float64(r.Moves) / (3 * 12)
+		shards[i&7].add(r)
+	}
+	total := newAggregator(false, 40)
+	for _, s := range shards {
+		total.merge(s)
+	}
+	sum := total.summary(8, 1000, 0, 0, 0)
+	if sum.Runs != n {
+		t.Fatalf("runs = %d, want %d", sum.Runs, n)
+	}
+	// Uniform distribution: p50 near the midpoint, within sketch error
+	// plus sampling noise.
+	mid := int64(1 << 21)
+	if sum.MovesP50 < mid*95/100 || sum.MovesP50 > mid*106/100 {
+		t.Fatalf("moves_p50 = %d, expected ≈%d", sum.MovesP50, mid)
+	}
+}

@@ -83,7 +83,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.runCtx(r, s.cfg.RequestTimeout)
 	defer cancel()
 	if !s.acquire(ctx) {
-		s.shed(w, "analyze")
+		s.shed(w, r, "analyze")
 		return
 	}
 	defer s.release()
@@ -136,7 +136,7 @@ func (s *Server) handleElect(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.runCtx(r, s.cfg.RequestTimeout)
 	defer cancel()
 	if !s.acquire(ctx) {
-		s.shed(w, "elect")
+		s.shed(w, r, "elect")
 		return
 	}
 	defer s.release()
@@ -182,7 +182,7 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.runCtx(r, s.cfg.CampaignTimeout)
 	defer cancel()
 	if !s.acquire(ctx) {
-		s.shed(w, "campaign")
+		s.shed(w, r, "campaign")
 		return
 	}
 	defer s.release()
@@ -227,7 +227,10 @@ func (s *Server) handleArtifact(w http.ResponseWriter, r *http.Request) {
 }
 
 // shed rejects a request the pool had no slot for within QueueTimeout.
-func (s *Server) shed(w http.ResponseWriter, endpoint string) {
+func (s *Server) shed(w http.ResponseWriter, r *http.Request, endpoint string) {
+	if sp := spanFrom(r.Context()); sp != nil {
+		sp.shed = true
+	}
 	s.metrics.Counter("serve_shed_total").Inc()
 	w.Header().Set("Retry-After", "1")
 	writeError(w, http.StatusServiceUnavailable, "%s: server saturated, retry later", endpoint)

@@ -14,6 +14,10 @@
 //	GET  /v1/artifacts/{id} replay bundle of a previous /v1/elect run
 //	GET  /healthz           liveness + drain state
 //	GET  /debug/metrics     the telemetry registry as JSON
+//	GET  /debug/metrics/stream  the registry as a server-sent-event
+//	                        stream (?interval_ms cadence, ?n to bound)
+//	GET  /debug/live        single-file live operator dashboard
+//	GET  /debug/requests    recent slow/failed requests from the trace ring
 //
 // Production concerns are the point of the package:
 //
@@ -34,6 +38,7 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -74,6 +79,15 @@ type Config struct {
 	// Analyze overrides the analysis function (tests inject counting or
 	// blocking stand-ins; nil = the real elect.Analyze).
 	Analyze analysiscache.AnalyzeFunc
+	// SlowRequest is the duration past which a successful request is
+	// recorded in the /debug/requests trace ring (default 500ms).
+	SlowRequest time.Duration
+	// TraceRing bounds the /debug/requests ring of recent slow/failed
+	// request traces (default 256).
+	TraceRing int
+	// AccessLog, when set, receives one structured line per request with
+	// the request ID, status, outcome and latency (nil = no access log).
+	AccessLog *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +115,12 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = telemetry.NewRegistry()
 	}
+	if c.SlowRequest <= 0 {
+		c.SlowRequest = DefaultSlowRequest
+	}
+	if c.TraceRing <= 0 {
+		c.TraceRing = DefaultTraceRing
+	}
 	return c
 }
 
@@ -113,6 +133,7 @@ type Server struct {
 	metrics   *telemetry.Registry
 	pool      chan struct{}
 	artifacts *artifactStore
+	traces    *traceRing
 	mux       *http.ServeMux
 	started   time.Time
 
@@ -138,6 +159,7 @@ func New(cfg Config) *Server {
 		metrics:    cfg.Metrics,
 		pool:       make(chan struct{}, cfg.Workers),
 		artifacts:  newArtifactStore(cfg.MaxArtifacts),
+		traces:     newTraceRing(cfg.TraceRing),
 		mux:        http.NewServeMux(),
 		started:    time.Now(),
 		baseCtx:    ctx,
@@ -149,18 +171,33 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	s.mux.HandleFunc("GET /v1/artifacts/{id}", s.handleArtifact)
 	s.mux.Handle("GET /debug/metrics", s.metrics)
+	s.mux.Handle("GET /debug/metrics/stream", s.metrics.StreamHandler())
+	s.mux.Handle("GET /debug/live", telemetry.DashboardHandler())
+	s.mux.HandleFunc("GET /debug/requests", s.handleRequests)
 	return s
 }
 
-// ServeHTTP makes the Server an http.Handler.
+// ServeHTTP makes the Server an http.Handler. Every request runs inside
+// a span: it gets a request ID (the client's X-Request-ID when sane,
+// generated otherwise) that is echoed in the response header and carried
+// through the context into campaign/elect runs, and on completion the
+// span is classified, counted, retained in the /debug/requests ring when
+// noteworthy, and access-logged.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	s.metrics.Gauge("serve_inflight").Set(s.inflight.Load())
-	start := time.Now()
-	s.mux.ServeHTTP(w, r)
+	sp := &span{id: requestID(r), start: time.Now()}
+	ctx := telemetry.WithRequestID(r.Context(), sp.id)
+	ctx = context.WithValue(ctx, spanKey{}, sp)
+	r = r.WithContext(ctx)
+	w.Header().Set("X-Request-ID", sp.id)
+	rec := &statusRecorder{ResponseWriter: w}
+	s.mux.ServeHTTP(rec, r)
+	dur := time.Since(sp.start)
 	s.metrics.Histogram("serve_request_ms", latencyBuckets).
-		Observe(int64(time.Since(start) / time.Millisecond))
+		Observe(int64(dur / time.Millisecond))
 	s.metrics.Counter("serve_requests_total").Inc()
+	s.finishTrace(r, sp, rec, dur)
 	s.inflight.Add(-1)
 	s.metrics.Gauge("serve_inflight").Set(s.inflight.Load())
 }
@@ -193,13 +230,23 @@ func (s *Server) CancelRuns() { s.cancelRuns() }
 // hammer). The request's own context is the parent, so a dropped client
 // connection aborts the work too.
 func (s *Server) runCtx(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
+	if sp := spanFrom(r.Context()); sp != nil {
+		sp.deadlineMS = float64(d) / float64(time.Millisecond)
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	return ctx, func() { stop(); cancel() }
 }
 
-// acquire takes a worker-pool slot, waiting at most QueueTimeout.
+// acquire takes a worker-pool slot, waiting at most QueueTimeout, and
+// records the wait in the request span.
 func (s *Server) acquire(ctx context.Context) bool {
+	start := time.Now()
+	defer func() {
+		if sp := spanFrom(ctx); sp != nil {
+			sp.queueWaitMS = float64(time.Since(start)) / float64(time.Millisecond)
+		}
+	}()
 	timer := time.NewTimer(s.cfg.QueueTimeout)
 	defer timer.Stop()
 	select {

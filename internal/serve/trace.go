@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Request tracing defaults: how slow a successful request must be to
+// land in the /debug/requests ring, and how many traces the ring keeps.
+const (
+	DefaultSlowRequest = 500 * time.Millisecond
+	DefaultTraceRing   = 256
+	// maxRequestIDLen bounds client-supplied X-Request-ID values; longer
+	// (or non-printable) IDs are replaced with a generated one.
+	maxRequestIDLen = 64
+	// errBodyMax bounds how much of an error response body a trace keeps.
+	errBodyMax = 256
+)
+
+// RequestTrace is one completed request as recorded by the trace ring
+// and served at GET /debug/requests. Every request gets a span; only
+// slow, failed and canceled ones are retained.
+type RequestTrace struct {
+	ID          string  `json:"id"`
+	Method      string  `json:"method"`
+	Path        string  `json:"path"`
+	Remote      string  `json:"remote,omitempty"`
+	Start       string  `json:"start"` // RFC3339Nano
+	Status      int     `json:"status"`
+	Outcome     string  `json:"outcome"` // ok | shed | error | canceled
+	Slow        bool    `json:"slow,omitempty"`
+	QueueWaitMS float64 `json:"queue_wait_ms,omitempty"`
+	DeadlineMS  float64 `json:"deadline_ms,omitempty"`
+	DurationMS  float64 `json:"duration_ms"`
+	Err         string  `json:"err,omitempty"`
+}
+
+// span is the mutable in-flight form of a RequestTrace, carried in the
+// request context so acquire/runCtx/shed can annotate it. It is only
+// touched from the request goroutine.
+type span struct {
+	id          string
+	start       time.Time
+	queueWaitMS float64
+	deadlineMS  float64
+	shed        bool
+}
+
+type spanKey struct{}
+
+func spanFrom(ctx context.Context) *span {
+	sp, _ := ctx.Value(spanKey{}).(*span)
+	return sp
+}
+
+// requestID returns the client's X-Request-ID when it is sane (short,
+// printable ASCII) and a generated 16-hex-digit ID otherwise, so a
+// malicious header cannot pollute logs or traces.
+func requestID(r *http.Request) string {
+	id := r.Header.Get("X-Request-ID")
+	if id != "" && len(id) <= maxRequestIDLen {
+		ok := true
+		for i := 0; i < len(id); i++ {
+			if id[i] <= ' ' || id[i] > '~' {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return id
+		}
+	}
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "r-unidentified"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// traceRing is a bounded ring of recent noteworthy requests. Concurrent
+// writers append under one mutex; readers copy newest-first.
+type traceRing struct {
+	mu    sync.Mutex
+	buf   []RequestTrace
+	next  int
+	total int64
+}
+
+func newTraceRing(n int) *traceRing {
+	return &traceRing{buf: make([]RequestTrace, 0, n)}
+}
+
+func (tr *traceRing) add(t RequestTrace) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	tr.total++
+	if len(tr.buf) < cap(tr.buf) {
+		tr.buf = append(tr.buf, t)
+		return
+	}
+	tr.buf[tr.next] = t
+	tr.next = (tr.next + 1) % len(tr.buf)
+}
+
+// recent returns the retained traces newest-first, plus the all-time
+// count of noteworthy requests (retained or already overwritten).
+func (tr *traceRing) recent() ([]RequestTrace, int64) {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	out := make([]RequestTrace, 0, len(tr.buf))
+	for i := 1; i <= len(tr.buf); i++ {
+		out = append(out, tr.buf[(tr.next+len(tr.buf)-i)%len(tr.buf)])
+	}
+	return out, tr.total
+}
+
+// requestsResponse is the GET /debug/requests body.
+type requestsResponse struct {
+	Capacity int            `json:"capacity"`
+	Recorded int64          `json:"recorded"`
+	Requests []RequestTrace `json:"requests"`
+}
+
+func (s *Server) handleRequests(w http.ResponseWriter, _ *http.Request) {
+	recent, total := s.traces.recent()
+	writeJSON(w, http.StatusOK, requestsResponse{
+		Capacity: cap(s.traces.buf),
+		Recorded: total,
+		Requests: recent,
+	})
+}
+
+// statusRecorder wraps the ResponseWriter to observe the final status
+// and capture the head of error bodies for traces, while passing Flush
+// through so the JSONL/SSE streaming paths keep flushing per line.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	errBuf []byte
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	if sr.status >= 400 && len(sr.errBuf) < errBodyMax {
+		n := errBodyMax - len(sr.errBuf)
+		if n > len(p) {
+			n = len(p)
+		}
+		sr.errBuf = append(sr.errBuf, p[:n]...)
+	}
+	return sr.ResponseWriter.Write(p)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// finishTrace closes out a request span: classifies the outcome, updates
+// the slow/canceled counters, retains noteworthy traces in the ring, and
+// emits the structured access log line.
+func (s *Server) finishTrace(r *http.Request, sp *span, rec *statusRecorder, dur time.Duration) {
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK
+	}
+	slow := dur >= s.cfg.SlowRequest
+	outcome := "ok"
+	switch {
+	case sp.shed:
+		outcome = "shed"
+	case r.Context().Err() == context.Canceled:
+		outcome = "canceled"
+		s.metrics.Counter("serve_canceled_total").Inc()
+	case status >= 400:
+		outcome = "error"
+	}
+	if slow {
+		s.metrics.Counter("serve_slow_requests_total").Inc()
+	}
+	if slow || outcome != "ok" {
+		s.traces.add(RequestTrace{
+			ID:          sp.id,
+			Method:      r.Method,
+			Path:        r.URL.Path,
+			Remote:      r.RemoteAddr,
+			Start:       sp.start.UTC().Format(time.RFC3339Nano),
+			Status:      status,
+			Outcome:     outcome,
+			Slow:        slow,
+			QueueWaitMS: sp.queueWaitMS,
+			DeadlineMS:  sp.deadlineMS,
+			DurationMS:  float64(dur) / float64(time.Millisecond),
+			Err:         string(rec.errBuf),
+		})
+	}
+	if s.cfg.AccessLog != nil {
+		s.cfg.AccessLog.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("id", sp.id),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.String("outcome", outcome),
+			slog.Float64("dur_ms", float64(dur)/float64(time.Millisecond)),
+			slog.Float64("queue_ms", sp.queueWaitMS),
+			slog.String("remote", r.RemoteAddr),
+		)
+	}
+}

@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+)
+
+func TestRequestIDEchoAndPropagation(t *testing.T) {
+	s := New(Config{})
+	req := ElectRequest{
+		InstanceSpec: InstanceSpec{Family: "path", Size: 4, Homes: []int{0, 1}},
+		Seed:         7,
+	}
+	data, _ := json.Marshal(req)
+	r := httptest.NewRequest("POST", "/v1/elect", bytes.NewReader(data))
+	r.Header.Set("X-Request-ID", "trace-me-123")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != 200 {
+		t.Fatalf("elect: status %d: %s", w.Code, w.Body.String())
+	}
+	if got := w.Header().Get("X-Request-ID"); got != "trace-me-123" {
+		t.Fatalf("response X-Request-ID = %q, want echo of client ID", got)
+	}
+	var resp ElectResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.RequestID != "trace-me-123" {
+		t.Fatalf("run record request_id = %q, want the originating request's ID", resp.Result.RequestID)
+	}
+}
+
+func TestRequestIDGeneratedAndSanitized(t *testing.T) {
+	s := New(Config{})
+	for _, bad := range []string{"", "has spaces", strings.Repeat("x", 100), "ctrl\x01byte"} {
+		r := httptest.NewRequest("GET", "/healthz", nil)
+		if bad != "" {
+			r.Header.Set("X-Request-ID", bad)
+		}
+		w := httptest.NewRecorder()
+		s.ServeHTTP(w, r)
+		id := w.Header().Get("X-Request-ID")
+		if id == "" || id == bad && bad != "" {
+			t.Errorf("client id %q: response id %q, want a generated replacement", bad, id)
+		}
+	}
+}
+
+func TestDebugRequestsCapturesFailures(t *testing.T) {
+	s := New(Config{})
+	// A malformed body is a 400 — noteworthy, so it must land in the ring.
+	r := httptest.NewRequest("POST", "/v1/analyze", strings.NewReader("{not json"))
+	r.Header.Set("X-Request-ID", "bad-body-1")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+	if w.Code != 400 {
+		t.Fatalf("analyze: status %d, want 400", w.Code)
+	}
+
+	w = getPath(s, "/debug/requests")
+	if w.Code != 200 {
+		t.Fatalf("/debug/requests: status %d", w.Code)
+	}
+	var resp requestsResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Capacity != DefaultTraceRing {
+		t.Fatalf("capacity = %d, want %d", resp.Capacity, DefaultTraceRing)
+	}
+	if len(resp.Requests) != 1 || resp.Recorded != 1 {
+		t.Fatalf("ring = %+v, want exactly the failed request", resp)
+	}
+	tr := resp.Requests[0]
+	if tr.ID != "bad-body-1" || tr.Status != 400 || tr.Outcome != "error" {
+		t.Fatalf("trace = %+v, want id=bad-body-1 status=400 outcome=error", tr)
+	}
+	if !strings.Contains(tr.Err, "analyze") {
+		t.Fatalf("trace err = %q, want the error body head", tr.Err)
+	}
+	// A fast healthy request must NOT be retained.
+	getPathHandler(s, "/healthz")
+	w = getPath(s, "/debug/requests")
+	json.Unmarshal(w.Body.Bytes(), &resp) //nolint:errcheck
+	if len(resp.Requests) != 1 {
+		t.Fatalf("healthy request retained: %+v", resp.Requests)
+	}
+}
+
+// getPathHandler is getPath without returning the recorder (silence
+// unused-result lints at call sites that only want the side effect).
+func getPathHandler(h http.Handler, path string) { getPath(h, path) }
+
+func TestDebugRequestsCapturesSlow(t *testing.T) {
+	block := make(chan struct{})
+	s := New(Config{
+		SlowRequest: time.Millisecond,
+		Analyze: func(ctx context.Context, g *graph.Graph, homes []int) (*elect.Analysis, error) {
+			<-block
+			return &elect.Analysis{GCD: 1}, nil
+		},
+	})
+	go func() { time.Sleep(20 * time.Millisecond); close(block) }()
+	w := postJSON(t, s, "/v1/analyze", InstanceSpec{Family: "cycle", Size: 6, Homes: []int{0, 3}})
+	if w.Code != 200 {
+		t.Fatalf("analyze: status %d: %s", w.Code, w.Body.String())
+	}
+	var resp requestsResponse
+	w = getPath(s, "/debug/requests")
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Requests) != 1 {
+		t.Fatalf("ring = %+v, want the slow request", resp)
+	}
+	tr := resp.Requests[0]
+	if !tr.Slow || tr.Outcome != "ok" || tr.Status != 200 {
+		t.Fatalf("trace = %+v, want slow=true outcome=ok", tr)
+	}
+	if tr.DurationMS < 1 {
+		t.Fatalf("duration_ms = %v, want >= 1", tr.DurationMS)
+	}
+	if tr.DeadlineMS <= 0 {
+		t.Fatalf("deadline_ms = %v, want the endpoint deadline", tr.DeadlineMS)
+	}
+}
+
+// TestTraceRingBoundedConcurrent hammers the ring from many goroutines
+// (run under -race): size stays bounded, newest-first order holds, and
+// the recorded total keeps counting past the capacity.
+func TestTraceRingBoundedConcurrent(t *testing.T) {
+	tr := newTraceRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.add(RequestTrace{ID: fmt.Sprintf("g%d-%d", g, i), Status: 500})
+			}
+		}(g)
+	}
+	wg.Wait()
+	recent, total := tr.recent()
+	if len(recent) != 8 {
+		t.Fatalf("ring holds %d, want capacity 8", len(recent))
+	}
+	if total != 400 {
+		t.Fatalf("recorded = %d, want 400", total)
+	}
+	tr.add(RequestTrace{ID: "newest"})
+	recent, _ = tr.recent()
+	if recent[0].ID != "newest" {
+		t.Fatalf("recent[0] = %q, want newest-first order", recent[0].ID)
+	}
+}
+
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	s := New(Config{AccessLog: slog.New(slog.NewJSONHandler(&syncWriter{w: &buf, mu: &mu}, nil))})
+	r := httptest.NewRequest("GET", "/healthz", nil)
+	r.Header.Set("X-Request-ID", "logged-1")
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, r)
+
+	mu.Lock()
+	line := buf.String()
+	mu.Unlock()
+	var entry map[string]any
+	if err := json.Unmarshal([]byte(line), &entry); err != nil {
+		t.Fatalf("access log is not JSON: %v\n%s", err, line)
+	}
+	if entry["id"] != "logged-1" || entry["path"] != "/healthz" || entry["outcome"] != "ok" {
+		t.Fatalf("access log entry = %v, want id/path/outcome fields", entry)
+	}
+	if _, ok := entry["dur_ms"]; !ok {
+		t.Fatal("access log entry missing dur_ms")
+	}
+}
+
+type syncWriter struct {
+	w  *bytes.Buffer
+	mu *sync.Mutex
+}
+
+func (sw *syncWriter) Write(p []byte) (int, error) {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.w.Write(p)
+}
+
+// TestStreamEndpointsMounted smoke-checks the new debug surface on the
+// daemon mux: SSE stream (finite via ?n), dashboard, and request ring.
+func TestStreamEndpointsMounted(t *testing.T) {
+	s := New(Config{})
+	s.Metrics().Counter("serve_requests_total").Add(0) // ensure registry non-empty
+
+	w := getPath(s, "/debug/metrics/stream?n=1&interval_ms=100")
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "event: metrics") {
+		t.Fatalf("stream: status %d body %q", w.Code, w.Body.String())
+	}
+	w = getPath(s, "/debug/live")
+	if w.Code != 200 || !strings.Contains(w.Body.String(), "EventSource") {
+		t.Fatalf("dashboard: status %d", w.Code)
+	}
+	w = getPath(s, "/debug/requests")
+	if w.Code != 200 {
+		t.Fatalf("requests: status %d", w.Code)
+	}
+}

@@ -236,16 +236,74 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	return h
 }
 
-// snapshot is the JSON form of a registry: expvar-style maps keyed by
+// Unregister removes the named metric (counter, gauge or histogram) from
+// the registry so it no longer appears in snapshots. Handles already held
+// by callers keep working — they just update an orphan — and a later
+// lookup of the same name creates a fresh zeroed metric. Returns whether
+// anything was removed. Unregistering on a nil registry is a no-op.
+func (r *Registry) Unregister(name string) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, c := r.counters[name]
+	_, g := r.gauges[name]
+	_, h := r.hists[name]
+	delete(r.counters, name)
+	delete(r.gauges, name)
+	delete(r.hists, name)
+	return c || g || h
+}
+
+// Snapshot is the JSON form of a registry: expvar-style maps keyed by
 // metric name, names sorted by encoding/json for stable output.
-type snapshot struct {
+type Snapshot struct {
 	Counters   map[string]int64             `json:"counters"`
 	Gauges     map[string]int64             `json:"gauges"`
 	Histograms map[string]HistogramSnapshot `json:"histograms"`
 }
 
-func (r *Registry) snapshot() snapshot {
-	s := snapshot{
+// Delta returns the change from prev to s: counters and histogram
+// counts/sums/buckets are subtracted (metrics absent from prev count from
+// zero, so a metric registered mid-window reports its full value), while
+// gauges keep their current value — a gauge is a level, not a flow. Use
+// it to report per-window activity from two scrapes of a long-lived
+// process without resetting the registry under concurrent writers.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters:   make(map[string]int64, len(s.Counters)),
+		Gauges:     make(map[string]int64, len(s.Gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(s.Histograms)),
+	}
+	for name, v := range s.Counters {
+		d.Counters[name] = v - prev.Counters[name]
+	}
+	for name, v := range s.Gauges {
+		d.Gauges[name] = v
+	}
+	for name, h := range s.Histograms {
+		p := prev.Histograms[name]
+		dh := HistogramSnapshot{
+			Count:   h.Count - p.Count,
+			Sum:     h.Sum - p.Sum,
+			Buckets: make([]HistogramBucket, len(h.Buckets)),
+		}
+		for i, b := range h.Buckets {
+			if i < len(p.Buckets) && p.Buckets[i].Le == b.Le && p.Buckets[i].Overflow == b.Overflow {
+				b.Count -= p.Buckets[i].Count
+			}
+			dh.Buckets[i] = b
+		}
+		d.Histograms[name] = dh
+	}
+	return d
+}
+
+// Snapshot copies the registry's current state. Safe to call from any
+// goroutine; the copy shares nothing with the live metrics.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
 		Counters:   map[string]int64{},
 		Gauges:     map[string]int64{},
 		Histograms: map[string]HistogramSnapshot{},
@@ -270,7 +328,7 @@ func (r *Registry) snapshot() snapshot {
 // WriteJSON writes the registry's current state as indented JSON with
 // metric names sorted (encoding/json sorts map keys), expvar-style.
 func (r *Registry) WriteJSON(w io.Writer) error {
-	data, err := json.MarshalIndent(r.snapshot(), "", "  ")
+	data, err := json.MarshalIndent(r.Snapshot(), "", "  ")
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,21 @@
+package telemetry
+
+import "context"
+
+// requestIDKey is the context key for the request ID. It lives in
+// telemetry (not serve) so lower layers — campaign workers, the analysis
+// cache — can read the ID without importing the HTTP plane.
+type requestIDKey struct{}
+
+// WithRequestID returns ctx carrying the request ID. Empty ids are
+// stored as-is; RequestIDFrom treats them the same as absent.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID carried by ctx, or "" when the
+// context never passed through a traced request.
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,121 @@
+package sketch
+
+import "fmt"
+
+// Count-min dimensions: DefaultWidth counters per row keeps the
+// over-estimate below total/512 per row; DefaultDepth independent rows
+// drive the probability all rows collide to (1/512)^4.
+const (
+	DefaultWidth = 512
+	DefaultDepth = 4
+)
+
+// CountMin is a count-min frequency sketch over string keys: Add counts
+// a key, Estimate returns a count that is never an under-estimate and
+// over-estimates by more than Total()/width per row only with
+// probability ~(1/2)^depth. Memory is width·depth counters, independent
+// of the number of distinct keys — the campaign plane uses it to track
+// invariant-violation signatures across millions of runs without an
+// unbounded map.
+//
+// Hashing is deterministic (seeded FNV-1a), so two sketches with equal
+// dimensions — such as the per-worker shards of one campaign — are
+// mergeable with Merge, which is associative and commutative like
+// Hist.Merge. Not safe for concurrent use.
+type CountMin struct {
+	width, depth int
+	rows         []int64 // depth rows of width counters, row-major
+	total        int64
+}
+
+// NewCountMin builds a sketch with the given dimensions (values < 1 take
+// the defaults).
+func NewCountMin(width, depth int) *CountMin {
+	if width < 1 {
+		width = DefaultWidth
+	}
+	if depth < 1 {
+		depth = DefaultDepth
+	}
+	return &CountMin{width: width, depth: depth, rows: make([]int64, width*depth)}
+}
+
+// fnvRow hashes key for row r: FNV-1a 64 with a row-seeded offset basis,
+// deterministic across processes.
+func fnvRow(key string, r int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64) + uint64(r)*0x9e3779b97f4a7c15
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Add counts n occurrences of key (n <= 0 is a no-op).
+func (c *CountMin) Add(key string, n int64) {
+	if n <= 0 {
+		return
+	}
+	for r := 0; r < c.depth; r++ {
+		c.rows[r*c.width+int(fnvRow(key, r)%uint64(c.width))] += n
+	}
+	c.total += n
+}
+
+// Estimate returns the estimated count of key: the minimum over rows,
+// never below the true count.
+func (c *CountMin) Estimate(key string) int64 {
+	if c.depth == 0 {
+		return 0
+	}
+	est := c.rows[int(fnvRow(key, 0)%uint64(c.width))]
+	for r := 1; r < c.depth; r++ {
+		if v := c.rows[r*c.width+int(fnvRow(key, r)%uint64(c.width))]; v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Total returns the sum of all added counts.
+func (c *CountMin) Total() int64 { return c.total }
+
+// Merge folds o into c. The sketches must have identical dimensions
+// (per-worker shards built by the same constructor always do). A nil or
+// empty o is a no-op.
+func (c *CountMin) Merge(o *CountMin) error {
+	if o == nil || o.total == 0 {
+		return nil
+	}
+	if o.width != c.width || o.depth != c.depth {
+		return fmt.Errorf("sketch: merge dimensions mismatch (%dx%d vs %dx%d)",
+			c.width, c.depth, o.width, o.depth)
+	}
+	for i, v := range o.rows {
+		c.rows[i] += v
+	}
+	c.total += o.total
+	return nil
+}
+
+// Reset empties the sketch, keeping its dimensions.
+func (c *CountMin) Reset() {
+	for i := range c.rows {
+		c.rows[i] = 0
+	}
+	c.total = 0
+}
+
+// Clone returns an independent copy (nil-safe).
+func (c *CountMin) Clone() *CountMin {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	cp.rows = append([]int64(nil), c.rows...)
+	return &cp
+}

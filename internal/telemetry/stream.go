@@ -1,0 +1,96 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Stream defaults and clamps: snapshots flow once per second unless the
+// client asks otherwise with ?interval_ms, bounded so a hostile query
+// can neither busy-loop the registry nor hold a silent connection.
+const (
+	DefaultStreamInterval = time.Second
+	MinStreamInterval     = 100 * time.Millisecond
+	MaxStreamInterval     = time.Minute
+)
+
+// StreamHandler serves the registry as a server-sent-event stream —
+// mount it at /debug/metrics/stream. Each event is one registry snapshot
+// in the same JSON shape /debug/metrics serves, compact-encoded on a
+// single data: line:
+//
+//	id: <seq>
+//	event: metrics
+//	data: {"counters":{...},"gauges":{...},"histograms":{...}}
+//
+// The first event is written immediately (a dashboard paints without
+// waiting an interval), then one event per interval until the client
+// disconnects. Query parameters: interval_ms overrides the cadence
+// (clamped to [MinStreamInterval, MaxStreamInterval]); n > 0 closes the
+// stream after n events — curl-able for smoke tests and snapshots.
+//
+// A nil registry streams empty snapshots rather than panicking, matching
+// the package's nil-safe discipline.
+func (r *Registry) StreamHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			http.Error(w, "telemetry: streaming unsupported", http.StatusInternalServerError)
+			return
+		}
+		interval := DefaultStreamInterval
+		if ms := req.URL.Query().Get("interval_ms"); ms != "" {
+			v, err := strconv.Atoi(ms)
+			if err != nil {
+				http.Error(w, "telemetry: bad interval_ms", http.StatusBadRequest)
+				return
+			}
+			interval = time.Duration(v) * time.Millisecond
+			if interval < MinStreamInterval {
+				interval = MinStreamInterval
+			}
+			if interval > MaxStreamInterval {
+				interval = MaxStreamInterval
+			}
+		}
+		maxEvents := 0 // 0 = until disconnect
+		if n := req.URL.Query().Get("n"); n != "" {
+			v, err := strconv.Atoi(n)
+			if err != nil || v < 0 {
+				http.Error(w, "telemetry: bad n", http.StatusBadRequest)
+				return
+			}
+			maxEvents = v
+		}
+
+		h := w.Header()
+		h.Set("Content-Type", "text/event-stream; charset=utf-8")
+		h.Set("Cache-Control", "no-cache")
+		h.Set("X-Accel-Buffering", "no")
+		w.WriteHeader(http.StatusOK)
+
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for seq := 1; ; seq++ {
+			data, err := json.Marshal(r.Snapshot())
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "id: %d\nevent: metrics\ndata: %s\n\n", seq, data); err != nil {
+				return
+			}
+			flusher.Flush()
+			if maxEvents > 0 && seq >= maxEvents {
+				return
+			}
+			select {
+			case <-req.Context().Done():
+				return
+			case <-ticker.C:
+			}
+		}
+	})
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestStreamHandlerFraming is a golden test for the SSE wire format: two
+// events with ascending ids, each exactly "id:/event:/data:" lines and a
+// blank separator, with the data line decoding to the registry snapshot.
+func TestStreamHandlerFraming(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("runs_total").Add(42)
+	r.Gauge("inflight").Set(3)
+	r.Histogram("moves", ExpBuckets(10, 4, 3)).Observe(25)
+
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/debug/metrics/stream?n=2&interval_ms=100", nil)
+	r.StreamHandler().ServeHTTP(rec, req)
+
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("Content-Type = %q, want text/event-stream", ct)
+	}
+	if cc := rec.Header().Get("Cache-Control"); cc != "no-cache" {
+		t.Fatalf("Cache-Control = %q, want no-cache", cc)
+	}
+
+	events := strings.Split(strings.TrimRight(rec.Body.String(), "\n"), "\n\n")
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2:\n%s", len(events), rec.Body.String())
+	}
+	for i, ev := range events {
+		lines := strings.Split(ev, "\n")
+		if len(lines) != 3 {
+			t.Fatalf("event %d has %d lines, want 3 (id/event/data):\n%s", i, len(lines), ev)
+		}
+		if want := "id: " + string(rune('1'+i)); lines[0] != want {
+			t.Errorf("event %d id line = %q, want %q", i, lines[0], want)
+		}
+		if lines[1] != "event: metrics" {
+			t.Errorf("event %d type line = %q, want %q", i, lines[1], "event: metrics")
+		}
+		data, ok := strings.CutPrefix(lines[2], "data: ")
+		if !ok {
+			t.Fatalf("event %d data line = %q, want data: prefix", i, lines[2])
+		}
+		var snap Snapshot
+		if err := json.Unmarshal([]byte(data), &snap); err != nil {
+			t.Fatalf("event %d data is not JSON: %v", i, err)
+		}
+		if snap.Counters["runs_total"] != 42 || snap.Gauges["inflight"] != 3 {
+			t.Errorf("event %d snapshot = %+v, want runs_total=42 inflight=3", i, snap)
+		}
+		if h := snap.Histograms["moves"]; h.Count != 1 || h.Sum != 25 {
+			t.Errorf("event %d histogram = %+v, want count=1 sum=25", i, h)
+		}
+	}
+}
+
+func TestStreamHandlerBadParams(t *testing.T) {
+	r := NewRegistry()
+	for _, q := range []string{"?interval_ms=abc", "?n=-1", "?n=x"} {
+		rec := httptest.NewRecorder()
+		r.StreamHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/stream"+q, nil))
+		if rec.Code != 400 {
+			t.Errorf("query %q: status = %d, want 400", q, rec.Code)
+		}
+	}
+}
+
+func TestStreamHandlerNilRegistry(t *testing.T) {
+	var r *Registry
+	rec := httptest.NewRecorder()
+	r.StreamHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/stream?n=1", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"counters":{}`) {
+		t.Fatalf("nil registry should stream empty snapshot, got:\n%s", rec.Body.String())
+	}
+}
+
+func TestDashboardHandler(t *testing.T) {
+	rec := httptest.NewRecorder()
+	DashboardHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/live", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d, want 200", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/html") {
+		t.Fatalf("Content-Type = %q, want text/html", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"EventSource", "/debug/metrics/stream", "histograms"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard HTML missing %q", want)
+		}
+	}
+	if strings.Contains(body, "http://") || strings.Contains(body, "https://") {
+		t.Error("dashboard must be self-contained: found an external URL")
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("gone")
+	r.Gauge("stays").Set(7)
+	if !r.Unregister("gone") {
+		t.Fatal("Unregister(existing) = false")
+	}
+	if r.Unregister("gone") {
+		t.Fatal("Unregister(absent) = true")
+	}
+	c.Inc() // orphan handle must not panic or resurrect the metric
+	snap := r.Snapshot()
+	if _, ok := snap.Counters["gone"]; ok {
+		t.Fatal("unregistered counter still in snapshot")
+	}
+	if snap.Gauges["stays"] != 7 {
+		t.Fatal("Unregister removed an unrelated metric")
+	}
+	if v := r.Counter("gone").Value(); v != 0 {
+		t.Fatalf("re-created counter = %d, want fresh 0", v)
+	}
+	var nilReg *Registry
+	if nilReg.Unregister("x") {
+		t.Fatal("nil registry Unregister = true")
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", ExpBuckets(10, 10, 2))
+	r.Counter("reqs").Add(100)
+	r.Gauge("depth").Set(5)
+	h.Observe(5)
+	before := r.Snapshot()
+
+	r.Counter("reqs").Add(23)
+	r.Counter("fresh").Add(9) // registered mid-window
+	r.Gauge("depth").Set(2)
+	h.Observe(500)
+	d := r.Snapshot().Delta(before)
+
+	if d.Counters["reqs"] != 23 {
+		t.Errorf("delta reqs = %d, want 23", d.Counters["reqs"])
+	}
+	if d.Counters["fresh"] != 9 {
+		t.Errorf("delta fresh = %d, want full value 9", d.Counters["fresh"])
+	}
+	if d.Gauges["depth"] != 2 {
+		t.Errorf("delta gauge = %d, want current level 2", d.Gauges["depth"])
+	}
+	dh := d.Histograms["lat"]
+	if dh.Count != 1 || dh.Sum != 500 {
+		t.Errorf("delta histogram = count %d sum %d, want 1/500", dh.Count, dh.Sum)
+	}
+	if dh.Buckets[0].Count != 0 || !dh.Buckets[len(dh.Buckets)-1].Overflow || dh.Buckets[len(dh.Buckets)-1].Count != 1 {
+		t.Errorf("delta buckets = %+v, want only the overflow bucket incremented", dh.Buckets)
+	}
+}
+
+// TestConcurrentScrape is the Unregister/Snapshot regression test: one
+// goroutine scrapes continuously while others register, update and
+// unregister the same names. Run under -race; correctness here is "no
+// race, no panic, snapshots internally consistent".
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			names := []string{"shared", "churn"}
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				n := names[i%len(names)]
+				r.Counter(n).Inc()
+				r.Gauge(n + "_g").Set(int64(i))
+				r.Histogram(n+"_h", ExpBuckets(1, 2, 4)).Observe(int64(i % 10))
+				if i%7 == 0 {
+					r.Unregister(n)
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		snap := r.Snapshot()
+		if snap.Counters == nil || snap.Gauges == nil || snap.Histograms == nil {
+			t.Fatal("snapshot with nil maps")
+		}
+		rec := httptest.NewRecorder()
+		r.StreamHandler().ServeHTTP(rec, httptest.NewRequest("GET", "/s?n=1", nil))
+		if rec.Code != 200 {
+			t.Fatalf("scrape %d: status %d", i, rec.Code)
+		}
+	}
+	close(done)
+	wg.Wait()
+}

@@ -227,7 +227,7 @@ func TestServeHTTPConcurrentScrape(t *testing.T) {
 		if rec.Code != 200 {
 			t.Fatalf("scrape %d: status %d", i, rec.Code)
 		}
-		var got snapshot
+		var got Snapshot
 		if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
 			t.Fatalf("scrape %d: bad JSON: %v", i, err)
 		}
