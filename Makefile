@@ -39,11 +39,12 @@ bench-iso-large:
 cover:
 	$(GO) test -cover ./...
 
-# CI's coverage gate: the protocol core, the engine, the fault plane and
-# the sketch layer must each keep statement coverage at or above 70%.
+# CI's coverage gate: the protocol core, the engine, the fault plane, the
+# sketch layer and the runtime contract must each keep statement coverage
+# at or above 70%.
 cover-gate:
 	@fail=0; \
-	for pkg in ./internal/elect ./internal/sim ./internal/faults ./internal/telemetry/sketch; do \
+	for pkg in ./internal/elect ./internal/sim ./internal/faults ./internal/telemetry/sketch ./internal/runtime; do \
 		$(GO) test -coverprofile=cover.out $$pkg >/dev/null || exit 1; \
 		pct=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
 		echo "$$pkg coverage: $$pct%"; \

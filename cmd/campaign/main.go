@@ -9,6 +9,7 @@
 //	campaign -families "cycle:9,12,15;hypercube:3" -placement spread -r 3 \
 //	         -seeds 1..25 [-protocol elect|cayley|quantitative|petersen|gather] \
 //	         [-strategies all|name,name,...] [-faults all|name,name,...] \
+//	         [-backends all|name,name,...] \
 //	         [-workers N] [-run-timeout 60s] [-retries 2] [-max-delay 0] \
 //	         [-wake-all] [-hairs] [-bound 40] \
 //	         [-jsonl runs.jsonl] [-summary summary.json] [-q] \
@@ -18,6 +19,13 @@
 // adversary scheduling strategy (internal/adversary) under the serializing
 // scheduler, with protocol invariants checked per run; violations fail the
 // campaign. Use cmd/adversary for a focused sweep of one instance.
+//
+// With -backends every (instance, seed) runs the contract election
+// (runtime.DFSElection) once per named runtime backend — goroutine,
+// scheduled, transformed, networked (see internal/runtime and DESIGN.md
+// §15). The backend axis requires -protocol quantitative and excludes the
+// strategy and fault axes; per-run records carry the backend name. Use
+// cmd/electnode for a focused single-instance backend run.
 //
 // With -faults every run additionally injects a fault plan (internal/faults:
 // crash-stops, torn writes, read staleness) and is checked against the
@@ -58,17 +66,22 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/prof"
+	"repro/internal/runtime"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
 
 func main() {
+	// A networked-backend coordinator may re-exec this binary as a bus
+	// worker; the env check routes those children into the worker loop.
+	runtime.MaybeWorker()
 	families := flag.String("families", "cycle:6,9,12", "semicolon-separated family:size1,size2 specs")
 	placement := flag.String("placement", "spread", "home placement strategy: spread, adjacent, antipodal, single")
 	r := flag.Int("r", 2, "number of agents for the placement strategy")
 	seeds := flag.String("seeds", "1..10", "inclusive seed range a..b (or a single seed)")
 	strategies := flag.String("strategies", "", "comma-separated adversary scheduling strategies to cross with every run (\"all\" = every built-in; empty = free-running)")
 	faultsArg := flag.String("faults", "", "comma-separated fault strategies to cross with every run (\"all\" = every built-in; implies -strategies random if none set)")
+	backendsArg := flag.String("backends", "", "comma-separated runtime backends to cross with every run (\"all\" = goroutine,scheduled,transformed,networked; needs -protocol quantitative)")
 	protocol := flag.String("protocol", "elect", "protocol: elect, cayley, quantitative, petersen, gather")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 60*time.Second, "per-run watchdog timeout")
@@ -88,6 +101,19 @@ func main() {
 	listen := flag.String("listen", "", "serve live metrics at /debug/metrics and pprof under /debug/pprof/ on this address")
 	stream := flag.String("stream", "auto", "streaming aggregation: auto (sketches at >= stream-threshold runs), on, off")
 	streamThreshold := flag.Int("stream-threshold", campaign.DefaultStreamThreshold, "run count at which -stream auto switches to sketch aggregation")
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintln(out, "Usage: campaign [flags]")
+		fmt.Fprintln(out, "Runs a multi-seed election campaign (see internal/campaign).")
+		fmt.Fprintln(out)
+		flag.PrintDefaults()
+		fmt.Fprintln(out, `
+With -listen ADDR the campaign serves its operator endpoints while running:
+  /debug/metrics         live campaign counters and gauges as JSON
+  /debug/metrics/stream  server-sent events (SSE) metrics feed
+  /debug/live            live operator dashboard (HTML)
+  /debug/pprof/          pprof index (cmdline, profile, symbol, trace)`)
+	}
 	flag.Parse()
 
 	stopProf := prof.Start(*cpuprofile, *memprofile)
@@ -109,6 +135,10 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	backendNames, err := campaign.ParseBackends(*backendsArg)
+	if err != nil {
+		fail(err)
+	}
 	streamMode, err := campaign.ParseStreamMode(*stream)
 	if err != nil {
 		fail(err)
@@ -119,6 +149,7 @@ func main() {
 		Protocol:   campaign.ProtocolKind(*protocol),
 		Strategies: strats,
 		Faults:     faultNames,
+		Backends:   backendNames,
 	}
 	opt := campaign.Options{
 		Workers:         *workers,

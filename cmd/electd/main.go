@@ -67,6 +67,24 @@ func run() error {
 		slowRequest     = flag.Duration("slow-request", 0, "successful requests at least this slow land in /debug/requests (0 = default 500ms)")
 		accessLog       = flag.Bool("access-log", true, "emit one structured JSON log line per request on stderr")
 	)
+	flag.Usage = func() {
+		out := flag.CommandLine.Output()
+		fmt.Fprintln(out, "Usage: electd [flags]")
+		fmt.Fprintln(out, "Serves the analysis, single-run, and campaign planes over HTTP/JSON.")
+		fmt.Fprintln(out)
+		flag.PrintDefaults()
+		fmt.Fprintln(out, `
+Endpoints (see internal/serve for wire formats):
+  POST /v1/analyze           solvability analysis of one instance
+  POST /v1/elect             one simulated election run + replay artifact
+  POST /v1/campaign          chunked-JSONL campaign stream
+  GET  /v1/artifacts/{id}    replay bundle download
+  GET  /healthz              liveness + drain state
+  GET  /debug/metrics        telemetry registry snapshot (JSON)
+  GET  /debug/metrics/stream registry snapshots as server-sent events
+  GET  /debug/live           live operator dashboard (single HTML file)
+  GET  /debug/requests       recent slow/failed request traces`)
+	}
 	flag.Parse()
 
 	var logger *slog.Logger

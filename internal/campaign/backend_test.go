@@ -1,0 +1,128 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	rtbackend "repro/internal/runtime"
+)
+
+// TestBackendAxisCampaign crosses a small quantitative campaign with every
+// runtime backend: the contract election (runtime.DFSElection) must crown
+// the maximum identity on each of them, and the JSONL records must carry
+// the backend name.
+func TestBackendAxisCampaign(t *testing.T) {
+	spec := Spec{
+		Families: []FamilySpec{{Family: "cycle", Sizes: []int{6}, Placement: "spread", R: 2}},
+		Seeds:    SeedRange{From: 1, To: 2},
+		Protocol: ProtoQuantitative,
+		Backends: rtbackend.Backends(),
+	}
+	runs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := 1 * 2 * len(rtbackend.Backends())
+	if len(runs) != wantRuns {
+		t.Fatalf("expanded %d runs, want %d", len(runs), wantRuns)
+	}
+
+	var jsonl bytes.Buffer
+	rep, err := Execute(spec, Options{JSONL: &jsonl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rep.Summary
+	if s.Runs != wantRuns {
+		t.Fatalf("summary runs=%d, want %d", s.Runs, wantRuns)
+	}
+	if s.Errors != 0 || s.Mismatches != 0 {
+		t.Fatalf("errors=%d mismatches=%d; failures: %+v", s.Errors, s.Mismatches, rep.Failures())
+	}
+	if s.Outcomes["leader"] != wantRuns {
+		t.Fatalf("outcomes=%v, want %d leader runs", s.Outcomes, wantRuns)
+	}
+
+	// Every backend appears in the stream, and each record agrees with the
+	// universality oracle the executor applied.
+	seen := map[string]int{}
+	dec := json.NewDecoder(&jsonl)
+	for dec.More() {
+		var r RunResult
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		if !r.OK || r.Outcome != "leader" {
+			t.Fatalf("run %d on %q: ok=%v outcome=%q err=%q", r.Index, r.Backend, r.OK, r.Outcome, r.Err)
+		}
+		if r.Moves <= 0 || r.Accesses <= 0 {
+			t.Fatalf("run %d on %q: moves=%d accesses=%d", r.Index, r.Backend, r.Moves, r.Accesses)
+		}
+		seen[r.Backend]++
+	}
+	for _, b := range rtbackend.Backends() {
+		if seen[b] != 2 {
+			t.Fatalf("backend %q ran %d times, want 2 (seen=%v)", b, seen[b], seen)
+		}
+	}
+}
+
+// TestBackendAxisValidation keeps bad backend campaigns at expansion time:
+// the axis runs the contract election, so it needs the quantitative
+// protocol, cannot mix with the adversary axes, and rejects unknown names.
+func TestBackendAxisValidation(t *testing.T) {
+	base := Spec{
+		Families: []FamilySpec{{Family: "cycle", Sizes: []int{6}}},
+		Seeds:    SeedRange{From: 1, To: 1},
+	}
+
+	nonQuant := base
+	nonQuant.Protocol = ProtoElect
+	nonQuant.Backends = []string{"transformed"}
+	if _, err := nonQuant.Expand(); err == nil || !strings.Contains(err.Error(), "quantitative") {
+		t.Fatalf("non-quantitative backend axis: err=%v", err)
+	}
+
+	withStrategy := base
+	withStrategy.Protocol = ProtoQuantitative
+	withStrategy.Backends = []string{"transformed"}
+	withStrategy.Strategies = []string{"fifo"}
+	if _, err := withStrategy.Expand(); err == nil {
+		t.Fatal("backend axis combined with strategies should fail")
+	}
+
+	withFault := base
+	withFault.Protocol = ProtoQuantitative
+	withFault.Backends = []string{"transformed"}
+	withFault.Faults = []string{"crash"}
+	if _, err := withFault.Expand(); err == nil {
+		t.Fatal("backend axis combined with faults should fail")
+	}
+
+	unknown := base
+	unknown.Protocol = ProtoQuantitative
+	unknown.Backends = []string{"carrier-pigeon"}
+	if _, err := unknown.Expand(); err == nil {
+		t.Fatal("unknown backend should fail")
+	}
+}
+
+// TestParseBackends covers the CLI syntax.
+func TestParseBackends(t *testing.T) {
+	if got, err := ParseBackends(""); err != nil || got != nil {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	if got, err := ParseBackends("all"); err != nil || !reflect.DeepEqual(got, rtbackend.Backends()) {
+		t.Fatalf("all: %v %v", got, err)
+	}
+	got, err := ParseBackends("goroutine, networked")
+	if err != nil || !reflect.DeepEqual(got, []string{"goroutine", "networked"}) {
+		t.Fatalf("pair: %v %v", got, err)
+	}
+	if _, err := ParseBackends("goroutine,nope"); err == nil {
+		t.Fatal("unknown backend should fail")
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/iso"
 	"repro/internal/order"
+	rtbackend "repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -401,7 +402,7 @@ func canceledResult(index int, run Run) RunResult {
 	return RunResult{
 		Index: index, Instance: run.Instance, Protocol: string(run.Protocol),
 		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
-		Strategy: run.Strategy, Fault: run.Fault,
+		Strategy: run.Strategy, Fault: run.Fault, Backend: run.Backend,
 		Outcome: "canceled", Err: "campaign: canceled before run started",
 	}
 }
@@ -433,7 +434,11 @@ func publishLive(reg *telemetry.Registry, a *aggregator) {
 // executeOne runs one unit of work: cached analysis, then the simulation
 // under the watchdog with bounded reseeded retries. ctx cancellation
 // aborts the in-flight simulation (sim.ErrCanceled, never retried).
+// Backend-axis runs short-circuit into executeBackendRun.
 func executeOne(ctx context.Context, index int, run Run, kind ProtocolKind, pi protoInfo, opt Options, cache *analysiscache.Cache) (res RunResult) {
+	if run.Backend != "" {
+		return executeBackendRun(ctx, index, run, kind, opt, cache)
+	}
 	res = RunResult{
 		Index: index, Instance: run.Instance, Protocol: string(kind),
 		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
@@ -608,6 +613,63 @@ func executeOne(ctx context.Context, index int, run Run, kind ProtocolKind, pi p
 	} else {
 		res.OK = res.Expected == "" || res.Outcome == res.Expected
 	}
+	return res
+}
+
+// executeBackendRun runs one backend-axis unit: the contract election
+// (runtime.DFSElection) on the named internal/runtime backend. The oracle
+// is the quantitative universality result — the run is OK iff a unique
+// leader emerged and it is the maximum identity.
+func executeBackendRun(ctx context.Context, index int, run Run, kind ProtocolKind, opt Options, cache *analysiscache.Cache) (res RunResult) {
+	res = RunResult{
+		Index: index, Instance: run.Instance, Protocol: string(kind),
+		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
+		Backend:   run.Backend,
+		Attempts:  1,
+		Expected:  "leader",
+		RequestID: telemetry.RequestIDFrom(ctx),
+	}
+	defer func() {
+		opt.Metrics.Counter("campaign_runs_total").Inc()
+		opt.Metrics.Counter("campaign_outcome_" + res.Outcome).Inc()
+		opt.Metrics.Counter("campaign_backend_runs_" + run.Backend).Inc()
+		if res.Err == "" {
+			opt.Metrics.Histogram("campaign_run_moves", moveBuckets).Observe(res.Moves)
+		}
+	}()
+	if !opt.NoAnalysis {
+		if an, hit, err := cache.Get(ctx, run.G, run.Homes); err == nil {
+			res.Sizes = an.Sizes
+			res.GCD = an.GCD
+			res.CacheHit = hit
+		}
+	}
+	rt, err := rtbackend.New(run.Backend)
+	if err != nil {
+		res.Outcome, res.Err = "error", err.Error()
+		return res
+	}
+	start := time.Now()
+	rres, err := rt.Run(rtbackend.Config{
+		Graph: run.G, Homes: run.Homes, Seed: run.Seed,
+		AllowSharedHomes: opt.AllowSharedHomes,
+	}, rtbackend.DFSElection())
+	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if err != nil {
+		res.Outcome, res.Err = "error", err.Error()
+		return res
+	}
+	res.Moves = rres.TotalMoves()
+	res.Accesses = int64(rres.Steps)
+	if res.R*res.M > 0 {
+		res.Ratio = float64(res.Moves) / float64(res.R*res.M)
+	}
+	if rres.Leader() == len(run.Homes)-1 {
+		res.Outcome = "leader"
+	} else {
+		res.Outcome = "mixed"
+	}
+	res.OK = res.Outcome == res.Expected
 	return res
 }
 

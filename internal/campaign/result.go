@@ -29,6 +29,9 @@ type RunResult struct {
 	Strategy string `json:"strategy,omitempty"`
 	// Fault names the injected fault strategy (empty for fault-free runs).
 	Fault string `json:"fault,omitempty"`
+	// Backend names the runtime backend that executed the run (empty for
+	// the classic simulator path; see internal/runtime).
+	Backend string `json:"backend,omitempty"`
 	// Attempts counts executions including watchdog retries (1 = no retry).
 	Attempts int `json:"attempts"`
 	// Outcome is "leader", "unsolvable", "mixed", or "error".

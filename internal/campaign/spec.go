@@ -8,6 +8,7 @@ import (
 	"repro/internal/adversary"
 	"repro/internal/faults"
 	"repro/internal/graph"
+	"repro/internal/runtime"
 )
 
 // ProtocolKind selects the protocol a campaign runs.
@@ -78,6 +79,14 @@ type Spec struct {
 	// Faults is set. Fault runs are checked against the fault-aware invariant
 	// spec and carry their fault manifest in the JSONL record.
 	Faults []string
+	// Backends, when non-empty, crosses every run with the named runtime
+	// backends (see internal/runtime: goroutine, scheduled, transformed,
+	// networked) instead of the classic simulator path. The backend axis
+	// runs the contract election (runtime.DFSElection) and therefore
+	// requires Protocol == ProtoQuantitative; it cannot be combined with
+	// the Strategies or Faults axes, which are simulator-scheduler
+	// machinery (use runtime.Scheduled directly for that).
+	Backends []string
 }
 
 // Run is one unit of campaign work: a named instance plus an adversary seed
@@ -94,6 +103,9 @@ type Run struct {
 	Strategy string
 	// Fault names the fault strategy injected into the run ("" = fault-free).
 	Fault string
+	// Backend names the runtime backend executing the run ("" = the classic
+	// simulator path; otherwise one of runtime.Backends()).
+	Backend string
 }
 
 // Expand turns the spec into its deterministic work list. Each (family,
@@ -141,6 +153,22 @@ func (s Spec) Expand() ([]Run, error) {
 			return nil, err
 		}
 	}
+	backendAxis := s.Backends
+	if len(backendAxis) == 0 {
+		backendAxis = []string{""}
+	} else {
+		if proto != ProtoQuantitative {
+			return nil, fmt.Errorf("campaign: the backend axis runs the contract election and needs -protocol quantitative, not %q", proto)
+		}
+		if len(s.Strategies) > 0 || len(s.Faults) > 0 {
+			return nil, fmt.Errorf("campaign: the backend axis cannot be combined with strategy or fault axes")
+		}
+		for _, b := range backendAxis {
+			if _, err := runtime.New(b); err != nil {
+				return nil, err
+			}
+		}
+	}
 	var runs []Run
 	for _, f := range s.Families {
 		sizes := f.Sizes
@@ -168,11 +196,14 @@ func (s Spec) Expand() ([]Run, error) {
 				name := instanceName(f.Family, size, homes)
 				for _, strat := range strategies {
 					for _, fs := range faultAxis {
-						for seed := s.Seeds.From; seed <= s.Seeds.To; seed++ {
-							runs = append(runs, Run{
-								Instance: name, G: g, Homes: homes, Seed: seed,
-								Protocol: proto, Strategy: strat, Fault: fs,
-							})
+						for _, backend := range backendAxis {
+							for seed := s.Seeds.From; seed <= s.Seeds.To; seed++ {
+								runs = append(runs, Run{
+									Instance: name, G: g, Homes: homes, Seed: seed,
+									Protocol: proto, Strategy: strat, Fault: fs,
+									Backend: backend,
+								})
+							}
 						}
 					}
 				}
@@ -334,6 +365,31 @@ func ParseFaults(s string) ([]string, error) {
 		if _, err := faults.New(n, 0, 1, nil); err != nil {
 			return nil, err
 		}
+	}
+	return out, nil
+}
+
+// ParseBackends parses the CLI backend syntax: comma-separated runtime
+// backend names (see internal/runtime), with "all" expanding to every
+// backend and "" meaning no backend axis (the classic simulator path).
+func ParseBackends(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	if s == "all" {
+		return runtime.Backends(), nil
+	}
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if _, err := runtime.New(tok); err != nil {
+			return nil, err
+		}
+		out = append(out, tok)
 	}
 	return out, nil
 }

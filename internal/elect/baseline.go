@@ -1,55 +1,22 @@
 package elect
 
 import (
-	"fmt"
-	"strconv"
-	"strings"
-
+	"repro/internal/runtime"
 	"repro/internal/sim"
 )
 
 // QuantitativeElect is the universal election protocol of the quantitative
-// model (Section 1.3): every agent traverses the graph to collect all agent
-// labels, and the agent with the maximum label is elected. It requires the
-// run to be configured with sim.Config.QuantitativeIDs — the protocol
-// compares integer identities, which the qualitative model forbids.
+// model (Section 1.3): every agent traverses the graph to discover the
+// other agents, and the agent with the maximum label is elected. It
+// requires the run to be configured with sim.Config.QuantitativeIDs — the
+// protocol compares integer identities, which the qualitative model
+// forbids.
 //
-// Implementation: each agent stamps its integer identity (as a colored sign
-// "id:<n>") on every whiteboard and then waits at home until all r identity
-// signs have arrived, where r is the number of home-bases counted during
-// MAP-DRAWING. The maximum identity wins; the winner's color is read off
-// the winning sign.
+// The implementation is runtime.DFSElection — the repository's single
+// portable election — adapted onto the concurrent simulator with
+// runtime.AsSimProtocol. The same protocol value runs unchanged on all
+// four runtime backends; this wrapper only fixes the historical name and
+// sim.Protocol signature for the quantitative experiment suite.
 func QuantitativeElect() sim.Protocol {
-	return func(a *sim.Agent) (sim.Outcome, error) {
-		m, err := MapDraw(a)
-		if err != nil {
-			return sim.Outcome{}, err
-		}
-		k := newKnowledge(a, m, 0)
-		myID := a.ID()
-		if err := k.writeEverywhere("id:" + strconv.Itoa(myID)); err != nil {
-			return sim.Outcome{}, err
-		}
-		r := m.R()
-		ss, err := k.waitHome(func(ss sim.Signs) bool {
-			return len(ss.WithPrefix("id:")) >= r
-		})
-		if err != nil {
-			return sim.Outcome{}, err
-		}
-		best, bestColor := -1, sim.Color{}
-		for _, s := range ss.WithPrefix("id:") {
-			n, err := strconv.Atoi(strings.TrimPrefix(s.Tag, "id:"))
-			if err != nil {
-				return sim.Outcome{}, fmt.Errorf("elect: malformed id sign %q", s.Tag)
-			}
-			if n > best {
-				best, bestColor = n, s.Color
-			}
-		}
-		if best == myID {
-			return sim.Outcome{Role: sim.RoleLeader, Leader: a.Color()}, nil
-		}
-		return sim.Outcome{Role: sim.RoleDefeated, Leader: bestColor}, nil
-	}
+	return runtime.AsSimProtocol(runtime.DFSElection())
 }

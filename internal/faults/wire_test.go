@@ -1,0 +1,101 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWirePlanRoundTrip(t *testing.T) {
+	p := &WirePlan{Events: []WireEvent{
+		{Kind: WireDrop, Index: 4, Agent: 1, From: 2, To: 3, Arg: 1},
+		{Kind: WireDelay, Index: 9, Agent: 0, From: 0, To: 5},
+		{Kind: WireDup, Index: 12, Agent: 2, From: 5, To: 0},
+		{Kind: WireReorder, Index: 30, Agent: 1, From: 3, To: 2},
+	}}
+	got, err := DecodeWirePlanString(p.EncodeString())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != len(p.Events) {
+		t.Fatalf("decoded %d events, want %d", len(got.Events), len(p.Events))
+	}
+	for i := range p.Events {
+		if got.Events[i] != p.Events[i] {
+			t.Fatalf("event %d: %+v vs %+v", i, got.Events[i], p.Events[i])
+		}
+	}
+	if !strings.Contains(p.Summary(), "drop send#4 a1 n2->n3 arg=1") {
+		t.Fatalf("summary %q", p.Summary())
+	}
+	if (&WirePlan{}).Summary() != "no wire faults injected" {
+		t.Fatal("empty summary changed")
+	}
+}
+
+func TestDecodeWirePlanRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":      nil,
+		"bad magic":  {0x00, 0x01},
+		"bad kind":   append([]byte{wireMagic, 1}, 99, 0, 0, 0, 0, 0),
+		"truncated":  {wireMagic, 1, 0, 0},
+		"trailing":   append((&WirePlan{}).Encode(), 0xEE),
+		"huge field": {wireMagic, 1, 0, 0xff, 0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0},
+	}
+	for name, data := range cases {
+		if _, err := DecodeWirePlan(data); err == nil {
+			t.Fatalf("%s: accepted %v", name, data)
+		}
+	}
+	if _, err := DecodeWirePlanString("!!!"); err == nil {
+		t.Fatal("bad base64 accepted")
+	}
+}
+
+func TestWireStrategyDeterminism(t *testing.T) {
+	if _, err := NewWire("gravity", 1); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	for _, name := range WireStrategies() {
+		a, err := NewWire(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := NewWire(name, 42)
+		faults := 0
+		for i := 0; i < 400; i++ {
+			op := WireOp{Index: i, Agent: i % 3, From: i % 5, To: (i + 1) % 5}
+			x, y := a.Inject(op), b.Inject(op)
+			if x != y {
+				t.Fatalf("%s: send %d diverged under the same seed: %+v vs %+v", name, i, x, y)
+			}
+			if x.Fault {
+				faults++
+			}
+		}
+		if faults == 0 {
+			t.Fatalf("%s injected nothing in 400 sends", name)
+		}
+		if len(a.Plan().Events) != faults {
+			t.Fatalf("%s: plan has %d events, injected %d", name, len(a.Plan().Events), faults)
+		}
+	}
+}
+
+func TestReplayWireReissuesByIndex(t *testing.T) {
+	plan := &WirePlan{Events: []WireEvent{
+		{Kind: WireDrop, Index: 2, Arg: 1},
+		{Kind: WireDup, Index: 5},
+	}}
+	r := ReplayWire(plan)
+	for i := 0; i < 8; i++ {
+		act := r.Inject(WireOp{Index: i, Agent: 7, From: 1, To: 2})
+		want := i == 2 || i == 5
+		if act.Fault != want {
+			t.Fatalf("send %d: fault=%v", i, act.Fault)
+		}
+	}
+	got := r.Plan()
+	if len(got.Events) != 2 || got.Events[0].Agent != 7 {
+		t.Fatalf("re-recorded plan %+v", got)
+	}
+}

@@ -20,6 +20,7 @@ var docPackages = []string{
 	"../sim",       // the runtime users program against
 	"../elect",     // the protocol layer
 	"../adversary", // the schedule explorer
+	"../runtime",   // the unified Protocol/Runtime contract
 }
 
 // TestExportedSymbolsDocumented parses each gated package and fails on any

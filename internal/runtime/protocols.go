@@ -1,0 +1,210 @@
+package runtime
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+func init() {
+	Register("dfs-election", func(args string) (Protocol, error) {
+		if args != "" {
+			return nil, fmt.Errorf("runtime: dfs-election takes no args, got %q", args)
+		}
+		return DFSElection(), nil
+	})
+	Register("walker", func(args string) (Protocol, error) {
+		parts := strings.Split(args, ",")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("runtime: walker wants \"label,steps\", got %q", args)
+		}
+		label, err1 := strconv.Atoi(parts[0])
+		steps, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("runtime: bad walker args %q", args)
+		}
+		return Walker(label, steps), nil
+	})
+}
+
+// DFSElection returns the quantitative whiteboard-DFS election — the
+// repository's one implementation of the election that used to be written
+// twice (once as a sim protocol, once as a msgnet machine). Each agent
+// traverses the whole network depth-first, leaving breadcrumbs on the
+// whiteboards ("v:<id>" visited marks and "t:<id>:<label>" tried-port
+// marks), counting the "home" pre-marks it passes to discover r (the
+// number of agents) along the way; back home it waits until all r agents
+// have stamped its home-base and elects the maximum identity.
+//
+// Every decision depends only on the agent's own marks and the node's
+// labels, so its trajectory — and therefore its move count — is
+// schedule-independent: all four backends produce the identical per-agent
+// move vector on a fault-free run, which is what makes the protocol the
+// cross-backend conformance probe. The memory encoding is
+// "<mode>|<p1>,<p2>,...|<homes>" where mode F marks a forward move, B a
+// bounce or backtrack, W the home wait; the list is the stack of port
+// labels leading back home; homes is the running home-mark count.
+func DFSElection() Protocol { return dfsElection{} }
+
+type dfsElection struct{}
+
+// Spec returns the registry identity "dfs-election".
+func (dfsElection) Spec() string { return "dfs-election" }
+
+// Init returns the empty initial memory (the first activation at the
+// home-base sees mode "").
+func (dfsElection) Init(int) string { return "" }
+
+// Step executes one DFS activation.
+func (dfsElection) Step(memory string, v View) (string, Effect) {
+	mode, stack, homes := decodeDFS(memory)
+	me := "v:" + strconv.Itoa(v.ID)
+	triedPrefix := "t:" + strconv.Itoa(v.ID) + ":"
+
+	if mode == "W" {
+		return memory, waitEffect(v.Board, v.ID, homes)
+	}
+
+	var writes []string
+	if mode == "F" || mode == "" {
+		visited := false
+		for _, m := range v.Board {
+			if m == me {
+				visited = true
+				break
+			}
+		}
+		if visited {
+			// Forward move into an already-visited node: bounce straight
+			// back through the arrival port.
+			return encodeDFS("B", stack, homes), Effect{Move: v.Entry}
+		}
+		// First visit: count this node's residents toward r. "home" marks
+		// are engine pre-marks present before any step runs (one per
+		// resident, with multiplicity under shared homes), so the count is
+		// schedule-independent.
+		for _, m := range v.Board {
+			if m == TagHome {
+				homes++
+			}
+		}
+		writes = append(writes, me)
+		if v.Entry >= 0 {
+			stack = append(stack, v.Entry)
+			// The way home is for backtracking, not forward exploration.
+			writes = append(writes, triedPrefix+strconv.Itoa(v.Entry))
+		}
+	}
+	// Explore: smallest untried port label, else backtrack.
+	tried := map[int]bool{}
+	for _, m := range v.Board {
+		if strings.HasPrefix(m, triedPrefix) {
+			if k, err := strconv.Atoi(strings.TrimPrefix(m, triedPrefix)); err == nil {
+				tried[k] = true
+			}
+		}
+	}
+	for _, m := range writes {
+		if strings.HasPrefix(m, triedPrefix) {
+			if k, err := strconv.Atoi(strings.TrimPrefix(m, triedPrefix)); err == nil {
+				tried[k] = true
+			}
+		}
+	}
+	next := -1
+	for _, lab := range v.Labels {
+		if !tried[lab] && (next == -1 || lab < next) {
+			next = lab
+		}
+	}
+	if next >= 0 {
+		writes = append(writes, triedPrefix+strconv.Itoa(next))
+		return encodeDFS("F", stack, homes), Effect{Write: writes, Move: next}
+	}
+	if len(stack) > 0 {
+		back := stack[len(stack)-1]
+		return encodeDFS("B", stack[:len(stack)-1], homes), Effect{Write: writes, Move: back}
+	}
+	// Back home with the traversal complete: r is the accumulated home
+	// count. Decide now if everyone has stamped already, otherwise park
+	// (counting our own writes — parking with a satisfied predicate would
+	// never be re-stepped).
+	eff := waitEffect(append(append([]string{}, v.Board...), writes...), v.ID, homes)
+	eff.Write = writes
+	return encodeDFS("W", nil, homes), eff
+}
+
+// waitEffect is the DFSElection home wait: park until r distinct visited
+// stamps are on the board, then crown the maximum identity.
+func waitEffect(board []string, id, r int) Effect {
+	best, count := -1, 0
+	for _, m := range board {
+		if strings.HasPrefix(m, "v:") {
+			if k, err := strconv.Atoi(strings.TrimPrefix(m, "v:")); err == nil {
+				count++
+				if k > best {
+					best = k
+				}
+			}
+		}
+	}
+	if count < r {
+		return Effect{Move: -1}
+	}
+	if best == id {
+		return Effect{Halt: HaltLeader, Move: -1, LeaderMark: "v:" + strconv.Itoa(id)}
+	}
+	return Effect{Halt: HaltDefeated, Move: -1, LeaderMark: "v:" + strconv.Itoa(best)}
+}
+
+func decodeDFS(memory string) (mode string, stack []int, homes int) {
+	if memory == "" {
+		return "", nil, 0
+	}
+	parts := strings.SplitN(memory, "|", 3)
+	mode = parts[0]
+	if len(parts) > 1 && parts[1] != "" {
+		for _, tok := range strings.Split(parts[1], ",") {
+			if k, err := strconv.Atoi(tok); err == nil {
+				stack = append(stack, k)
+			}
+		}
+	}
+	if len(parts) > 2 {
+		homes, _ = strconv.Atoi(parts[2])
+	}
+	return mode, stack, homes
+}
+
+func encodeDFS(mode string, stack []int, homes int) string {
+	toks := make([]string, len(stack))
+	for i, k := range stack {
+		toks[i] = strconv.Itoa(k)
+	}
+	return mode + "|" + strings.Join(toks, ",") + "|" + strconv.Itoa(homes)
+}
+
+// Walker returns a protocol that walks steps hops through the port with
+// the given label and halts "done" — the minimal protocol for backend
+// plumbing tests (ported from the msgnet machine of the same name).
+func Walker(label, steps int) Protocol { return walker{label: label, steps: steps} }
+
+type walker struct{ label, steps int }
+
+// Spec returns "walker:<label>,<steps>".
+func (w walker) Spec() string { return fmt.Sprintf("walker:%d,%d", w.label, w.steps) }
+
+// Init seeds the memory with the remaining hop count.
+func (w walker) Init(int) string { return strconv.Itoa(w.steps) }
+
+// Step walks one hop or halts "done" when the budget is spent.
+func (w walker) Step(memory string, _ View) (string, Effect) {
+	left, err := strconv.Atoi(memory)
+	if err != nil {
+		return memory, Effect{Halt: "error", Move: -1}
+	}
+	if left == 0 {
+		return memory, Effect{Halt: "done", Move: -1}
+	}
+	return strconv.Itoa(left - 1), Effect{Move: w.label}
+}

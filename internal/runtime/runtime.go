@@ -1,0 +1,308 @@
+// Package runtime is the unified Protocol/Runtime contract of the
+// reproduction: one serializable protocol definition, four execution
+// backends. A Protocol is written once against the View/Effect step
+// contract and then runs unchanged on
+//
+//   - Goroutine: the concurrent whiteboard simulator (internal/sim), one
+//     goroutine per agent under the timing adversary;
+//   - Scheduled: the same simulator under the deterministic serializing
+//     scheduler, with replayable decision logs and the crash/torn/stale
+//     fault plane (internal/faults);
+//   - Transformed: the paper's Figure 1 transformation — "a message is an
+//     agent" — executed as an in-process network of processors exchanging
+//     (program, memory) messages;
+//   - Networked: a real multi-process message bus — one OS process per
+//     node shard, length-prefixed frames over unix sockets or TCP, and
+//     wire-level fault injection (drop, delay, duplicate, reorder) with
+//     replayable fault plans (faults.WirePlan).
+//
+// The contract deliberately matches the Figure 1 machine model: a protocol
+// is a pure step function from (carried memory, local view) to (new
+// memory, effect). Because the step function is serializable — memory is a
+// string, views and effects are plain data — the same value can drive a
+// goroutine, be re-stepped by a scheduler, ride inside a message, or be
+// executed by a worker process on the far side of a socket. That is the
+// executable content of the paper's transformation, promoted from a test
+// harness to the system's architecture spine (DESIGN.md §15).
+//
+// Whiteboard semantics are identical on every backend: a board is a
+// multiset of marks with per-writer deduplication (an agent writing the
+// same mark twice at a node lands it once — mirroring sim's (Color, Tag)
+// sign dedup), pre-marked with one "home" mark per resident agent before
+// any step runs. View.Board is the sorted multiset; a parked agent is
+// re-stepped only after its node's board changes.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// View is what a protocol step observes: the local neighborhood of the
+// node its agent currently occupies. Identical across all four backends.
+type View struct {
+	// Degree is the degree of the current node.
+	Degree int
+	// Labels[p] is the edge label behind port p (distinct per node; the
+	// trivial labeling is Labels[p] = p).
+	Labels []int
+	// Entry is the label, at this node, of the port the agent arrived
+	// through (-1 at the home-base before any move).
+	Entry int
+	// Board is the sorted multiset of marks on the node's whiteboard,
+	// including the engine's "home" pre-marks (one per resident agent).
+	Board []string
+	// ID is the agent's totally ordered integer identity (1-based agent
+	// index — the quantitative model of Section 1.3).
+	ID int
+}
+
+// Effect is what a protocol step decides: marks to write, then exactly one
+// of move, park, or halt.
+type Effect struct {
+	// Write lists marks to add to the current whiteboard before acting.
+	// Writes deduplicate per writer: a mark this agent already holds on
+	// this board lands nothing.
+	Write []string
+	// Move, when >= 0, moves the agent through the port labeled Move.
+	// -1 parks the agent at the node until the whiteboard changes.
+	Move int
+	// Halt, when non-empty, ends the agent with this outcome string
+	// (conventionally one of the Halt* constants).
+	Halt string
+	// LeaderMark optionally names a board mark whose writer is the claimed
+	// leader. The sim-backed backends resolve it to the leader's Color so
+	// a defeated agent's sim.Outcome can acknowledge the winner; the
+	// message-passing backends ignore it.
+	LeaderMark string
+}
+
+// The conventional halt outcomes shared by election protocols across
+// backends.
+const (
+	// HaltLeader marks the elected agent.
+	HaltLeader = "leader"
+	// HaltDefeated marks an agent that accepted another agent as leader.
+	HaltDefeated = "defeated"
+	// HaltUnsolvable marks an agent that detected the input is unsolvable.
+	HaltUnsolvable = "unsolvable"
+)
+
+// TagHome is the engine-written home-base mark: every backend pre-marks
+// each agent's home whiteboard with one "home" mark (written by that
+// agent) before any protocol step executes, exactly like sim.TagHome.
+const TagHome = "home"
+
+// Protocol is an agent program in the unified contract: a serializable
+// state machine stepped against local views. Implementations must be pure
+// (no hidden state, no randomness) — the same (memory, view) must always
+// produce the same (memory, effect), which is what lets every backend,
+// including a worker process holding only the Spec string, execute it.
+type Protocol interface {
+	// Spec returns the protocol's registry spec ("name" or "name:args"),
+	// the identity the networked backend ships to worker processes;
+	// FromSpec(Spec()) must reconstruct an equivalent protocol.
+	Spec() string
+	// Init returns the agent's initial memory given its integer identity.
+	Init(id int) string
+	// Step executes one activation: from the carried memory and the local
+	// view to new memory and an effect.
+	Step(memory string, v View) (string, Effect)
+}
+
+// Config describes one election run, shared by all backends.
+type Config struct {
+	// Graph is the (multi)graph the agents inhabit (must be connected).
+	Graph *graph.Graph
+	// Labels is the edge labeling; nil defaults to the trivial
+	// graph.PortLabeling (ℓ_v(p) = p).
+	Labels graph.EdgeLabeling
+	// Homes lists the home-base node of each agent; agent i gets ID i+1.
+	Homes []int
+	// Seed drives every backend's scheduling choices; the same (Config,
+	// Protocol) pair is deterministic per backend for Scheduled,
+	// Transformed, and Networked.
+	Seed int64
+	// MaxSteps bounds total protocol activations (default 200000).
+	MaxSteps int
+	// AllowSharedHomes permits several agents to start on one node.
+	AllowSharedHomes bool
+}
+
+// normalize validates the config and fills defaults, returning the
+// effective labeling.
+func (c *Config) normalize() (graph.EdgeLabeling, error) {
+	if c.Graph == nil || c.Graph.N() == 0 {
+		return nil, errors.New("runtime: empty graph")
+	}
+	if !c.Graph.IsConnected() {
+		return nil, errors.New("runtime: graph must be connected")
+	}
+	if len(c.Homes) == 0 {
+		return nil, errors.New("runtime: need at least one agent")
+	}
+	seen := make(map[int]bool)
+	for _, h := range c.Homes {
+		if h < 0 || h >= c.Graph.N() {
+			return nil, fmt.Errorf("runtime: home-base %d out of range", h)
+		}
+		if seen[h] && !c.AllowSharedHomes {
+			return nil, fmt.Errorf("runtime: duplicate home-base %d (set AllowSharedHomes)", h)
+		}
+		seen[h] = true
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 200_000
+	}
+	labels := c.Labels
+	if labels == nil {
+		labels = graph.PortLabeling(c.Graph)
+	}
+	if err := labels.Validate(c.Graph); err != nil {
+		return nil, fmt.Errorf("runtime: %w", err)
+	}
+	return labels, nil
+}
+
+// Result is what a backend reports after a run.
+type Result struct {
+	// Outcomes[i] is agent i's halt string ("" if the agent never halted).
+	Outcomes []string
+	// Moves[i] counts agent i's edge traversals.
+	Moves []int64
+	// Steps counts protocol activations across all agents.
+	Steps int
+	// Backend names the backend that produced the result.
+	Backend string
+}
+
+// Leader returns the index of the unique agent that halted HaltLeader, or
+// -1 when there is none or more than one.
+func (r *Result) Leader() int {
+	leader := -1
+	for i, o := range r.Outcomes {
+		if o == HaltLeader {
+			if leader >= 0 {
+				return -1
+			}
+			leader = i
+		}
+	}
+	return leader
+}
+
+// TotalMoves sums the per-agent move counters.
+func (r *Result) TotalMoves() int64 {
+	var t int64
+	for _, m := range r.Moves {
+		t += m
+	}
+	return t
+}
+
+// Runtime is an execution backend: it runs a Protocol to completion on one
+// substrate. The four implementations are Goroutine, Scheduled,
+// Transformed, and Networked.
+type Runtime interface {
+	// Name returns the backend's registry name.
+	Name() string
+	// Run executes the protocol and returns the collected outcomes.
+	Run(cfg Config, p Protocol) (*Result, error)
+}
+
+// Backends lists the four backend names accepted by New, in the canonical
+// a/b/c/d order of DESIGN.md §15.
+func Backends() []string {
+	return []string{"goroutine", "scheduled", "transformed", "networked"}
+}
+
+// New returns a default-configured backend by name (one of Backends).
+func New(name string) (Runtime, error) {
+	switch name {
+	case "goroutine":
+		return Goroutine{}, nil
+	case "scheduled":
+		return &Scheduled{}, nil
+	case "transformed":
+		return Transformed{}, nil
+	case "networked":
+		return &Networked{}, nil
+	default:
+		return nil, fmt.Errorf("runtime: unknown backend %q (have %s)",
+			name, strings.Join(Backends(), ", "))
+	}
+}
+
+// registry maps protocol spec names to parsers so the networked backend
+// can reconstruct a protocol from its Spec string on the worker side.
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func(args string) (Protocol, error){}
+)
+
+// Register binds a protocol spec name to a parser. The parser receives the
+// args part of "name:args" ("" when absent). Registering a name twice
+// panics — specs are wire identities and must stay unambiguous.
+func Register(name string, parse func(args string) (Protocol, error)) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic("runtime: protocol " + name + " registered twice")
+	}
+	registry[name] = parse
+}
+
+// FromSpec reconstructs a protocol from its Spec string ("name" or
+// "name:args"). Every registered protocol satisfies
+// FromSpec(p.Spec()) ≡ p, which is what the networked backend relies on.
+func FromSpec(spec string) (Protocol, error) {
+	name, args, _ := strings.Cut(spec, ":")
+	registryMu.RLock()
+	parse, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("runtime: unknown protocol spec %q", spec)
+	}
+	return parse(args)
+}
+
+// mark is one whiteboard entry of the message-passing backends: the text
+// plus the writing agent, so deduplication is per writer exactly as in the
+// simulator's (Color, Tag) sign sets.
+type mark struct {
+	agent int
+	text  string
+}
+
+// boardSet is the shared multiset-whiteboard implementation of the
+// Transformed backend and the networked workers.
+type boardSet struct {
+	marks []mark
+}
+
+// write lands (agent, text) unless the agent already wrote that text here;
+// it reports whether the board changed.
+func (b *boardSet) write(agent int, text string) bool {
+	for _, m := range b.marks {
+		if m.agent == agent && m.text == text {
+			return false
+		}
+	}
+	b.marks = append(b.marks, mark{agent: agent, text: text})
+	return true
+}
+
+// view returns the sorted multiset of mark texts.
+func (b *boardSet) view() []string {
+	out := make([]string, len(b.marks))
+	for i, m := range b.marks {
+		out[i] = m.text
+	}
+	sort.Strings(out)
+	return out
+}

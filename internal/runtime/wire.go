@@ -1,0 +1,109 @@
+package runtime
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The frame types of the networked backend's bus protocol. Every frame is
+// a 4-byte big-endian length prefix followed by one JSON object; the
+// connection between the coordinator and each worker is a strict
+// request/response alternation after the handshake, so framing never needs
+// message ids.
+const (
+	// FrameHello is the worker's first frame after dialing in: it claims
+	// its shard index.
+	FrameHello = "hello"
+	// FrameInit ships a worker its shard — owned nodes, their labels and
+	// resident agents, and the protocol spec; the worker acks with
+	// FrameOK.
+	FrameInit = "init"
+	// FrameOK acknowledges an init (Err carries a setup failure).
+	FrameOK = "ok"
+	// FrameExec asks the worker to run one protocol activation: agent,
+	// node, carried memory, entry label.
+	FrameExec = "exec"
+	// FrameResult returns an activation's outcome: new memory, the move
+	// label (-1 = parked), a halt string, and the node's board revision.
+	FrameResult = "result"
+	// FrameDone tells the worker to exit cleanly.
+	FrameDone = "done"
+)
+
+// frame is the single wire message of the bus protocol; T selects which
+// fields are meaningful. Fixed struct layout keeps the JSON byte-exact
+// across runs, which the frame-log replay test relies on.
+type frame struct {
+	T string `json:"t"`
+	// Handshake and init fields.
+	Shard  int        `json:"shard"`
+	Spec   string     `json:"spec,omitempty"`
+	Agents int        `json:"agents,omitempty"`
+	Nodes  []nodeInit `json:"nodes,omitempty"`
+	// Activation fields (exec and result).
+	Node  int    `json:"node"`
+	Agent int    `json:"agent"`
+	Mem   string `json:"mem"`
+	Entry int    `json:"entry"`
+	Move  int    `json:"move"`
+	Halt  string `json:"halt,omitempty"`
+	Rev   int    `json:"rev"`
+	Err   string `json:"err,omitempty"`
+}
+
+// nodeInit describes one node of a worker's shard.
+type nodeInit struct {
+	// V is the node index.
+	V int `json:"v"`
+	// Labels[p] is the edge label behind port p of V.
+	Labels []int `json:"labels"`
+	// Homes lists the indexes of the agents homed at V (the worker
+	// pre-marks one "home" mark per entry before serving activations).
+	Homes []int `json:"homes,omitempty"`
+}
+
+// maxFramePayload bounds decoded frames (a defensive cap, far above any
+// real init frame).
+const maxFramePayload = 16 << 20
+
+// writeFrame marshals and sends one length-prefixed frame, returning the
+// JSON payload for frame logging.
+func writeFrame(w io.Writer, f *frame) ([]byte, error) {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// readFrame receives and unmarshals one length-prefixed frame, returning
+// the raw JSON payload alongside for frame logging.
+func readFrame(r io.Reader) (*frame, []byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFramePayload {
+		return nil, nil, fmt.Errorf("runtime: frame of %d bytes exceeds the cap", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, nil, err
+	}
+	f := &frame{}
+	if err := json.Unmarshal(payload, f); err != nil {
+		return nil, nil, fmt.Errorf("runtime: bad frame: %w", err)
+	}
+	return f, payload, nil
+}

@@ -366,6 +366,14 @@ type Config struct {
 	// SymbolSeed, when nonzero, re-seeds only the per-(agent, node) port
 	// symbol presentation shuffles, leaving everything else as under Seed.
 	SymbolSeed int64
+	// PortLabels, when set, attaches an edge labeling to the run and lets
+	// agents resolve any port symbol to its integer label via
+	// Agent.PortLabel. This is the quantitative-world seam the
+	// internal/runtime backends use to align the sim's opaque symbols with
+	// the labeled ports of the message-passing backends; qualitative
+	// protocols must leave it unset (labels are a total order on ports,
+	// which the qualitative model forbids).
+	PortLabels graph.EdgeLabeling
 }
 
 // TagHome marks home-bases: the engine writes this sign, colored by the
@@ -445,6 +453,24 @@ func (a *Agent) ID() int {
 
 // Deg returns the degree of the current node.
 func (a *Agent) Deg() int { return a.eng.cfg.Graph.Deg(a.node) }
+
+// PortLabeled reports whether the run carries an edge labeling
+// (Config.PortLabels), i.e. whether PortLabel may be called.
+func (a *Agent) PortLabeled() bool { return a.eng.cfg.PortLabels != nil }
+
+// PortLabel resolves a port symbol to its integer edge label under the
+// run's Config.PortLabels. It panics when the run carries no labeling or
+// when s is the zero Symbol — calling it from a qualitative protocol is a
+// model violation, exactly like Agent.ID.
+func (a *Agent) PortLabel(s Symbol) int {
+	if !a.PortLabeled() {
+		panic("sim: Agent.PortLabel called without Config.PortLabels")
+	}
+	if !s.ok {
+		panic("sim: Agent.PortLabel called with the zero Symbol")
+	}
+	return a.eng.cfg.PortLabels[s.node][s.port]
+}
 
 // Symbols returns the port symbols of the current node, in this agent's own
 // presentation order (stable per agent and node across visits, but different
@@ -814,6 +840,11 @@ func Run(cfg Config, protocol Protocol) (*Result, error) {
 	}
 	if cfg.Faults != nil && cfg.Scheduler == nil {
 		return nil, errors.New("sim: fault injection requires the deterministic Scheduler")
+	}
+	if cfg.PortLabels != nil {
+		if err := cfg.PortLabels.Validate(cfg.Graph); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
 	}
 	if cfg.TakeoverAfter <= 0 {
 		cfg.TakeoverAfter = 3
