@@ -23,9 +23,19 @@
 // With -backends every (instance, seed) runs the contract election
 // (runtime.DFSElection) once per named runtime backend — goroutine,
 // scheduled, transformed, networked (see internal/runtime and DESIGN.md
-// §15). The backend axis requires -protocol quantitative and excludes the
-// strategy and fault axes; per-run records carry the backend name. Use
-// cmd/electnode for a focused single-instance backend run.
+// §15). The backend axis requires -protocol quantitative (or a -protocols
+// axis) and excludes the strategy and fault axes; per-run records carry the
+// backend name. Use cmd/electnode for a focused single-instance backend run.
+//
+// With -protocols every run executes the named contract protocol specs from
+// the runtime registry — the related-work zoo (zoo-dp,
+// zoo-shades:strong|weak|selection, zoo-uso; see internal/zoo) plus
+// dfs-election; "all" expands to exactly that list. Protocol-axis runs are
+// judged against each protocol's own central oracle under its verdict mode
+// (strong / weak / selection). They execute on the named -backends, or —
+// without a backend axis — through the simulator adapter, where they
+// compose with -strategies and -faults. Use cmd/zoo for the cross-protocol
+// feasibility matrix.
 //
 // With -faults every run additionally injects a fault plan (internal/faults:
 // crash-stops, torn writes, read staleness) and is checked against the
@@ -81,7 +91,8 @@ func main() {
 	seeds := flag.String("seeds", "1..10", "inclusive seed range a..b (or a single seed)")
 	strategies := flag.String("strategies", "", "comma-separated adversary scheduling strategies to cross with every run (\"all\" = every built-in; empty = free-running)")
 	faultsArg := flag.String("faults", "", "comma-separated fault strategies to cross with every run (\"all\" = every built-in; implies -strategies random if none set)")
-	backendsArg := flag.String("backends", "", "comma-separated runtime backends to cross with every run (\"all\" = goroutine,scheduled,transformed,networked; needs -protocol quantitative)")
+	backendsArg := flag.String("backends", "", "comma-separated runtime backends to cross with every run (\"all\" = goroutine,scheduled,transformed,networked; needs -protocol quantitative or -protocols)")
+	protocolsArg := flag.String("protocols", "", "comma-separated contract protocol specs to cross with every run (\"all\" = every zoo protocol plus dfs-election; empty = the classic -protocol kind)")
 	protocol := flag.String("protocol", "elect", "protocol: elect, cayley, quantitative, petersen, gather")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 	runTimeout := flag.Duration("run-timeout", 60*time.Second, "per-run watchdog timeout")
@@ -139,6 +150,10 @@ With -listen ADDR the campaign serves its operator endpoints while running:
 	if err != nil {
 		fail(err)
 	}
+	protoSpecs, err := campaign.ParseProtocols(*protocolsArg)
+	if err != nil {
+		fail(err)
+	}
 	streamMode, err := campaign.ParseStreamMode(*stream)
 	if err != nil {
 		fail(err)
@@ -150,6 +165,7 @@ With -listen ADDR the campaign serves its operator endpoints while running:
 		Strategies: strats,
 		Faults:     faultNames,
 		Backends:   backendNames,
+		Protocols:  protoSpecs,
 	}
 	opt := campaign.Options{
 		Workers:         *workers,

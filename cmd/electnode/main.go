@@ -51,6 +51,10 @@ import (
 	"repro/internal/runtime"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
+
+	// Register the related-work zoo protocols ("zoo-dp", "zoo-shades:*",
+	// "zoo-uso") so -protocol accepts them alongside dfs-election.
+	_ "repro/internal/zoo"
 )
 
 func main() {

@@ -1,0 +1,165 @@
+// Command zoo emits the cross-protocol feasibility-and-cost matrix: every
+// related-work protocol of internal/zoo (plus the quantitative
+// dfs-election) runs on every corpus instance across the runtime backends,
+// and each cell reports the protocol's verdict against its own central
+// oracle and the source paper's gcd oracle — Table 1 of the source paper
+// regenerated across three papers' models.
+//
+// The default corpus is chosen so every election-mode verdict coincides
+// with the gcd oracle; the command exits nonzero on any backend
+// divergence, any central-oracle mismatch, or any gcd disagreement on an
+// in-model election row, which is what the CI smoke job and the
+// golden-file test enforce.
+//
+// Usage:
+//
+//	zoo [-instances "family:size:h0,h1;..."] [-protocols a,b] \
+//	    [-backends goroutine,scheduled,...] [-seed N] [-json out.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/runtime"
+	"repro/internal/zoo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "zoo:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the matrix sweep; separated from main so the golden-file
+// test can pin the full human-facing output.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("zoo", flag.ContinueOnError)
+	fs.SetOutput(w)
+	instances := fs.String("instances", zoo.DefaultCorpus,
+		"semicolon-separated instances, each family:size:h0,h1,...")
+	protocols := fs.String("protocols", strings.Join(append(zoo.Specs(), "dfs-election"), ","),
+		"comma-separated protocol specs from the runtime registry")
+	backends := fs.String("backends", strings.Join(runtime.Backends(), ","),
+		"comma-separated runtime backends to cross-check")
+	seed := fs.Int64("seed", 1, "backend scheduling seed")
+	jsonOut := fs.String("json", "", "write the matrix rows and summary as JSON to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	insts, err := parseInstances(*instances)
+	if err != nil {
+		return err
+	}
+	specs := splitList(*protocols)
+	if len(specs) == 0 {
+		return fmt.Errorf("empty protocol list")
+	}
+	backendNames, err := campaign.ParseBackends(*backends)
+	if err != nil {
+		return err
+	}
+	rows, err := zoo.BuildMatrix(insts, specs, backendNames, *seed)
+	if err != nil {
+		return err
+	}
+	if err := zoo.WriteTable(w, rows); err != nil {
+		return err
+	}
+	summary := zoo.Summarize(rows)
+	fmt.Fprintln(w)
+	for _, s := range summary {
+		fmt.Fprintf(w, "%s (%s): %d/%d solved, %d/%d agree, %d/%d match gcd oracle, %d outside model, %d moves, %d steps\n",
+			s.Protocol, s.Mode, s.Solved, s.Instances, s.Agreements, s.Instances,
+			s.GCDAgreements, s.Instances, s.OutsideModel, s.Moves, s.Steps)
+	}
+	if *jsonOut != "" {
+		blob, err := json.MarshalIndent(struct {
+			Rows    []zoo.Row     `json:"rows"`
+			Summary []zoo.Summary `json:"summary"`
+		}{rows, summary}, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(blob, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if bad := zoo.Disagreements(rows); len(bad) > 0 {
+		for _, row := range bad {
+			fmt.Fprintf(w, "DISAGREE %s/%s: verdict %s (predicted %s, gcd %s, backends agree %v)\n",
+				row.Instance, row.Protocol, row.Verdict, row.Predicted, row.GCDVerdict, row.BackendAgree)
+		}
+		return fmt.Errorf("%d matrix cells disagree", len(bad))
+	}
+	return nil
+}
+
+// parseInstances parses the semicolon-separated instance list into built
+// instances via the campaign family registry.
+func parseInstances(s string) ([]zoo.Instance, error) {
+	var out []zoo.Instance
+	for _, spec := range strings.Split(s, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		inst, err := parseInstance(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, inst)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty instance list")
+	}
+	return out, nil
+}
+
+// parseInstance parses one "family:size:h0,h1,..." spec (sizeless families
+// such as petersen use "family::h0,h1,...").
+func parseInstance(spec string) (zoo.Instance, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return zoo.Instance{}, fmt.Errorf("instance %q is not family:size:homes", spec)
+	}
+	size := 0
+	if parts[1] != "" {
+		v, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return zoo.Instance{}, fmt.Errorf("instance %q: bad size: %w", spec, err)
+		}
+		size = v
+	}
+	g, err := campaign.BuildGraph(parts[0], size)
+	if err != nil {
+		return zoo.Instance{}, err
+	}
+	var homes []int
+	for _, tok := range strings.Split(parts[2], ",") {
+		h, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil {
+			return zoo.Instance{}, fmt.Errorf("instance %q: bad home %q", spec, tok)
+		}
+		homes = append(homes, h)
+	}
+	return zoo.Instance{Name: spec, G: g, Homes: homes}, nil
+}
+
+// splitList splits a comma-separated list, dropping empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, tok := range strings.Split(s, ",") {
+		if tok = strings.TrimSpace(tok); tok != "" {
+			out = append(out, tok)
+		}
+	}
+	return out
+}

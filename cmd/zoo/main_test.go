@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Regenerate the golden files with: go test ./cmd/zoo -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files from current output")
+
+// TestZooGolden pins the full human-facing matrix output. The sweeps run on
+// the deterministic backends only — the goroutine backend's parked barrier
+// agents wake a schedule-dependent number of times, so its Steps column
+// varies run to run — which keeps every byte of the table, the per-protocol
+// summary, and the disagreement report stable.
+func TestZooGolden(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string
+	}{
+		// The default corpus across the default protocol list: every verdict
+		// must match its own central oracle, and the non-exempt election
+		// rows must match the source paper's gcd oracle. This is the
+		// acceptance gate of the matrix.
+		{"default-corpus", []string{"-backends", "scheduled,transformed", "-seed", "1"}, ""},
+		// The comparability dividend pinned as a deliberate failure: the
+		// antipodal 6-cycle is rigid under the trivial port labeling, so the
+		// map-based protocols elect where the qualitative oracle (gcd = 2)
+		// says election is impossible, and the command exits nonzero with
+		// one DISAGREE line per election-mode protocol.
+		{"rigid-cycle-dividend", []string{"-instances", "cycle:6:0,3", "-backends", "transformed", "-seed", "1"}, "3 matrix cells disagree"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			err := run(tc.args, &buf)
+			got := buf.String()
+			switch {
+			case tc.wantErr == "":
+				if err != nil {
+					t.Fatalf("run: %v\n%s", err, got)
+				}
+			case err == nil || !strings.Contains(err.Error(), tc.wantErr):
+				t.Fatalf("run err = %v, want %q", err, tc.wantErr)
+			default:
+				// The error text is part of the pinned behavior (the
+				// dividend case must keep failing the same way).
+				got += "error: " + err.Error() + "\n"
+			}
+			path := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != string(want) {
+				t.Fatalf("output drifted from %s (regenerate with -update):\n%s", path, got)
+			}
+		})
+	}
+}

@@ -39,6 +39,7 @@ import (
 	rtbackend "repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/zoo"
 )
 
 // Options tunes campaign execution. The zero value is usable: GOMAXPROCS
@@ -254,7 +255,20 @@ func ExecuteRunsContext(ctx context.Context, runs []Run, opt Options) (*Report, 
 		return nil, errors.New("campaign: empty work list")
 	}
 	protos := make(map[ProtocolKind]protoInfo)
+	simProtos := make(map[string]protoInfo)
 	for _, r := range runs {
+		if r.ProtoSpec != "" {
+			// Protocol-axis runs execute a registry protocol; the sim path
+			// adapts it once per spec (the adapter is stateless and shared).
+			if _, ok := simProtos[r.ProtoSpec]; !ok {
+				cp, err := rtbackend.FromSpec(r.ProtoSpec)
+				if err != nil {
+					return nil, err
+				}
+				simProtos[r.ProtoSpec] = protoInfo{p: rtbackend.AsSimProtocol(cp), quant: true}
+			}
+			continue
+		}
 		kind := r.Protocol
 		if kind == "" {
 			kind = ProtoElect
@@ -325,9 +339,13 @@ func ExecuteRunsContext(ctx context.Context, runs []Run, opt Options) (*Report, 
 					if kind == "" {
 						kind = ProtoElect
 					}
+					pi := protos[kind]
+					if runs[i].ProtoSpec != "" {
+						pi = simProtos[runs[i].ProtoSpec]
+					}
 					opt.Metrics.Gauge("campaign_inflight").Add(1)
 					sp := camRun.StartSpan(w, runs[i].Instance, telemetry.PhaseNone)
-					res = executeOne(ctx, i, runs[i], kind, protos[kind], opt, cache)
+					res = executeOne(ctx, i, runs[i], kind, pi, opt, cache)
 					sp.End()
 					opt.Metrics.Gauge("campaign_inflight").Add(-1)
 				}
@@ -399,8 +417,12 @@ feed:
 // canceledResult records a run the canceled campaign never executed (or
 // refused to start): index-complete reports survive a drain.
 func canceledResult(index int, run Run) RunResult {
+	protoName := string(run.Protocol)
+	if run.ProtoSpec != "" {
+		protoName = run.ProtoSpec
+	}
 	return RunResult{
-		Index: index, Instance: run.Instance, Protocol: string(run.Protocol),
+		Index: index, Instance: run.Instance, Protocol: protoName,
 		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
 		Strategy: run.Strategy, Fault: run.Fault, Backend: run.Backend,
 		Outcome: "canceled", Err: "campaign: canceled before run started",
@@ -444,6 +466,24 @@ func executeOne(ctx context.Context, index int, run Run, kind ProtocolKind, pi p
 		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
 		Strategy: run.Strategy, Fault: run.Fault,
 		RequestID: telemetry.RequestIDFrom(ctx),
+	}
+	// Protocol-axis runs record the registry spec as the protocol name and
+	// are judged under the protocol's own central oracle and verdict mode
+	// (zoo.Predict); a spec the oracle does not know runs with no
+	// prediction, strong mode, and only the generic safety invariants.
+	mode := elect.ModeStrong
+	if run.ProtoSpec != "" {
+		res.Protocol = run.ProtoSpec
+		mode = zoo.ModeOf(run.ProtoSpec)
+		if !opt.NoAnalysis {
+			if pred, err := zoo.Predict(run.ProtoSpec, run.G, nil, run.Homes); err == nil {
+				if pred.Solvable {
+					res.Expected = "leader"
+				} else {
+					res.Expected = "unsolvable"
+				}
+			}
+		}
 	}
 	// Strategy runs are serialized through the adversary turnstile; the
 	// class map is schedule-independent, so compute it once per run.
@@ -491,7 +531,9 @@ func executeOne(ctx context.Context, index int, run Run, kind ProtocolKind, pi p
 		} else {
 			an = nil
 		}
-		res.Expected = expectedOutcome(kind, an, opt.CayleyFallback)
+		if run.ProtoSpec == "" {
+			res.Expected = expectedOutcome(kind, an, opt.CayleyFallback)
+		}
 	}
 
 	start := time.Now()
@@ -543,6 +585,14 @@ func executeOne(ctx context.Context, index int, run Run, kind ProtocolKind, pi p
 			Telemetry:        tRun,
 			Scheduler:        scheduler,
 		}
+		if run.ProtoSpec != "" {
+			// Contract protocols run under the runtime backends' semantics:
+			// everyone wakes, and ports carry the instance's shared trivial
+			// labeling so the run matches the central oracle and the
+			// message-passing backends exactly.
+			simCfg.WakeAll = true
+			simCfg.PortLabels = graph.PortLabeling(run.G)
+		}
 		if injector != nil {
 			simCfg.Faults = injector
 		}
@@ -572,10 +622,11 @@ func executeOne(ctx context.Context, index int, run Run, kind ProtocolKind, pi p
 	// Strategy-scheduled runs are held to the protocol invariants — the
 	// campaign doubles as a coarse adversary sweep (see internal/adversary
 	// for the focused explorer). Fault runs use the relaxed fault-aware
-	// contract: failing is allowed, electing wrongly is not.
-	if run.Strategy != "" {
+	// contract: failing is allowed, electing wrongly is not. Protocol-axis
+	// runs are always checked, under the protocol's own verdict mode.
+	if run.Strategy != "" || run.ProtoSpec != "" {
 		res.Violations = elect.CheckInvariants(simRes, runErr, elect.InvariantSpec{
-			Expected: res.Expected, M: res.M, RatioBound: opt.RatioBound,
+			Expected: res.Expected, Mode: mode, M: res.M, RatioBound: opt.RatioBound,
 			FaultsInjected: run.Fault != "",
 		})
 	}
@@ -599,34 +650,45 @@ func executeOne(ctx context.Context, index int, run Run, kind ProtocolKind, pi p
 		res.Ratio = float64(res.Moves) / float64(res.R*res.M)
 	}
 	switch {
-	case simRes.AgreedLeader():
+	case elect.Elected(simRes, mode):
 		res.Outcome = "leader"
 	case simRes.AllUnsolvable():
 		res.Outcome = "unsolvable"
 	default:
 		res.Outcome = "mixed"
 	}
-	if run.Fault != "" {
+	switch {
+	case run.Fault != "", run.ProtoSpec != "":
 		// Under injected faults the oracle verdict is not owed (survivors may
-		// legitimately fail); a fault run is OK iff safety held.
+		// legitimately fail); a fault run is OK iff safety held. Protocol-axis
+		// runs fold their mode-aware verdict check into the violations too.
 		res.OK = len(res.Violations) == 0
-	} else {
+	default:
 		res.OK = res.Expected == "" || res.Outcome == res.Expected
 	}
 	return res
 }
 
-// executeBackendRun runs one backend-axis unit: the contract election
-// (runtime.DFSElection) on the named internal/runtime backend. The oracle
-// is the quantitative universality result — the run is OK iff a unique
-// leader emerged and it is the maximum identity.
+// executeBackendRun runs one backend-axis unit: a contract protocol on the
+// named internal/runtime backend. Without a protocol axis that is the
+// contract election (runtime.DFSElection) under the quantitative
+// universality oracle — the run is OK iff a unique leader emerged and it is
+// the maximum identity. Protocol-axis runs execute the run's registry spec
+// instead, judged against its own central oracle (zoo.Predict: verdict,
+// unique leader, winner identity).
 func executeBackendRun(ctx context.Context, index int, run Run, kind ProtocolKind, opt Options, cache *analysiscache.Cache) (res RunResult) {
+	spec := run.ProtoSpec
+	protoName := string(kind)
+	if spec == "" {
+		spec = "dfs-election"
+	} else {
+		protoName = spec
+	}
 	res = RunResult{
-		Index: index, Instance: run.Instance, Protocol: string(kind),
+		Index: index, Instance: run.Instance, Protocol: protoName,
 		N: run.G.N(), M: run.G.M(), R: len(run.Homes), Seed: run.Seed,
 		Backend:   run.Backend,
 		Attempts:  1,
-		Expected:  "leader",
 		RequestID: telemetry.RequestIDFrom(ctx),
 	}
 	defer func() {
@@ -637,6 +699,21 @@ func executeBackendRun(ctx context.Context, index int, run Run, kind ProtocolKin
 			opt.Metrics.Histogram("campaign_run_moves", moveBuckets).Observe(res.Moves)
 		}
 	}()
+	p, err := rtbackend.FromSpec(spec)
+	if err != nil {
+		res.Outcome, res.Err = "error", err.Error()
+		return res
+	}
+	pred, err := zoo.Predict(spec, run.G, nil, run.Homes)
+	if err != nil {
+		res.Outcome, res.Err = "error", err.Error()
+		return res
+	}
+	if pred.Solvable {
+		res.Expected = "leader"
+	} else {
+		res.Expected = "unsolvable"
+	}
 	if !opt.NoAnalysis {
 		if an, hit, err := cache.Get(ctx, run.G, run.Homes); err == nil {
 			res.Sizes = an.Sizes
@@ -653,7 +730,7 @@ func executeBackendRun(ctx context.Context, index int, run Run, kind ProtocolKin
 	rres, err := rt.Run(rtbackend.Config{
 		Graph: run.G, Homes: run.Homes, Seed: run.Seed,
 		AllowSharedHomes: opt.AllowSharedHomes,
-	}, rtbackend.DFSElection())
+	}, p)
 	res.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
 	if err != nil {
 		res.Outcome, res.Err = "error", err.Error()
@@ -664,12 +741,9 @@ func executeBackendRun(ctx context.Context, index int, run Run, kind ProtocolKin
 	if res.R*res.M > 0 {
 		res.Ratio = float64(res.Moves) / float64(res.R*res.M)
 	}
-	if rres.Leader() == len(run.Homes)-1 {
-		res.Outcome = "leader"
-	} else {
-		res.Outcome = "mixed"
-	}
-	res.OK = res.Outcome == res.Expected
+	res.Outcome = zoo.Verdict(rres)
+	res.Violations = zoo.Check(rres, pred)
+	res.OK = len(res.Violations) == 0
 	return res
 }
 

@@ -1,0 +1,208 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/adversary"
+	"repro/internal/faults"
+	rtbackend "repro/internal/runtime"
+	"repro/internal/zoo"
+)
+
+// allProtoSpecs is the protocol axis "all" expansion: every zoo protocol
+// plus the contract election.
+func allProtoSpecs() []string {
+	return append(zoo.Specs(), "dfs-election")
+}
+
+// TestProtocolAxisSimCampaign crosses a small campaign with every contract
+// protocol spec on the simulator path: each run must match its own
+// protocol's central oracle under the protocol's verdict mode, and the
+// JSONL records must carry the spec as the protocol name.
+func TestProtocolAxisSimCampaign(t *testing.T) {
+	spec := Spec{
+		Families:  []FamilySpec{{Family: "path", Sizes: []int{6}, Homes: [][]int{{0, 3, 5}}}},
+		Seeds:     SeedRange{From: 1, To: 2},
+		Protocols: allProtoSpecs(),
+	}
+	runs, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRuns := len(allProtoSpecs()) * 2
+	if len(runs) != wantRuns {
+		t.Fatalf("expanded %d runs, want %d", len(runs), wantRuns)
+	}
+
+	var jsonl bytes.Buffer
+	rep, err := Execute(spec, Options{JSONL: &jsonl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Summary.Runs != wantRuns {
+		t.Fatalf("summary runs=%d, want %d", rep.Summary.Runs, wantRuns)
+	}
+	if fails := rep.Failures(); len(fails) > 0 {
+		t.Fatalf("failures: %+v", fails)
+	}
+
+	seen := map[string]int{}
+	dec := json.NewDecoder(&jsonl)
+	for dec.More() {
+		var r RunResult
+		if err := dec.Decode(&r); err != nil {
+			t.Fatal(err)
+		}
+		if !r.OK || r.Err != "" {
+			t.Fatalf("run %d %q: ok=%v outcome=%q err=%q violations=%v",
+				r.Index, r.Protocol, r.OK, r.Outcome, r.Err, r.Violations)
+		}
+		if r.Expected == "" || r.Outcome != r.Expected {
+			t.Fatalf("run %d %q: outcome %q, oracle expected %q", r.Index, r.Protocol, r.Outcome, r.Expected)
+		}
+		seen[r.Protocol]++
+	}
+	for _, ps := range allProtoSpecs() {
+		if seen[ps] != 2 {
+			t.Fatalf("protocol %q ran %d times, want 2 (seen=%v)", ps, seen[ps], seen)
+		}
+	}
+}
+
+// TestProtocolAxisBackendCampaign crosses the protocol axis with a runtime
+// backend: the backend axis no longer demands -protocol quantitative when
+// every run names its own contract protocol.
+func TestProtocolAxisBackendCampaign(t *testing.T) {
+	spec := Spec{
+		Families:  []FamilySpec{{Family: "path", Sizes: []int{4}, Homes: [][]int{{0, 1}}}},
+		Seeds:     SeedRange{From: 1, To: 1},
+		Protocols: []string{"zoo-dp", "zoo-shades:weak", "dfs-election"},
+		Backends:  []string{"transformed"},
+	}
+	rep, err := Execute(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := rep.Failures(); len(fails) > 0 {
+		t.Fatalf("failures: %+v", fails)
+	}
+	for _, r := range rep.Results {
+		if r.Backend != "transformed" || !r.OK || r.Outcome != "leader" {
+			t.Fatalf("run %d %q: backend=%q ok=%v outcome=%q err=%q", r.Index, r.Protocol, r.Backend, r.OK, r.Outcome, r.Err)
+		}
+	}
+}
+
+// TestProtocolAxisStrategyCampaign composes the protocol axis with the
+// adversary scheduling axis: contract protocols are schedule-independent,
+// so the serializing scheduler must reach the same oracle-approved verdict.
+func TestProtocolAxisStrategyCampaign(t *testing.T) {
+	spec := Spec{
+		Families:   []FamilySpec{{Family: "star", Sizes: []int{4}, Homes: [][]int{{1, 2}}}},
+		Seeds:      SeedRange{From: 1, To: 2},
+		Protocols:  []string{"zoo-dp", "zoo-uso", "zoo-shades:selection"},
+		Strategies: []string{"round-robin", "random"},
+	}
+	rep, err := Execute(spec, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fails := rep.Failures(); len(fails) > 0 {
+		t.Fatalf("failures: %+v", fails)
+	}
+	if want := 3 * 2 * 2; rep.Summary.Runs != want {
+		t.Fatalf("summary runs=%d, want %d", rep.Summary.Runs, want)
+	}
+}
+
+// TestProtocolAxisValidation keeps bad protocol-axis campaigns at expansion
+// time.
+func TestProtocolAxisValidation(t *testing.T) {
+	base := Spec{
+		Families: []FamilySpec{{Family: "cycle", Sizes: []int{6}}},
+		Seeds:    SeedRange{From: 1, To: 1},
+	}
+
+	unknown := base
+	unknown.Protocols = []string{"zoo-nope"}
+	if _, err := unknown.Expand(); err == nil || !strings.Contains(err.Error(), "unknown protocol spec") {
+		t.Fatalf("unknown protocol spec: err=%v", err)
+	}
+
+	badArgs := base
+	badArgs.Protocols = []string{"zoo-shades:fuchsia"}
+	if _, err := badArgs.Expand(); err == nil {
+		t.Fatal("bad protocol args should fail expansion")
+	}
+
+	// The backend axis still rejects the scheduler axes even with protocols.
+	mixed := base
+	mixed.Protocols = []string{"zoo-dp"}
+	mixed.Backends = []string{"transformed"}
+	mixed.Strategies = []string{"round-robin"}
+	if _, err := mixed.Expand(); err == nil {
+		t.Fatal("backend axis combined with strategies should fail even with a protocol axis")
+	}
+
+	// Without protocols the backend axis still demands the quantitative kind.
+	classic := base
+	classic.Backends = []string{"transformed"}
+	if _, err := classic.Expand(); err == nil || !strings.Contains(err.Error(), "quantitative") {
+		t.Fatalf("backend axis without protocols: err=%v", err)
+	}
+}
+
+// TestParseAxis is the table-driven contract of the shared axis parser
+// behind ParseStrategies, ParseFaults, ParseBackends and ParseProtocols:
+// empty means no axis, "all" expands the axis's full list, tokens are
+// validated, duplicates collapse.
+func TestParseAxis(t *testing.T) {
+	cases := []struct {
+		name    string
+		parse   func(string) ([]string, error)
+		in      string
+		want    []string
+		wantErr bool
+	}{
+		{"strategies/empty", ParseStrategies, "", nil, false},
+		{"strategies/all", ParseStrategies, "all", adversary.Strategies(), false},
+		{"strategies/pair", ParseStrategies, "round-robin, random", []string{"round-robin", "random"}, false},
+		{"strategies/dup", ParseStrategies, "round-robin,round-robin,random", []string{"round-robin", "random"}, false},
+		{"strategies/unknown", ParseStrategies, "round-robin,nope", nil, true},
+		{"faults/empty", ParseFaults, "", nil, false},
+		{"faults/all", ParseFaults, "all", faults.Strategies(), false},
+		{"faults/unknown", ParseFaults, "crash,teleport", nil, true},
+		{"backends/empty", ParseBackends, "", nil, false},
+		{"backends/all", ParseBackends, "all", rtbackend.Backends(), false},
+		{"backends/pair", ParseBackends, "goroutine, networked", []string{"goroutine", "networked"}, false},
+		{"backends/unknown", ParseBackends, "goroutine,carrier-pigeon", nil, true},
+		{"protocols/empty", ParseProtocols, "", nil, false},
+		{"protocols/all", ParseProtocols, "all", allProtoSpecs(), false},
+		{"protocols/pair", ParseProtocols, "zoo-dp, dfs-election", []string{"zoo-dp", "dfs-election"}, false},
+		{"protocols/all-dedups", ParseProtocols, "zoo-dp,all", allProtoSpecs(), false},
+		{"protocols/unknown", ParseProtocols, "zoo-dp,zoo-nope", nil, true},
+		{"protocols/bad-args", ParseProtocols, "zoo-shades:mauve", nil, true},
+		{"protocols/whitespace-only", ParseProtocols, " , ,", nil, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.parse(tc.in)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("parse(%q) = %v, want error", tc.in, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parse(%q): %v", tc.in, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("parse(%q) = %v, want %v", tc.in, got, tc.want)
+			}
+		})
+	}
+}

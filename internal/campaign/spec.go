@@ -9,6 +9,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/graph"
 	"repro/internal/runtime"
+	"repro/internal/zoo"
 )
 
 // ProtocolKind selects the protocol a campaign runs.
@@ -81,12 +82,22 @@ type Spec struct {
 	Faults []string
 	// Backends, when non-empty, crosses every run with the named runtime
 	// backends (see internal/runtime: goroutine, scheduled, transformed,
-	// networked) instead of the classic simulator path. The backend axis
-	// runs the contract election (runtime.DFSElection) and therefore
-	// requires Protocol == ProtoQuantitative; it cannot be combined with
-	// the Strategies or Faults axes, which are simulator-scheduler
-	// machinery (use runtime.Scheduled directly for that).
+	// networked) instead of the classic simulator path. Without a Protocols
+	// axis the backend axis runs the contract election
+	// (runtime.DFSElection) and therefore requires
+	// Protocol == ProtoQuantitative; with one it runs the named contract
+	// protocols. It cannot be combined with the Strategies or Faults axes,
+	// which are simulator-scheduler machinery (use runtime.Scheduled
+	// directly for that).
 	Backends []string
+	// Protocols, when non-empty, crosses every run with the named contract
+	// protocol specs from the runtime registry (the internal/zoo protocols
+	// plus "dfs-election"), replacing the classic Protocol kind. Each cell
+	// runs either on the named Backends or — when Backends is empty — on
+	// the simulator through runtime.AsSimProtocol, where it composes with
+	// the Strategies and Faults axes. Runs are checked against the
+	// protocol's own central oracle (zoo.Predict) under its verdict mode.
+	Protocols []string
 }
 
 // Run is one unit of campaign work: a named instance plus an adversary seed
@@ -106,6 +117,11 @@ type Run struct {
 	// Backend names the runtime backend executing the run ("" = the classic
 	// simulator path; otherwise one of runtime.Backends()).
 	Backend string
+	// ProtoSpec names the contract protocol spec executing the run ("" =
+	// the classic Protocol kind; otherwise a runtime-registry spec such as
+	// "zoo-dp" or "dfs-election", run on Backend or through the simulator
+	// adapter).
+	ProtoSpec string
 }
 
 // Expand turns the spec into its deterministic work list. Each (family,
@@ -153,12 +169,22 @@ func (s Spec) Expand() ([]Run, error) {
 			return nil, err
 		}
 	}
+	protoAxis := s.Protocols
+	if len(protoAxis) == 0 {
+		protoAxis = []string{""}
+	} else {
+		for _, ps := range protoAxis {
+			if _, err := runtime.FromSpec(ps); err != nil {
+				return nil, err
+			}
+		}
+	}
 	backendAxis := s.Backends
 	if len(backendAxis) == 0 {
 		backendAxis = []string{""}
 	} else {
-		if proto != ProtoQuantitative {
-			return nil, fmt.Errorf("campaign: the backend axis runs the contract election and needs -protocol quantitative, not %q", proto)
+		if len(s.Protocols) == 0 && proto != ProtoQuantitative {
+			return nil, fmt.Errorf("campaign: the backend axis runs the contract election and needs -protocol quantitative (or a -protocols axis), not %q", proto)
 		}
 		if len(s.Strategies) > 0 || len(s.Faults) > 0 {
 			return nil, fmt.Errorf("campaign: the backend axis cannot be combined with strategy or fault axes")
@@ -196,13 +222,15 @@ func (s Spec) Expand() ([]Run, error) {
 				name := instanceName(f.Family, size, homes)
 				for _, strat := range strategies {
 					for _, fs := range faultAxis {
-						for _, backend := range backendAxis {
-							for seed := s.Seeds.From; seed <= s.Seeds.To; seed++ {
-								runs = append(runs, Run{
-									Instance: name, G: g, Homes: homes, Seed: seed,
-									Protocol: proto, Strategy: strat, Fault: fs,
-									Backend: backend,
-								})
+						for _, ps := range protoAxis {
+							for _, backend := range backendAxis {
+								for seed := s.Seeds.From; seed <= s.Seeds.To; seed++ {
+									runs = append(runs, Run{
+										Instance: name, G: g, Homes: homes, Seed: seed,
+										Protocol: proto, Strategy: strat, Fault: fs,
+										Backend: backend, ProtoSpec: ps,
+									})
+								}
 							}
 						}
 					}
@@ -321,77 +349,91 @@ func ParseFamilies(s string, placement string, r int) ([]FamilySpec, error) {
 	return out, nil
 }
 
-// ParseStrategies parses the CLI strategy syntax: comma-separated adversary
-// strategy names, with "all" expanding to every built-in and "" meaning no
-// strategy axis (free-running runs).
-func ParseStrategies(s string) ([]string, error) {
+// parseAxis parses one comma-separated campaign axis: "" means the axis is
+// absent (nil, nil), the token "all" expands through the axis's full list,
+// every other token is validated by check, and duplicates collapse to their
+// first occurrence. All the CLI axis parsers (strategies, faults, backends,
+// protocols) are this one function with the axis's own expansion and
+// validation plugged in.
+func parseAxis(s string, all func() []string, check func(string) error) ([]string, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
 		return nil, nil
 	}
-	if s == "all" {
-		return adversary.Strategies(), nil
-	}
 	var out []string
+	seen := make(map[string]bool)
+	add := func(name string) error {
+		if seen[name] {
+			return nil
+		}
+		if err := check(name); err != nil {
+			return err
+		}
+		seen[name] = true
+		out = append(out, name)
+		return nil
+	}
 	for _, tok := range strings.Split(s, ",") {
 		tok = strings.TrimSpace(tok)
 		if tok == "" {
 			continue
 		}
-		if _, err := adversary.NewStrategy(tok, 0, nil); err != nil {
+		if tok == "all" {
+			for _, name := range all() {
+				if err := add(name); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		if err := add(tok); err != nil {
 			return nil, err
 		}
-		out = append(out, tok)
 	}
 	return out, nil
+}
+
+// ParseStrategies parses the CLI strategy syntax: comma-separated adversary
+// strategy names, with "all" expanding to every built-in and "" meaning no
+// strategy axis (free-running runs).
+func ParseStrategies(s string) ([]string, error) {
+	return parseAxis(s, adversary.Strategies, func(name string) error {
+		_, err := adversary.NewStrategy(name, 0, nil)
+		return err
+	})
 }
 
 // ParseFaults parses the CLI fault syntax: comma-separated fault strategy
 // names (see internal/faults), with "all" expanding to every built-in and ""
 // meaning no fault axis.
 func ParseFaults(s string) ([]string, error) {
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return nil, nil
-	}
-	var names []string
-	for _, tok := range strings.Split(s, ",") {
-		if tok = strings.TrimSpace(tok); tok != "" {
-			names = append(names, tok)
-		}
-	}
-	out := faults.ParseNames(names)
-	for _, n := range out {
-		if _, err := faults.New(n, 0, 1, nil); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return parseAxis(s, faults.Strategies, func(name string) error {
+		_, err := faults.New(name, 0, 1, nil)
+		return err
+	})
 }
 
 // ParseBackends parses the CLI backend syntax: comma-separated runtime
 // backend names (see internal/runtime), with "all" expanding to every
 // backend and "" meaning no backend axis (the classic simulator path).
 func ParseBackends(s string) ([]string, error) {
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return nil, nil
-	}
-	if s == "all" {
-		return runtime.Backends(), nil
-	}
-	var out []string
-	for _, tok := range strings.Split(s, ",") {
-		tok = strings.TrimSpace(tok)
-		if tok == "" {
-			continue
-		}
-		if _, err := runtime.New(tok); err != nil {
-			return nil, err
-		}
-		out = append(out, tok)
-	}
-	return out, nil
+	return parseAxis(s, runtime.Backends, func(name string) error {
+		_, err := runtime.New(name)
+		return err
+	})
+}
+
+// ParseProtocols parses the CLI protocol-spec syntax: comma-separated
+// runtime-registry specs (see internal/zoo and runtime.FromSpec), with
+// "all" expanding to every zoo protocol plus the contract election and ""
+// meaning no protocol axis (the classic Protocol kind).
+func ParseProtocols(s string) ([]string, error) {
+	return parseAxis(s, func() []string {
+		return append(zoo.Specs(), "dfs-election")
+	}, func(name string) error {
+		_, err := runtime.FromSpec(name)
+		return err
+	})
 }
 
 // ParseSeedRange parses "a..b" (inclusive) or a single seed "a".

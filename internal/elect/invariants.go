@@ -42,6 +42,33 @@ type Violation struct {
 // String renders the violation as "code: detail".
 func (v Violation) String() string { return string(v.Code) + ": " + v.Detail }
 
+// VerdictMode selects the agreement predicate a protocol's terminal
+// configuration is held to. The source paper's Protocol ELECT and the
+// related-work zoo protocols promise different amounts of knowledge to the
+// defeated agents, so "did the run succeed" is protocol-dependent:
+//
+//   - ModeStrong (the default, ""): a clean election means one leader and
+//     every defeated agent naming that leader — the original contract.
+//   - ModeWeak: one leader must emerge and everyone else must concede, but
+//     defeated agents need not (and typically cannot) name the winner.
+//   - ModeSelection: same terminal shape as weak, but a unanimous
+//     "unsolvable" report is never acceptable — selection is universally
+//     solvable in the quantitative model (Section 1.3 of the source
+//     paper), so a correct selection protocol always distinguishes
+//     exactly one agent.
+type VerdictMode string
+
+// The verdict modes.
+const (
+	// ModeStrong is the original strong-election contract.
+	ModeStrong VerdictMode = ""
+	// ModeWeak accepts a conceding defeated agent that cannot name the
+	// leader.
+	ModeWeak VerdictMode = "weak"
+	// ModeSelection is weak agreement with unanimous failure outlawed.
+	ModeSelection VerdictMode = "selection"
+)
+
 // InvariantSpec parameterizes CheckInvariants with what the oracle knows
 // about the instance.
 type InvariantSpec struct {
@@ -49,6 +76,10 @@ type InvariantSpec struct {
 	// prediction applies (then only the schedule-independent safety
 	// invariants are checked).
 	Expected string
+	// Mode selects the agreement predicate (strong election by default;
+	// weak election and selection accept defeated agents that cannot name
+	// the winner, and selection additionally rejects unanimous failure).
+	Mode VerdictMode
 	// M is the instance's edge count |E|; RatioBound is the constant c of
 	// the moves ≤ c·r·|E| assertion. Either being 0 disables the bound.
 	M          int
@@ -96,7 +127,10 @@ func CheckInvariants(res *sim.Result, runErr error, spec InvariantSpec) []Violat
 			Detail: fmt.Sprintf("%d agents ended in RoleLeader", n),
 		})
 	}
-	agreed, failed := res.AgreedLeader(), res.AllUnsolvable()
+	agreed, failed := Elected(res, spec.Mode), res.AllUnsolvable()
+	if spec.Mode == ModeSelection {
+		failed = false
+	}
 	if !agreed && !failed {
 		out = append(out, Violation{
 			Code:   VioNoAgreement,
@@ -236,6 +270,48 @@ func checkFaultAware(res *sim.Result, runErr error, spec InvariantSpec) []Violat
 		}
 	}
 	return out
+}
+
+// Elected reports whether a completed run satisfies mode's success
+// predicate: ModeStrong is sim.Result.AgreedLeader (every defeated agent
+// names the winner); ModeWeak and ModeSelection accept defeated agents
+// that concede without naming anyone. Callers classifying outcomes for a
+// mode-aware protocol (the campaign's protocol axis) share this predicate
+// with CheckInvariants.
+func Elected(res *sim.Result, mode VerdictMode) bool {
+	if mode == ModeStrong {
+		return res.AgreedLeader()
+	}
+	return weakElected(res)
+}
+
+// weakElected is the weak-election/selection success predicate: exactly one
+// agent ended leader, every other agent conceded (defeated), and any
+// defeated agent that did name a leader named the right one. Unlike
+// AgreedLeader, a defeated agent with no named leader is acceptable — weak
+// election promises the losers nothing beyond their own defeat.
+func weakElected(res *sim.Result) bool {
+	if res.LeaderCount() != 1 {
+		return false
+	}
+	var crown sim.Color
+	for i, o := range res.Outcomes {
+		if o.Role == sim.RoleLeader && i < len(res.Colors) {
+			crown = res.Colors[i]
+		}
+	}
+	for _, o := range res.Outcomes {
+		switch o.Role {
+		case sim.RoleLeader:
+		case sim.RoleDefeated:
+			if !o.Leader.IsZero() && !o.Leader.Equal(crown) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 func describeOutcomes(res *sim.Result) string {

@@ -1,0 +1,112 @@
+package elect
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestCheckInvariantsModes proves the verdict-mode split of InvariantSpec:
+// the same terminal configurations that fail the strong contract (a
+// defeated agent that cannot name the winner) satisfy weak election and
+// selection, and a unanimous failure report — fine under strong and weak —
+// is outlawed under selection.
+func TestCheckInvariantsModes(t *testing.T) {
+	// One leader; one defeated agent acknowledges it, one concedes without
+	// naming anyone — the terminal shape of a weak-election protocol.
+	conceded := fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated, sim.RoleDefeated}, []int{0, 0, -1}, 10)
+	// One leader, but a defeated agent names somebody else entirely.
+	wrongAck := fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated}, []int{0, 1}, 10)
+	// Everybody reports failure.
+	failure := fakeResult([]sim.Role{sim.RoleUnsolvable, sim.RoleUnsolvable}, []int{-1, -1}, 10)
+	// Two leaders stay illegal in every mode.
+	twoLeaders := fakeResult([]sim.Role{sim.RoleLeader, sim.RoleLeader}, []int{0, 1}, 10)
+
+	cases := []struct {
+		name string
+		res  *sim.Result
+		spec InvariantSpec
+		want []ViolationCode
+	}{
+		{
+			name: "strong rejects an unnamed concession",
+			res:  conceded,
+			spec: InvariantSpec{Expected: "leader", Mode: ModeStrong},
+			want: []ViolationCode{VioNoAgreement, VioWrongVerdict},
+		},
+		{
+			name: "weak accepts an unnamed concession",
+			res:  conceded,
+			spec: InvariantSpec{Expected: "leader", Mode: ModeWeak},
+		},
+		{
+			name: "selection accepts an unnamed concession",
+			res:  conceded,
+			spec: InvariantSpec{Expected: "leader", Mode: ModeSelection},
+		},
+		{
+			name: "weak still rejects a wrong acknowledgment",
+			res:  wrongAck,
+			spec: InvariantSpec{Expected: "leader", Mode: ModeWeak},
+			want: []ViolationCode{VioNoAgreement, VioWrongVerdict},
+		},
+		{
+			name: "weak accepts a unanimous failure",
+			res:  failure,
+			spec: InvariantSpec{Expected: "unsolvable", Mode: ModeWeak},
+		},
+		{
+			name: "selection outlaws a unanimous failure",
+			res:  failure,
+			spec: InvariantSpec{Expected: "leader", Mode: ModeSelection},
+			want: []ViolationCode{VioNoAgreement, VioWrongVerdict},
+		},
+		{
+			name: "selection outlaws failure even without an oracle",
+			res:  failure,
+			spec: InvariantSpec{Mode: ModeSelection},
+			want: []ViolationCode{VioNoAgreement},
+		},
+		{
+			name: "weak still rejects two leaders",
+			res:  twoLeaders,
+			spec: InvariantSpec{Expected: "leader", Mode: ModeWeak},
+			want: []ViolationCode{VioMultipleLeaders, VioNoAgreement, VioWrongVerdict},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := CheckInvariants(tc.res, nil, tc.spec)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %v, want codes %v", got, tc.want)
+			}
+			for _, w := range tc.want {
+				if !hasCode(got, w) {
+					t.Fatalf("missing %s in %v", w, codes(got))
+				}
+			}
+		})
+	}
+}
+
+// TestElected pins the exported mode-aware success predicate the campaign's
+// protocol axis classifies outcomes with.
+func TestElected(t *testing.T) {
+	conceded := fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated}, []int{0, -1}, 10)
+	if Elected(conceded, ModeStrong) {
+		t.Fatal("strong accepted a defeated agent that named nobody")
+	}
+	if !Elected(conceded, ModeWeak) || !Elected(conceded, ModeSelection) {
+		t.Fatal("weak/selection rejected a clean concession")
+	}
+	named := fakeResult([]sim.Role{sim.RoleLeader, sim.RoleDefeated}, []int{0, 0}, 10)
+	if !Elected(named, ModeStrong) || !Elected(named, ModeWeak) {
+		t.Fatal("a fully named election should satisfy every mode")
+	}
+	failure := fakeResult([]sim.Role{sim.RoleUnsolvable, sim.RoleUnsolvable}, []int{-1, -1}, 10)
+	for _, m := range []VerdictMode{ModeStrong, ModeWeak, ModeSelection} {
+		if Elected(failure, m) {
+			t.Fatalf("mode %q elected a unanimous failure", m)
+		}
+	}
+}

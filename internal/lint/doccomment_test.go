@@ -21,6 +21,7 @@ var docPackages = []string{
 	"../elect",     // the protocol layer
 	"../adversary", // the schedule explorer
 	"../runtime",   // the unified Protocol/Runtime contract
+	"../zoo",       // the related-work protocol zoo
 }
 
 // TestExportedSymbolsDocumented parses each gated package and fails on any

@@ -1,0 +1,211 @@
+package zoo_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/runtime"
+	"repro/internal/zoo"
+)
+
+// TestMain lets this test binary serve as a networked-backend worker when
+// the coordinator re-execs it.
+func TestMain(m *testing.M) {
+	runtime.MaybeWorker()
+	os.Exit(m.Run())
+}
+
+// zooInstance is one (graph, homes) input of the differential corpus — the
+// same 21 instances the runtime conformance suite sweeps.
+type zooInstance struct {
+	name  string
+	g     *graph.Graph
+	homes []int
+}
+
+func twinDouble(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromTwins([][][2]int{
+		{{1, 0}, {1, 1}},
+		{{0, 0}, {0, 1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func twinTriangle(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromTwins([][][2]int{
+		{{1, 0}, {1, 1}, {2, 0}},
+		{{0, 0}, {0, 1}, {2, 1}},
+		{{0, 2}, {1, 2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// zooCorpus returns the differential corpus.
+func zooCorpus(t *testing.T) []zooInstance {
+	t.Helper()
+	return []zooInstance{
+		{"cycle3", graph.Cycle(3), []int{0, 1}},
+		{"cycle5", graph.Cycle(5), []int{0, 2}},
+		{"cycle6", graph.Cycle(6), []int{0, 2, 3}},
+		{"cycle8", graph.Cycle(8), []int{0, 3, 5}},
+		{"cycle12", graph.Cycle(12), []int{0, 4, 8}},
+		{"path4", graph.Path(4), []int{0, 1}},
+		{"path6", graph.Path(6), []int{0, 3, 5}},
+		{"hypercube2", graph.Hypercube(2), []int{0, 3}},
+		{"hypercube3", graph.Hypercube(3), []int{0, 5, 6}},
+		{"petersen", graph.Petersen(), []int{0, 1}},
+		{"petersen-far", graph.Petersen(), []int{0, 7, 8}},
+		{"complete4", graph.Complete(4), []int{0, 2}},
+		{"star4", graph.Star(4), []int{1, 2}},
+		{"star5-center", graph.Star(5), []int{0, 1}},
+		{"grid23", graph.Grid(2, 3), []int{0, 5}},
+		{"grid33", graph.Grid(3, 3), []int{0, 4, 8}},
+		{"prism3", graph.Prism(3), []int{0, 4}},
+		{"wheel5", graph.Wheel(5), []int{0, 2}},
+		{"bipartite23", graph.CompleteBipartite(2, 3), []int{0, 2}},
+		{"twin-double", twinDouble(t), []int{0, 1}},
+		{"twin-triangle", twinTriangle(t), []int{0, 2}},
+	}
+}
+
+// zooBackends returns the four runtimes in canonical order (networked in
+// its fast in-process spawn mode).
+func zooBackends() []runtime.Runtime {
+	return []runtime.Runtime{
+		runtime.Goroutine{},
+		&runtime.Scheduled{},
+		runtime.Transformed{},
+		&runtime.Networked{Workers: 2},
+	}
+}
+
+// checkZooInstance runs one (protocol, instance, seed) cell on the given
+// backends and returns an error on any cross-backend divergence (outcome
+// vectors and exact per-agent move counts) or any violation of the central
+// prediction (verdict, unique leader, winner identity).
+func checkZooInstance(inst zooInstance, p runtime.Protocol, seed int64, backends []runtime.Runtime) error {
+	pred, err := zoo.Predict(p.Spec(), inst.g, nil, inst.homes)
+	if err != nil {
+		return err
+	}
+	cfg := runtime.Config{Graph: inst.g, Homes: inst.homes, Seed: seed}
+	var base *runtime.Result
+	for _, rt := range backends {
+		res, err := rt.Run(cfg, p)
+		if err != nil {
+			return fmt.Errorf("%s: %v", rt.Name(), err)
+		}
+		if base == nil {
+			base = res
+		} else {
+			for i := range base.Outcomes {
+				if base.Outcomes[i] != res.Outcomes[i] {
+					return fmt.Errorf("agent %d: %s %q vs %s %q",
+						i, base.Backend, base.Outcomes[i], res.Backend, res.Outcomes[i])
+				}
+				if base.Moves[i] != res.Moves[i] {
+					return fmt.Errorf("agent %d: %s made %d moves vs %s %d",
+						i, base.Backend, base.Moves[i], res.Backend, res.Moves[i])
+				}
+			}
+		}
+		if vios := zoo.Check(res, pred); len(vios) > 0 {
+			return fmt.Errorf("%s: %v", rt.Name(), vios)
+		}
+	}
+	return nil
+}
+
+// TestZooCrossBackendConformance is the protocol-parameterized differential
+// sweep: every zoo protocol × every corpus instance × 3 seeds runs on all
+// four backends, which must agree on the outcome vector and the exact
+// per-agent move counts, and every backend's result must match the central
+// per-protocol prediction (verdict and winner).
+func TestZooCrossBackendConformance(t *testing.T) {
+	for _, spec := range zoo.Specs() {
+		p, err := zoo.New(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, inst := range zooCorpus(t) {
+			p, inst := p, inst
+			t.Run(spec+"/"+inst.name, func(t *testing.T) {
+				t.Parallel()
+				for seed := int64(1); seed <= 3; seed++ {
+					if err := checkZooInstance(inst, p, seed, zooBackends()); err != nil {
+						t.Fatalf("seed %d: %v", seed, err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// wrongWins wraps a zoo protocol but crowns a fixed wrong agent whenever
+// the inner protocol reaches any verdict — the planted bug of the
+// per-protocol canary. Its Spec still names the correct protocol, so the
+// networked backend (which reconstructs from the spec) runs the real rule
+// and must diverge.
+type wrongWins struct {
+	runtime.Protocol
+	crown int // the 1-based identity the bug crowns
+}
+
+func (f wrongWins) Step(memory string, v runtime.View) (string, runtime.Effect) {
+	mem, eff := f.Protocol.Step(memory, v)
+	if eff.Halt != "" {
+		eff.Halt = runtime.HaltDefeated
+		eff.LeaderMark = ""
+		if v.ID == f.crown {
+			eff.Halt = runtime.HaltLeader
+		}
+	}
+	return mem, eff
+}
+
+// TestZooConformanceCanary plants a wrong-winner bug in every zoo protocol
+// and requires the differential harness to catch it, both against the
+// central prediction (in-process backends) and by cross-backend divergence
+// (the networked backend runs the real protocol its spec names).
+func TestZooConformanceCanary(t *testing.T) {
+	inst := zooInstance{"path6", graph.Path(6), []int{0, 3, 5}}
+	for _, spec := range zoo.Specs() {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			inner, err := zoo.New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pred, err := zoo.Predict(spec, inst.g, nil, inst.homes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Crown an agent the real rule provably does not crown.
+			crown := 1
+			if pred.Solvable && pred.Winner == 0 {
+				crown = 2
+			}
+			buggy := wrongWins{Protocol: inner, crown: crown}
+			inProcess := []runtime.Runtime{runtime.Goroutine{}, runtime.Transformed{}}
+			if err := checkZooInstance(inst, buggy, 1, inProcess); err == nil {
+				t.Fatalf("%s harness accepted a first-wins election", spec)
+			} else {
+				t.Logf("canary caught as expected: %v", err)
+			}
+			mixed := []runtime.Runtime{runtime.Transformed{}, &runtime.Networked{Workers: 2}}
+			if err := checkZooInstance(inst, buggy, 1, mixed); err == nil {
+				t.Fatalf("%s networked backend silently agreed with a protocol its spec contradicts", spec)
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package zoo_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/adversary"
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/runtime"
+	"repro/internal/sim"
+	"repro/internal/zoo"
+)
+
+// FuzzZooSchedule feeds arbitrary (mutated) decision-log bytes to the replay
+// scheduler, with one fuzzed byte selecting which zoo protocol runs on a
+// fixed instance. Zoo protocols claim schedule independence — the barrier
+// plus pure map decision makes every interleaving reach the verdict the
+// central oracle predicts — so whatever the schedule (recorded, truncated,
+// bit-flipped, or noise) each protocol's mode-aware invariants must hold.
+func FuzzZooSchedule(f *testing.F) {
+	g, homes := graph.Path(6), []int{0, 3, 5}
+	labels := graph.PortLabeling(g)
+	specs := zoo.Specs()
+
+	protos := make([]sim.Protocol, len(specs))
+	ispecs := make([]elect.InvariantSpec, len(specs))
+	for i, spec := range specs {
+		pred, err := zoo.Predict(spec, g, labels, homes)
+		if err != nil {
+			f.Fatalf("predict %s: %v", spec, err)
+		}
+		exp := "unsolvable"
+		if pred.Solvable {
+			exp = "leader"
+		}
+		ispecs[i] = elect.InvariantSpec{Expected: exp, Mode: pred.Mode, M: g.M(), RatioBound: 40}
+		p, err := zoo.New(spec)
+		if err != nil {
+			f.Fatal(err)
+		}
+		protos[i] = runtime.AsSimProtocol(p)
+	}
+
+	cfg := func(scheduler sim.Strategy, seed int64) sim.Config {
+		return sim.Config{
+			Graph: g, Homes: homes, Seed: seed,
+			WakeAll: true, QuantitativeIDs: true, PortLabels: labels,
+			Timeout:   time.Minute,
+			Scheduler: scheduler,
+		}
+	}
+
+	// Seed the corpus with a genuine recorded schedule plus degenerate logs.
+	random, err := adversary.NewStrategy("random", 1, nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var log sim.Schedule
+	c := cfg(random, 1)
+	c.Record = &log
+	if _, err := sim.Run(c, protos[0]); err != nil {
+		f.Fatalf("recording run: %v", err)
+	}
+	f.Add(int64(1), byte(0), log.Encode())
+	f.Add(int64(2), byte(1), []byte{})
+	f.Add(int64(3), byte(3), []byte{0, 0, 0, 1, 1, 1})
+	f.Add(int64(4), byte(4), []byte{0xff, 0xff, 0xff, 0xff, 0x7f})
+
+	f.Fuzz(func(t *testing.T, seed int64, sel byte, raw []byte) {
+		i := int(sel) % len(specs)
+		sched, err := sim.DecodeSchedule(raw)
+		if err != nil {
+			return // malformed encodings are rejected, not executed
+		}
+		replay := sim.Replay(sched)
+		res, runErr := sim.Run(cfg(replay, seed), protos[i])
+		if vs := elect.CheckInvariants(res, runErr, ispecs[i]); len(vs) > 0 {
+			t.Fatalf("%s under schedule %v (divergences %d) broke invariants: %v",
+				specs[i], sched.Grants, replay.Divergences(), vs)
+		}
+	})
+}

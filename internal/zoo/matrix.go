@@ -1,0 +1,281 @@
+package zoo
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"text/tabwriter"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/runtime"
+)
+
+// Instance is one named (graph, homes) input of the feasibility matrix.
+// cmd/zoo builds instances from "family:size:h0,h1,..." specs (the parsing
+// lives there to keep this package independent of the campaign layer,
+// which imports zoo for its protocol oracle).
+type Instance struct {
+	// Name identifies the instance in rows and reports
+	// ("family:size:h0,h1,...").
+	Name string
+	// G is the instance graph.
+	G *graph.Graph
+	// Homes lists the agents' home-bases.
+	Homes []int
+}
+
+// DefaultCorpus is the instance list cmd/zoo sweeps by default: solvable
+// and unsolvable inputs across paths, cycles, stars, a wheel, a grid, a
+// hypercube and a torus, chosen so that on every instance each election
+// protocol's verdict coincides with the source paper's gcd oracle (the
+// golden-file test pins exactly this agreement). Instances whose trivial
+// port labeling is rigid but whose unlabeled form is symmetric (an
+// antipodal cycle, the Petersen graph with adjacent homes) are deliberately
+// absent: there the labeled protocols elect while the qualitative oracle
+// says unsolvable — the paper's comparability dividend, demonstrated as a
+// deliberate failing run in EXPERIMENTS.md rather than pinned here.
+const DefaultCorpus = "path:2:0,1;path:4:0,1;path:6:0,3,5;cycle:5:0,2;cycle:6:0,2,3;star:4:1,2;star:5:0,1;wheel:5:0,2;grid:3:0,4,8;hypercube:3:0,5,6;torus:3:0,4"
+
+// Row is one (instance, protocol) cell of the feasibility-and-cost matrix.
+type Row struct {
+	// Instance and Protocol name the cell.
+	Instance string `json:"instance"`
+	Protocol string `json:"protocol"`
+	// Mode is the protocol's agreement contract ("strong", "weak",
+	// "selection").
+	Mode string `json:"mode"`
+	// Nodes, Edges and Agents describe the instance.
+	Nodes  int `json:"nodes"`
+	Edges  int `json:"edges"`
+	Agents int `json:"agents"`
+	// GCD is gcd(|C_1|,…,|C_k|) and GCDVerdict the source paper's oracle.
+	GCD        int    `json:"gcd"`
+	GCDVerdict string `json:"gcd_verdict"`
+	// Predicted is the protocol's own central-oracle verdict; Applicable
+	// is false when the instance is outside the protocol's model (zoo-uso
+	// on a non-dismantlable graph); Fallback marks selection's
+	// quantitative tie-break.
+	Predicted  string `json:"predicted"`
+	Applicable bool   `json:"applicable"`
+	Fallback   bool   `json:"fallback,omitempty"`
+	// Verdict, Winner, Moves and Steps are the observed run (first
+	// backend's result; the others must match it exactly).
+	Verdict string `json:"verdict"`
+	Winner  int    `json:"winner"`
+	Moves   int64  `json:"moves"`
+	Steps   int    `json:"steps"`
+	// Backends lists the backends run; BackendAgree reports exact
+	// outcome-vector and per-agent move equality across them.
+	Backends     []string `json:"backends"`
+	BackendAgree bool     `json:"backend_agree"`
+	// Agree reports the run matched the protocol's central prediction
+	// (verdict, unique leader, winner identity); AgreeGCD compares the
+	// observed verdict with the gcd oracle (the models genuinely differ,
+	// so this column is where the cross-model story shows).
+	Agree    bool `json:"agree"`
+	AgreeGCD bool `json:"agree_gcd"`
+}
+
+// BuildMatrix runs every (instance, protocol) cell on every named backend
+// and assembles the cross-protocol feasibility-and-cost matrix. The error
+// is non-nil only for harness failures (unknown spec or backend, a backend
+// refusing the instance); disagreements are reported in the rows, not as
+// errors, so the caller decides what gates.
+func BuildMatrix(insts []Instance, specs []string, backendNames []string, seed int64) ([]Row, error) {
+	backends := make([]runtime.Runtime, len(backendNames))
+	for i, name := range backendNames {
+		rt, err := runtime.New(name)
+		if err != nil {
+			return nil, err
+		}
+		if nw, ok := rt.(*runtime.Networked); ok {
+			nw.Workers = 2
+		}
+		backends[i] = rt
+	}
+	var rows []Row
+	for _, inst := range insts {
+		an, err := Analyze(inst.G, inst.Homes)
+		if err != nil {
+			return nil, fmt.Errorf("%s: analyze: %w", inst.Name, err)
+		}
+		for _, spec := range specs {
+			p, err := runtime.FromSpec(spec)
+			if err != nil {
+				return nil, err
+			}
+			pred, err := Predict(spec, inst.G, nil, inst.Homes)
+			if err != nil {
+				return nil, err
+			}
+			row := Row{
+				Instance:   inst.Name,
+				Protocol:   spec,
+				Mode:       modeName(pred.Mode),
+				Nodes:      inst.G.N(),
+				Edges:      inst.G.M(),
+				Agents:     len(inst.Homes),
+				GCD:        an.GCD,
+				GCDVerdict: GCDVerdict(an),
+				Predicted:  predictedVerdict(pred),
+				Applicable: pred.Applicable,
+				Fallback:   pred.Fallback,
+				Backends:   backendNames,
+			}
+			cfg := runtime.Config{Graph: inst.G, Homes: inst.Homes, Seed: seed}
+			var base *runtime.Result
+			row.BackendAgree = true
+			for _, rt := range backends {
+				res, err := rt.Run(cfg, p)
+				if err != nil {
+					return nil, fmt.Errorf("%s/%s on %s: %w", inst.Name, spec, rt.Name(), err)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				for i := range base.Outcomes {
+					if base.Outcomes[i] != res.Outcomes[i] || base.Moves[i] != res.Moves[i] {
+						row.BackendAgree = false
+					}
+				}
+			}
+			row.Verdict = Verdict(base)
+			row.Winner = base.Leader()
+			row.Moves = base.TotalMoves()
+			row.Steps = base.Steps
+			row.Agree = len(Check(base, pred)) == 0
+			row.AgreeGCD = row.Verdict == row.GCDVerdict
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// predictedVerdict renders a prediction as a verdict string.
+func predictedVerdict(p Prediction) string {
+	if p.Solvable {
+		return "leader"
+	}
+	return "unsolvable"
+}
+
+// modeName renders a VerdictMode for display ("strong" for the default).
+func modeName(m elect.VerdictMode) string {
+	if m == elect.ModeStrong {
+		return "strong"
+	}
+	return string(m)
+}
+
+// gcdExempt reports whether a row's model legitimately outruns the
+// qualitative gcd oracle: selection and the quantitative dfs-election are
+// universally solvable in the quantitative model — the Table 1 universality
+// rows — so their verdicts are compared only against their own oracle.
+func gcdExempt(row Row) bool {
+	return row.Mode == "selection" || row.Protocol == "dfs-election"
+}
+
+// Disagreements filters the rows that violate the matrix's contract: a
+// backend divergence, a run contradicting its protocol's central
+// prediction, or — for the non-exempt election modes on instances inside
+// the protocol's model — a verdict contradicting the source paper's gcd
+// oracle (see gcdExempt for the universally-solvable exemptions).
+func Disagreements(rows []Row) []Row {
+	var bad []Row
+	for _, row := range rows {
+		switch {
+		case !row.BackendAgree, !row.Agree:
+			bad = append(bad, row)
+		case !gcdExempt(row) && row.Applicable && !row.AgreeGCD:
+			bad = append(bad, row)
+		}
+	}
+	return bad
+}
+
+// WriteTable renders the matrix as an aligned human-facing table, one row
+// per (instance, protocol) cell, grouped by instance.
+func WriteTable(w io.Writer, rows []Row) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "instance\tprotocol\tmode\tgcd\tgcd-verdict\tpredicted\tverdict\twinner\tmoves\tsteps\tbackends\tagree")
+	for _, row := range rows {
+		agree := "yes"
+		switch {
+		case !row.BackendAgree:
+			agree = "BACKEND-DIVERGENCE"
+		case !row.Agree:
+			agree = "ORACLE-MISMATCH"
+		case !gcdExempt(row) && row.Applicable && !row.AgreeGCD:
+			agree = "GCD-MISMATCH"
+		case !row.Applicable:
+			agree = "yes (outside model)"
+		}
+		winner := "-"
+		if row.Winner >= 0 {
+			winner = strconv.Itoa(row.Winner)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%s\t%s\t%s\t%s\t%d\t%d\t%d\t%s\n",
+			row.Instance, row.Protocol, row.Mode, row.GCD, row.GCDVerdict,
+			row.Predicted, row.Verdict, winner, row.Moves, row.Steps,
+			len(row.Backends), agree)
+	}
+	return tw.Flush()
+}
+
+// Summarize aggregates the matrix into per-protocol totals: instances
+// solved, verdict/gcd agreement counts, and move/step totals.
+func Summarize(rows []Row) []Summary {
+	byProto := map[string]*Summary{}
+	var order []string
+	for _, row := range rows {
+		s, ok := byProto[row.Protocol]
+		if !ok {
+			s = &Summary{Protocol: row.Protocol, Mode: row.Mode}
+			byProto[row.Protocol] = s
+			order = append(order, row.Protocol)
+		}
+		s.Instances++
+		if row.Verdict == "leader" {
+			s.Solved++
+		}
+		if row.Agree && row.BackendAgree {
+			s.Agreements++
+		}
+		if row.AgreeGCD {
+			s.GCDAgreements++
+		}
+		if !row.Applicable {
+			s.OutsideModel++
+		}
+		s.Moves += row.Moves
+		s.Steps += row.Steps
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]Summary, 0, len(order))
+	for _, name := range order {
+		out = append(out, *byProto[name])
+	}
+	return out
+}
+
+// Summary is one protocol's aggregate line of the matrix.
+type Summary struct {
+	// Protocol and Mode identify the protocol.
+	Protocol string `json:"protocol"`
+	Mode     string `json:"mode"`
+	// Instances counts matrix cells; Solved those ending in a leader;
+	// Agreements those matching the central prediction on every backend;
+	// GCDAgreements those matching the source paper's oracle;
+	// OutsideModel those outside the protocol's model.
+	Instances     int `json:"instances"`
+	Solved        int `json:"solved"`
+	Agreements    int `json:"agreements"`
+	GCDAgreements int `json:"gcd_agreements"`
+	OutsideModel  int `json:"outside_model"`
+	// Moves and Steps are cost totals across the protocol's cells.
+	Moves int64 `json:"moves"`
+	Steps int   `json:"steps"`
+}

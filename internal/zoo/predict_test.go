@@ -1,0 +1,121 @@
+package zoo_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/elect"
+	"repro/internal/graph"
+	"repro/internal/zoo"
+)
+
+// TestPredictPins pins the central oracle on hand-checkable instances, one
+// per feasibility regime:
+//
+//   - path2 — K2 is view-symmetric, so everything but selection's
+//     quantitative fallback (and the quantitative dfs-election) fails;
+//   - cycle6 homes {0,3} — the comparability dividend: the trivial port
+//     labeling is rigid, so every map-based protocol elects even though the
+//     qualitative gcd oracle (gcd = 2) says unsolvable;
+//   - twin-double — genuinely indistinguishable whiteboards: only the
+//     quantitative protocols solve it, selection via its fallback;
+//   - star4 homes {1,2} — rigid and dismantlable, every model agrees.
+func TestPredictPins(t *testing.T) {
+	star4 := zooInstance{"star4", graph.Star(4), []int{1, 2}}
+	cases := []struct {
+		inst zooInstance
+		spec string
+		want zoo.Prediction
+	}{
+		{zooInstance{"path2", graph.Path(2), []int{0, 1}}, "zoo-dp",
+			zoo.Prediction{Solvable: false, Winner: -1, Mode: elect.ModeStrong, Applicable: true}},
+		{zooInstance{"path2", graph.Path(2), []int{0, 1}}, "zoo-shades:selection",
+			zoo.Prediction{Solvable: true, Winner: 1, Mode: elect.ModeSelection, Fallback: true, Applicable: true}},
+		{zooInstance{"path2", graph.Path(2), []int{0, 1}}, "zoo-uso",
+			zoo.Prediction{Solvable: false, Winner: -1, Mode: elect.ModeWeak, Applicable: false}},
+		{zooInstance{"cycle6", graph.Cycle(6), []int{0, 3}}, "zoo-dp",
+			zoo.Prediction{Solvable: true, Winner: 0, Mode: elect.ModeStrong, Applicable: true}},
+		{zooInstance{"cycle6", graph.Cycle(6), []int{0, 3}}, "zoo-shades:weak",
+			zoo.Prediction{Solvable: true, Winner: 0, Mode: elect.ModeWeak, Applicable: true}},
+		{zooInstance{"cycle6", graph.Cycle(6), []int{0, 3}}, "zoo-uso",
+			zoo.Prediction{Solvable: false, Winner: -1, Mode: elect.ModeWeak, Applicable: false}},
+		{star4, "zoo-shades:strong",
+			zoo.Prediction{Solvable: true, Winner: 0, Mode: elect.ModeStrong, Applicable: true}},
+		{star4, "zoo-uso",
+			zoo.Prediction{Solvable: true, Winner: 0, Mode: elect.ModeWeak, Applicable: true}},
+		{star4, "dfs-election",
+			zoo.Prediction{Solvable: true, Winner: 1, Mode: elect.ModeStrong, Applicable: true}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.inst.name+"/"+tc.spec, func(t *testing.T) {
+			got, err := zoo.Predict(tc.spec, tc.inst.g, nil, tc.inst.homes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.want {
+				t.Fatalf("Predict = %+v, want %+v", got, tc.want)
+			}
+		})
+	}
+
+	// Quantitative fallback on the whiteboard-indistinguishable twins.
+	td := twinDouble(t)
+	for spec, wantSolvable := range map[string]bool{
+		"zoo-dp": false, "zoo-shades:strong": false, "zoo-shades:weak": false,
+		"zoo-shades:selection": true,
+	} {
+		got, err := zoo.Predict(spec, td, nil, []int{0, 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Solvable != wantSolvable {
+			t.Fatalf("twin-double %s: solvable=%v, want %v", spec, got.Solvable, wantSolvable)
+		}
+	}
+
+	// The dividend pin: cycle6 {0,3} is solvable for the map-based zoo but
+	// unsolvable for the source paper's qualitative oracle.
+	an, err := zoo.Analyze(graph.Cycle(6), []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if an.GCD != 2 || zoo.GCDVerdict(an) != "unsolvable" {
+		t.Fatalf("gcd oracle on cycle6 {0,3}: gcd=%d verdict=%q, want 2/unsolvable", an.GCD, zoo.GCDVerdict(an))
+	}
+	if zoo.GCDVerdict(nil) != "unsolvable" {
+		t.Fatal("a missing analysis must read unsolvable")
+	}
+}
+
+// TestPredictErrors keeps malformed specs out of the oracle.
+func TestPredictErrors(t *testing.T) {
+	g := graph.Path(4)
+	for _, spec := range []string{"zoo-nope", "zoo-shades", "zoo-shades:mauve", "zoo-dp:extra", "zoo-uso:x"} {
+		if _, err := zoo.Predict(spec, g, nil, []int{0, 1}); err == nil ||
+			!strings.Contains(err.Error(), "unknown protocol spec") {
+			t.Fatalf("Predict(%q): err=%v, want unknown-spec error", spec, err)
+		}
+		if _, err := zoo.New(spec); err == nil {
+			t.Fatalf("New(%q) accepted a bad spec", spec)
+		}
+	}
+}
+
+// TestModeOf pins the spec → verdict-mode map the campaign's protocol axis
+// judges runs with.
+func TestModeOf(t *testing.T) {
+	cases := map[string]elect.VerdictMode{
+		"zoo-dp":               elect.ModeStrong,
+		"zoo-shades:strong":    elect.ModeStrong,
+		"zoo-shades:weak":      elect.ModeWeak,
+		"zoo-shades:selection": elect.ModeSelection,
+		"zoo-uso":              elect.ModeWeak,
+		"dfs-election":         elect.ModeStrong,
+		"zoo-nope":             elect.ModeStrong,
+	}
+	for spec, want := range cases {
+		if got := zoo.ModeOf(spec); got != want {
+			t.Fatalf("ModeOf(%q) = %q, want %q", spec, got, want)
+		}
+	}
+}

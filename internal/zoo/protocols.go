@@ -1,0 +1,248 @@
+package zoo
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/runtime"
+)
+
+// protocol is one zoo protocol: a kind riding the shared map-walk skeleton.
+// The step function is pure and serializable — all state lives in the
+// memory string — so the same value runs on every backend, including
+// reconstruction from its Spec on the far side of the networked bus.
+type protocol struct {
+	kind kind
+}
+
+// Spec returns the registry spec the networked backend ships to workers.
+func (p protocol) Spec() string {
+	switch p.kind {
+	case kindDP:
+		return specDP
+	case kindShadesStrong:
+		return specShades + ":strong"
+	case kindShadesWeak:
+		return specShades + ":weak"
+	case kindShadesSelection:
+		return specShades + ":selection"
+	default:
+		return specUSO
+	}
+}
+
+// Init returns the empty start-phase memory for every agent.
+func (p protocol) Init(id int) string { return "" }
+
+// Step advances the map-walk state machine one activation. The phases:
+// start (number the home-base 0, stamp it, begin the DFS), traverse (probe
+// untried ports in ascending label order, classify arrivals by own number
+// marks, bounce off known nodes, backtrack when exhausted), wait (park at
+// the home-base until all r agents have stamped it, then run the kind's
+// pure decision on the reconstructed map), and name (the strong-naming
+// kinds walk a canonical shortest route to the winner's home-base and read
+// the resident's identity). Every branch depends only on the agent's own
+// memory, its own marks, and the engine's home pre-marks — never on
+// another agent's protocol state — so verdicts and exact per-agent move
+// counts are schedule- and backend-independent.
+func (p protocol) Step(memory string, v runtime.View) (string, runtime.Effect) {
+	st, err := decodeWalk(memory)
+	if err != nil {
+		return memory, haltError()
+	}
+	switch st.phase {
+	case phaseStart:
+		st.phase = phaseTraverse
+		st.cur, st.next = 0, 1
+		st.addNode(countHomes(v.Board), v.Labels)
+		return p.advance(st, v, []string{nodeMark(v.ID, 0)})
+	case phaseTraverse:
+		switch {
+		case st.pendFrom >= 0:
+			u, lab := st.pendFrom, st.pendLab
+			st.pendFrom, st.pendLab = -1, -1
+			if k, ok := ownNodeNumber(v.Board, v.ID); ok {
+				// Arrived at an already-numbered node: record the edge and
+				// bounce back (no bounce needed for a self-loop — we are
+				// already back where we left).
+				st.edges = append(st.edges, edgeRec{u: u, lu: lab, v: k, lv: v.Entry})
+				if k == u {
+					st.cur = u
+					return p.advance(st, v, nil)
+				}
+				st.ret = u
+				return encodeWalk(st), runtime.Effect{Move: v.Entry}
+			}
+			k := st.next
+			st.next++
+			st.addNode(countHomes(v.Board), v.Labels)
+			st.edges = append(st.edges, edgeRec{u: u, lu: lab, v: k, lv: v.Entry})
+			st.stackNodes = append(st.stackNodes, k)
+			st.stackEntries = append(st.stackEntries, v.Entry)
+			st.cur = k
+			return p.advance(st, v, []string{nodeMark(v.ID, k)})
+		case st.ret >= 0:
+			st.cur, st.ret = st.ret, -1
+			return p.advance(st, v, nil)
+		}
+		return memory, haltError()
+	case phaseWait:
+		return p.barrier(st, v, nil)
+	case phaseName:
+		if len(st.route) > 0 {
+			lab := st.route[0]
+			st.route = st.route[1:]
+			return encodeWalk(st), runtime.Effect{Move: lab}
+		}
+		winner, ok := residentMark(v.Board)
+		if !ok {
+			return memory, haltError()
+		}
+		return encodeWalk(st), runtime.Effect{Halt: runtime.HaltDefeated, Move: -1, LeaderMark: winner}
+	}
+	return memory, haltError()
+}
+
+// advance continues the DFS from st.cur: probe the smallest untried label,
+// else backtrack, else (stack empty, back home) enter the barrier. writes
+// carries the number mark of a just-discovered node into the effect.
+func (p protocol) advance(st *walkState, v runtime.View, writes []string) (string, runtime.Effect) {
+	tried := st.triedAt(st.cur)
+	for _, lab := range st.nodes[st.cur].labels { // sorted ascending
+		if !tried[lab] {
+			st.pendFrom, st.pendLab = st.cur, lab
+			return encodeWalk(st), runtime.Effect{Write: writes, Move: lab}
+		}
+	}
+	if n := len(st.stackNodes); n > 0 {
+		entry := st.stackEntries[n-1]
+		st.stackNodes = st.stackNodes[:n-1]
+		st.stackEntries = st.stackEntries[:n-1]
+		if m := len(st.stackNodes); m > 0 {
+			st.ret = st.stackNodes[m-1]
+		} else {
+			st.ret = 0
+		}
+		return encodeWalk(st), runtime.Effect{Write: writes, Move: entry}
+	}
+	st.phase = phaseWait
+	return p.barrier(st, v, writes)
+}
+
+// barrier parks at the home-base until all r agents have stamped it, then
+// applies the kind's decision rule to the reconstructed map.
+func (p protocol) barrier(st *walkState, v runtime.View, writes []string) (string, runtime.Effect) {
+	r := st.totalHomes()
+	if countStamps(v.Board, writes) < r {
+		return encodeWalk(st), runtime.Effect{Write: writes, Move: -1}
+	}
+	d := decide(p.kind, st.reconstruct())
+	if !d.solvable {
+		return encodeWalk(st), runtime.Effect{Write: writes, Halt: runtime.HaltUnsolvable, Move: -1}
+	}
+	winnerIsMe := d.winner == 0
+	if d.fallback {
+		winnerIsMe = v.ID == r
+	}
+	if winnerIsMe {
+		return encodeWalk(st), runtime.Effect{Write: writes, Halt: runtime.HaltLeader, Move: -1, LeaderMark: nodeMark(v.ID, 0)}
+	}
+	if !strongNaming(p.kind) || d.winner < 0 {
+		return encodeWalk(st), runtime.Effect{Write: writes, Halt: runtime.HaltDefeated, Move: -1}
+	}
+	route := st.routeTo(d.winner)
+	if len(route) == 0 {
+		return encodeWalk(st), haltError()
+	}
+	st.phase = phaseName
+	st.route = route[1:]
+	return encodeWalk(st), runtime.Effect{Write: writes, Move: route[0]}
+}
+
+// haltError is the defensive dead-end effect; a conformant run never
+// reaches it (the differential suite would flag the outcome).
+func haltError() runtime.Effect {
+	return runtime.Effect{Halt: "error", Move: -1}
+}
+
+// nodeMark renders agent a's number mark for its node k: "n:<a>:<k>".
+func nodeMark(a, k int) string {
+	return "n:" + strconv.Itoa(a) + ":" + strconv.Itoa(k)
+}
+
+// parseNodeMark decodes a number mark; ok is false for any other mark.
+func parseNodeMark(m string) (a, k int, ok bool) {
+	rest, found := strings.CutPrefix(m, "n:")
+	if !found {
+		return 0, 0, false
+	}
+	as, ks, found := strings.Cut(rest, ":")
+	if !found {
+		return 0, 0, false
+	}
+	var err error
+	if a, err = strconv.Atoi(as); err != nil {
+		return 0, 0, false
+	}
+	if k, err = strconv.Atoi(ks); err != nil {
+		return 0, 0, false
+	}
+	return a, k, true
+}
+
+// ownNodeNumber finds the agent's own number for the current node, if it
+// ever numbered it.
+func ownNodeNumber(board []string, id int) (int, bool) {
+	for _, m := range board {
+		if a, k, ok := parseNodeMark(m); ok && a == id {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// countHomes counts the engine's home pre-marks on a board.
+func countHomes(board []string) int {
+	n := 0
+	for _, m := range board {
+		if m == runtime.TagHome {
+			n++
+		}
+	}
+	return n
+}
+
+// countStamps counts the distinct agents that have numbered this node,
+// over the board plus any marks being written this activation.
+func countStamps(board, writes []string) int {
+	agents := make(map[int]bool)
+	for _, m := range board {
+		if a, _, ok := parseNodeMark(m); ok {
+			agents[a] = true
+		}
+	}
+	for _, m := range writes {
+		if a, _, ok := parseNodeMark(m); ok {
+			agents[a] = true
+		}
+	}
+	return len(agents)
+}
+
+// residentMark returns the number mark of the agent whose home-base is the
+// current node — the mark with node number 0 (minimal agent on the exotic
+// shared-home boards).
+func residentMark(board []string) (string, bool) {
+	best, found := 0, false
+	for _, m := range board {
+		if a, k, ok := parseNodeMark(m); ok && k == 0 {
+			if !found || a < best {
+				best, found = a, true
+			}
+		}
+	}
+	if !found {
+		return "", false
+	}
+	return nodeMark(best, 0), true
+}
